@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks of the merge network evaluation — the
+//! operation the simulator performs every cycle.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vliw_core::{catalog, MergeEvaluator, PortInput};
+use vliw_isa::{InstrBuilder, MachineConfig, Opcode, Operation};
+
+fn inputs(machine: &MachineConfig) -> Vec<PortInput> {
+    // Four realistic instructions of varying width.
+    let shapes: [&[(Opcode, u8)]; 4] = [
+        &[(Opcode::Add, 0), (Opcode::Ldw, 0)],
+        &[(Opcode::Mpy, 1), (Opcode::Add, 1), (Opcode::Add, 2)],
+        &[
+            (Opcode::Add, 0),
+            (Opcode::Add, 1),
+            (Opcode::Add, 2),
+            (Opcode::Add, 3),
+            (Opcode::Ldw, 2),
+        ],
+        &[(Opcode::Sub, 3)],
+    ];
+    shapes
+        .iter()
+        .map(|ops| {
+            let mut b = InstrBuilder::new(machine);
+            for &(opc, c) in ops.iter() {
+                b.push(Operation::new(opc, c)).unwrap();
+            }
+            PortInput::ready(b.build().signature())
+        })
+        .collect()
+}
+
+fn bench_merge_eval(c: &mut Criterion) {
+    let machine = MachineConfig::paper_baseline();
+    let ev = MergeEvaluator::new(&machine);
+    let ins = inputs(&machine);
+    let mut group = c.benchmark_group("merge_eval");
+    for name in ["1S", "3CCC", "C4", "2SC3", "2SS", "3SSS"] {
+        let compiled = catalog::by_name(name).unwrap().compile();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let n = compiled.n_ports() as usize;
+                black_box(ev.evaluate(&compiled, &ins[..n.min(ins.len())]))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_signature_ops(c: &mut Criterion) {
+    let machine = MachineConfig::paper_baseline();
+    let ins = inputs(&machine);
+    let caps = vliw_isa::ResourceCaps::of(&machine);
+    let a = ins[0].sig;
+    let b_ = ins[2].sig;
+    c.bench_function("smt_compatible", |b| {
+        b.iter(|| black_box(a.smt_compatible(black_box(b_), &caps)))
+    });
+    c.bench_function("cluster_rotate", |b| {
+        b.iter(|| black_box(black_box(a).rotate_clusters(2, 4)))
+    });
+}
+
+criterion_group!(benches, bench_merge_eval, bench_signature_ops);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! `cargo bench` target that regenerates every table and figure of the
+//! paper at a reduced run length (scale 1/200 of the paper's 100M
+//! instructions — a few minutes total). For publication-grade numbers use
+//! `cargo run --release -p vliw-bench --bin paper -- all --scale 10`.
+
+use vliw_bench::figures;
+use vliw_sim::runner::default_parallelism;
+
+fn main() {
+    let scale = 200;
+    let par = default_parallelism();
+    let out = std::path::PathBuf::from("results-bench");
+    println!("regenerating all paper exhibits at scale 1/{scale} ({par} workers)\n");
+    let t0 = std::time::Instant::now();
+
+    let exhibits = vec![
+        figures::table1(scale, par),
+        figures::table2(),
+        figures::fig4(scale, par),
+        figures::fig5(),
+        figures::fig6(scale, par),
+        figures::fig9(),
+        figures::fig10(scale, par),
+    ];
+    let (f11, f12) = figures::fig11_12(scale, par);
+    let headline = figures::headline(scale, par);
+
+    for e in exhibits.iter().chain([&f11, &f12, &headline]) {
+        println!("{}", e.text);
+        let _ = e.save_csv(&out);
+    }
+    println!("all exhibits regenerated in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,107 @@
+//! `paper` — regenerate every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! paper [EXHIBIT...] [--scale N] [--full] [--par N] [--out DIR]
+//!
+//! EXHIBIT: table1 table2 fig4 fig5 fig6 fig9 fig10 fig11 fig12 headline all
+//!          (default: all)
+//! --scale N   divide the paper's 100M-instruction budget by N (default 20)
+//! --full      the paper's full run lengths (scale 1); slow
+//! --par N     worker threads for simulation sweeps (default: cores-1)
+//! --out DIR   CSV output directory (default: results/)
+//! ```
+
+use std::path::PathBuf;
+use vliw_bench::figures;
+use vliw_bench::Exhibit;
+
+fn main() {
+    let mut scale: u64 = 20;
+    let mut par = vliw_sim::runner::default_parallelism();
+    let mut out = PathBuf::from("results");
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--full" => scale = 1,
+            "--par" => {
+                par = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--par needs a number"));
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--help" | "-h" => {
+                println!("{}", HELP);
+                return;
+            }
+            other if !other.starts_with('-') => wanted.push(other.to_string()),
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = vec![
+            "table1", "table2", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "fig12",
+            "headline",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    }
+
+    println!(
+        "vliw-tms paper harness — scale 1/{scale} of the paper's run length, {par} workers\n"
+    );
+    let t0 = std::time::Instant::now();
+    for name in &wanted {
+        let exhibits: Vec<Exhibit> = match name.as_str() {
+            "table1" => vec![figures::table1(scale, par)],
+            "table2" => vec![figures::table2()],
+            "fig4" => vec![figures::fig4(scale, par)],
+            "fig5" => vec![figures::fig5()],
+            "fig6" => vec![figures::fig6(scale, par)],
+            "fig9" => vec![figures::fig9()],
+            "fig10" => vec![figures::fig10(scale, par)],
+            "fig11" | "fig12" => {
+                let (a, b) = figures::fig11_12(scale, par);
+                if name == "fig11" {
+                    vec![a]
+                } else {
+                    vec![b]
+                }
+            }
+            "headline" => vec![figures::headline(scale, par)],
+            other => die(&format!("unknown exhibit {other}")),
+        };
+        for e in exhibits {
+            println!("{}", e.text);
+            if let Err(err) = e.save_csv(&out) {
+                eprintln!("warning: could not save {}: {err}", e.id);
+            }
+        }
+    }
+    println!(
+        "done in {:.1}s; CSVs in {}",
+        t0.elapsed().as_secs_f64(),
+        out.display()
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{HELP}");
+    std::process::exit(2);
+}
+
+const HELP: &str = "usage: paper [EXHIBIT...] [--scale N] [--full] [--par N] [--out DIR]
+exhibits: table1 table2 fig4 fig5 fig6 fig9 fig10 fig11 fig12 headline all";

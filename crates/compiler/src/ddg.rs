@@ -1,0 +1,309 @@
+//! Per-block data-dependence graphs.
+//!
+//! Nodes are the block's straight-line operations. Edge kinds:
+//!
+//! * **true** (def → use): consumer may start `latency(producer)` cycles
+//!   after the producer issues;
+//! * **output** (def → def of the same register): one cycle apart (the
+//!   machine writes back in order);
+//! * **anti** (use → def): zero cycles — VLIW semantics read all operands
+//!   at issue, so a reader and an over-writer may share a cycle but may not
+//!   be reordered;
+//! * **memory**: same-stream accesses where at least one is a store are
+//!   ordered (streams are the alias-analysis stand-in: distinct streams
+//!   never alias).
+//!
+//! Node priorities are critical-path heights (longest latency-weighted path
+//! to any sink), the classic list-scheduling priority.
+
+use crate::ir::IrBlock;
+use vliw_isa::MachineConfig;
+
+/// One dependence edge: `from` must be scheduled at least `latency` cycles
+/// before `to` (latency 0 = same cycle allowed, order preserved).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Producer op index.
+    pub from: u32,
+    /// Consumer op index.
+    pub to: u32,
+    /// Minimum issue-cycle distance.
+    pub latency: u8,
+}
+
+/// Dependence graph of one block.
+#[derive(Debug, Clone)]
+pub struct Ddg {
+    /// All edges (deduplicated, keeping the max latency per (from, to)).
+    pub edges: Vec<DepEdge>,
+    /// Per-node incoming-edge indices.
+    pub preds: Vec<Vec<u32>>,
+    /// Per-node outgoing-edge indices.
+    pub succs: Vec<Vec<u32>>,
+    /// Critical-path height per node (latency-weighted).
+    pub height: Vec<u32>,
+    /// Nodes that the block terminator's predicate depends on get an edge
+    /// to the virtual "end" — tracked as a minimum block length.
+    pub n_nodes: usize,
+}
+
+impl Ddg {
+    /// Build the DDG for `block` under `machine` latencies.
+    pub fn build(machine: &MachineConfig, block: &IrBlock) -> Ddg {
+        Self::build_ops(machine, &block.ops)
+    }
+
+    /// Build the DDG for a bare op list (used after cluster assignment,
+    /// where copies have been spliced in).
+    pub fn build_ops(machine: &MachineConfig, ops_in: &[crate::ir::IrOp]) -> Ddg {
+        let n = ops_in.len();
+        let mut edges: Vec<DepEdge> = Vec::new();
+
+        // Register dependences via last-def / readers-since-last-def maps.
+        // Virtual register ids are dense, but blocks touch few of them, so
+        // a hash map would also do; a sorted probe over a small vec is
+        // faster in practice for our block sizes. We use a plain map from
+        // vreg -> (last_def, readers_since).
+        use std::collections::HashMap;
+        let mut last_def: HashMap<u32, u32> = HashMap::new();
+        let mut readers: HashMap<u32, Vec<u32>> = HashMap::new();
+        // Memory state per stream: last store, loads since last store.
+        let mut last_store: HashMap<u16, u32> = HashMap::new();
+        let mut loads_since: HashMap<u16, Vec<u32>> = HashMap::new();
+
+        for (i, op) in ops_in.iter().enumerate() {
+            let i = i as u32;
+            // True deps: sources on their defining op.
+            for src in op.src_iter() {
+                if let Some(&d) = last_def.get(&src.0) {
+                    let lat = machine.latency_of(ops_in[d as usize].class());
+                    edges.push(DepEdge {
+                        from: d,
+                        to: i,
+                        latency: lat,
+                    });
+                }
+                readers.entry(src.0).or_default().push(i);
+            }
+            if let Some(dst) = op.dst {
+                // Output dep on previous def.
+                if let Some(&d) = last_def.get(&dst.0) {
+                    edges.push(DepEdge {
+                        from: d,
+                        to: i,
+                        latency: 1,
+                    });
+                }
+                // Anti deps on readers of the previous value.
+                if let Some(rs) = readers.get(&dst.0) {
+                    for &r in rs {
+                        if r != i {
+                            edges.push(DepEdge {
+                                from: r,
+                                to: i,
+                                latency: 0,
+                            });
+                        }
+                    }
+                }
+                readers.remove(&dst.0);
+                last_def.insert(dst.0, i);
+            }
+            // Memory dependences per stream.
+            if let Some(m) = op.mem {
+                if m.is_store {
+                    if let Some(&s) = last_store.get(&m.stream) {
+                        // Store->store ordering is program order only (the
+                        // write buffer retires one per cycle); no result
+                        // latency is involved.
+                        edges.push(DepEdge {
+                            from: s,
+                            to: i,
+                            latency: 1,
+                        });
+                    }
+                    if let Some(ls) = loads_since.get(&m.stream) {
+                        for &l in ls {
+                            edges.push(DepEdge {
+                                from: l,
+                                to: i,
+                                latency: 0,
+                            });
+                        }
+                    }
+                    loads_since.remove(&m.stream);
+                    last_store.insert(m.stream, i);
+                } else {
+                    if let Some(&s) = last_store.get(&m.stream) {
+                        let lat = machine.latency_of(ops_in[s as usize].class());
+                        edges.push(DepEdge {
+                            from: s,
+                            to: i,
+                            latency: lat,
+                        });
+                    }
+                    loads_since.entry(m.stream).or_default().push(i);
+                }
+            }
+        }
+
+        // Deduplicate, keeping max latency.
+        edges.sort_by_key(|e| (e.from, e.to, std::cmp::Reverse(e.latency)));
+        edges.dedup_by_key(|e| (e.from, e.to));
+
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for (ei, e) in edges.iter().enumerate() {
+            preds[e.to as usize].push(ei as u32);
+            succs[e.from as usize].push(ei as u32);
+        }
+
+        // Heights by reverse program order (edges always go forward).
+        let mut height = vec![0u32; n];
+        for i in (0..n).rev() {
+            let mut h = u32::from(machine.latency_of(ops_in[i].class()));
+            for &ei in &succs[i] {
+                let e = edges[ei as usize];
+                h = h.max(u32::from(e.latency) + height[e.to as usize]);
+            }
+            height[i] = h;
+        }
+
+        Ddg {
+            edges,
+            preds,
+            succs,
+            height,
+            n_nodes: n,
+        }
+    }
+
+    /// Length of the latency-weighted critical path (lower bound on the
+    /// block's schedule length).
+    pub fn critical_path(&self) -> u32 {
+        self.height.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{IrOp, VirtReg};
+    use vliw_isa::Opcode;
+
+    fn m() -> MachineConfig {
+        MachineConfig::paper_baseline()
+    }
+
+    fn v(i: u32) -> VirtReg {
+        VirtReg(i)
+    }
+
+    #[test]
+    fn true_dependence_carries_latency() {
+        // ldw %1 = [%0]; add %2 = %1, %1  -> edge with latency 2.
+        let block = IrBlock {
+            ops: vec![
+                IrOp::new(Opcode::Ldw).dst(v(1)).srcs(&[v(0)]).mem(0, false),
+                IrOp::new(Opcode::Add).dst(v(2)).srcs(&[v(1), v(1)]),
+            ],
+            term: crate::ir::Terminator::Return,
+        };
+        let g = Ddg::build(&m(), &block);
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!(g.edges[0], DepEdge { from: 0, to: 1, latency: 2 });
+        // Height: load = 2 (its latency) + 1 (add) = 3.
+        assert_eq!(g.height[0], 3);
+        assert_eq!(g.critical_path(), 3);
+    }
+
+    #[test]
+    fn anti_dependence_is_zero_latency() {
+        // add %1 = %0; mov %0 = #5  -> anti edge (0 -> 1 is use->def).
+        let block = IrBlock {
+            ops: vec![
+                IrOp::new(Opcode::Add).dst(v(1)).srcs(&[v(0), v(0)]),
+                IrOp::new(Opcode::Mov).dst(v(0)).imm(5),
+            ],
+            term: crate::ir::Terminator::Return,
+        };
+        let g = Ddg::build(&m(), &block);
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!(g.edges[0].latency, 0);
+    }
+
+    #[test]
+    fn output_dependence_orders_defs() {
+        let block = IrBlock {
+            ops: vec![
+                IrOp::new(Opcode::Mov).dst(v(0)).imm(1),
+                IrOp::new(Opcode::Mov).dst(v(0)).imm(2),
+            ],
+            term: crate::ir::Terminator::Return,
+        };
+        let g = Ddg::build(&m(), &block);
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!(g.edges[0].latency, 1);
+    }
+
+    #[test]
+    fn independent_streams_do_not_conflict() {
+        let block = IrBlock {
+            ops: vec![
+                IrOp::new(Opcode::Stw).srcs(&[v(0), v(1)]).mem(0, true),
+                IrOp::new(Opcode::Ldw).dst(v(2)).srcs(&[v(3)]).mem(1, false),
+            ],
+            term: crate::ir::Terminator::Return,
+        };
+        let g = Ddg::build(&m(), &block);
+        assert!(g.edges.is_empty(), "different streams never alias");
+    }
+
+    #[test]
+    fn same_stream_store_load_ordered() {
+        let block = IrBlock {
+            ops: vec![
+                IrOp::new(Opcode::Stw).srcs(&[v(0), v(1)]).mem(0, true),
+                IrOp::new(Opcode::Ldw).dst(v(2)).srcs(&[v(3)]).mem(0, false),
+                IrOp::new(Opcode::Stw).srcs(&[v(2), v(1)]).mem(0, true),
+            ],
+            term: crate::ir::Terminator::Return,
+        };
+        let g = Ddg::build(&m(), &block);
+        // store->load (latency 2), load->store (0; plus true dep via %2 = 2),
+        // store->store (latency 2).
+        let has = |f: u32, t: u32| g.edges.iter().any(|e| e.from == f && e.to == t);
+        assert!(has(0, 1));
+        assert!(has(1, 2));
+        assert!(has(0, 2));
+    }
+
+    #[test]
+    fn wide_independent_block_has_unit_heights() {
+        let ops: Vec<IrOp> = (0..8)
+            .map(|i| IrOp::new(Opcode::Add).dst(v(i)).imm(i as i32))
+            .collect();
+        let block = IrBlock {
+            ops,
+            term: crate::ir::Terminator::Return,
+        };
+        let g = Ddg::build(&m(), &block);
+        assert!(g.edges.is_empty());
+        assert!(g.height.iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn dedup_keeps_max_latency() {
+        // %1 used twice by the same consumer -> one edge.
+        let block = IrBlock {
+            ops: vec![
+                IrOp::new(Opcode::Mpy).dst(v(1)).srcs(&[v(0), v(0)]),
+                IrOp::new(Opcode::Add).dst(v(2)).srcs(&[v(1), v(1)]),
+            ],
+            term: crate::ir::Terminator::Return,
+        };
+        let g = Ddg::build(&m(), &block);
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!(g.edges[0].latency, 2);
+    }
+}

@@ -1,0 +1,337 @@
+//! The compiler's virtual-register intermediate representation.
+
+use vliw_isa::{MemInfo, OpClass, Opcode};
+
+/// A virtual register (unbounded supply, bound to physical registers by
+/// `regalloc` after cluster assignment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtReg(pub u32);
+
+impl std::fmt::Display for VirtReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// One IR operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrOp {
+    /// The target-machine opcode (the IR is deliberately low-level: the
+    /// interesting compilation problems here are placement and scheduling,
+    /// not instruction selection).
+    pub opcode: Opcode,
+    /// Defined register, if any.
+    pub dst: Option<VirtReg>,
+    /// Register operands (up to 3).
+    pub srcs: [Option<VirtReg>; 3],
+    /// Immediate operand.
+    pub imm: Option<i32>,
+    /// Address-stream annotation for memory operations. Streams double as
+    /// alias sets: accesses on different streams never alias.
+    pub mem: Option<MemInfo>,
+}
+
+impl IrOp {
+    /// Build a plain op.
+    pub fn new(opcode: Opcode) -> Self {
+        IrOp {
+            opcode,
+            dst: None,
+            srcs: [None; 3],
+            imm: None,
+            mem: None,
+        }
+    }
+
+    /// Set the destination.
+    pub fn dst(mut self, d: VirtReg) -> Self {
+        self.dst = Some(d);
+        self
+    }
+
+    /// Set sources from a slice (at most 3).
+    pub fn srcs(mut self, srcs: &[VirtReg]) -> Self {
+        assert!(srcs.len() <= 3);
+        for (i, s) in srcs.iter().enumerate() {
+            self.srcs[i] = Some(*s);
+        }
+        self
+    }
+
+    /// Set the immediate.
+    pub fn imm(mut self, v: i32) -> Self {
+        self.imm = Some(v);
+        self
+    }
+
+    /// Attach a memory stream annotation.
+    pub fn mem(mut self, stream: u16, is_store: bool) -> Self {
+        debug_assert_eq!(self.opcode.class(), OpClass::Mem);
+        self.mem = Some(MemInfo { stream, is_store });
+        self
+    }
+
+    /// Operation class.
+    pub fn class(&self) -> OpClass {
+        self.opcode.class()
+    }
+
+    /// Iterator over wired sources.
+    pub fn src_iter(&self) -> impl Iterator<Item = VirtReg> + '_ {
+        self.srcs.iter().filter_map(|s| *s)
+    }
+}
+
+/// Block terminator with profile information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    /// Fall through to the next block in layout order (no branch op).
+    FallThrough,
+    /// Unconditional jump (always-taken branch).
+    Jump {
+        /// Target block id.
+        target: u32,
+    },
+    /// Conditional branch.
+    CondBranch {
+        /// Target when taken.
+        taken: u32,
+        /// Probability of being taken, in 1/1000 units.
+        taken_permille: u16,
+        /// Predicate register (optional; timing does not depend on it but
+        /// it creates a dependence edge keeping the branch honest).
+        pred: Option<VirtReg>,
+    },
+    /// Function return (the simulator wraps back to the entry block).
+    Return,
+}
+
+/// A basic block: straight-line ops plus a terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrBlock {
+    /// Straight-line operations (no branches inside).
+    pub ops: Vec<IrOp>,
+    /// How the block ends.
+    pub term: Terminator,
+}
+
+impl IrBlock {
+    /// A block with the given ops falling through.
+    pub fn new(ops: Vec<IrOp>) -> Self {
+        IrBlock {
+            ops,
+            term: Terminator::FallThrough,
+        }
+    }
+
+    /// Set the terminator.
+    pub fn with_term(mut self, term: Terminator) -> Self {
+        self.term = term;
+        self
+    }
+}
+
+/// A function: blocks in layout order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrFunction {
+    /// Function name (used in diagnostics and program labels).
+    pub name: String,
+    /// Blocks; block ids are indices into this vector.
+    pub blocks: Vec<IrBlock>,
+    /// Entry block id (normally 0).
+    pub entry: u32,
+    /// Number of virtual registers in use (exclusive upper bound).
+    pub n_vregs: u32,
+    /// Number of memory address streams referenced.
+    pub n_streams: u16,
+}
+
+impl IrFunction {
+    /// Create an empty function.
+    pub fn new(name: impl Into<String>) -> Self {
+        IrFunction {
+            name: name.into(),
+            blocks: Vec::new(),
+            entry: 0,
+            n_vregs: 0,
+            n_streams: 0,
+        }
+    }
+
+    /// Allocate a fresh virtual register.
+    pub fn fresh_vreg(&mut self) -> VirtReg {
+        let r = VirtReg(self.n_vregs);
+        self.n_vregs += 1;
+        r
+    }
+
+    /// Allocate a fresh memory stream id.
+    pub fn fresh_stream(&mut self) -> u16 {
+        let s = self.n_streams;
+        self.n_streams += 1;
+        s
+    }
+
+    /// Append a block, returning its id.
+    pub fn push_block(&mut self, block: IrBlock) -> u32 {
+        self.blocks.push(block);
+        (self.blocks.len() - 1) as u32
+    }
+
+    /// Validate structural invariants: branch targets exist, vreg/stream
+    /// ids are within bounds, terminator predicates are wired.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.blocks.is_empty() {
+            return Err("function has no blocks".into());
+        }
+        if self.entry as usize >= self.blocks.len() {
+            return Err(format!("entry block {} out of range", self.entry));
+        }
+        for (bid, b) in self.blocks.iter().enumerate() {
+            for (oid, op) in b.ops.iter().enumerate() {
+                if op.class() == OpClass::Branch {
+                    return Err(format!(
+                        "block {bid} op {oid}: branches only in terminators"
+                    ));
+                }
+                for r in op.src_iter() {
+                    if r.0 >= self.n_vregs {
+                        return Err(format!("block {bid} op {oid}: vreg {r} out of range"));
+                    }
+                }
+                if let Some(d) = op.dst {
+                    if d.0 >= self.n_vregs {
+                        return Err(format!("block {bid} op {oid}: vreg {d} out of range"));
+                    }
+                    if !op.opcode.has_dest() {
+                        return Err(format!(
+                            "block {bid} op {oid}: {} cannot define a register",
+                            op.opcode
+                        ));
+                    }
+                }
+                if let Some(m) = op.mem {
+                    if m.stream >= self.n_streams {
+                        return Err(format!(
+                            "block {bid} op {oid}: stream {} out of range",
+                            m.stream
+                        ));
+                    }
+                    if m.is_store != op.opcode.is_store() {
+                        return Err(format!(
+                            "block {bid} op {oid}: store flag disagrees with opcode"
+                        ));
+                    }
+                } else if op.class() == OpClass::Mem {
+                    return Err(format!(
+                        "block {bid} op {oid}: memory op without stream annotation"
+                    ));
+                }
+            }
+            match b.term {
+                Terminator::FallThrough => {
+                    if bid + 1 >= self.blocks.len() {
+                        return Err(format!("block {bid}: falls off the end"));
+                    }
+                }
+                Terminator::Jump { target } => {
+                    if target as usize >= self.blocks.len() {
+                        return Err(format!("block {bid}: jump target {target} missing"));
+                    }
+                }
+                Terminator::CondBranch {
+                    taken,
+                    taken_permille,
+                    ..
+                } => {
+                    if taken as usize >= self.blocks.len() {
+                        return Err(format!("block {bid}: branch target {taken} missing"));
+                    }
+                    if bid + 1 >= self.blocks.len() {
+                        return Err(format!("block {bid}: cond branch falls off the end"));
+                    }
+                    if taken_permille > 1000 {
+                        return Err(format!("block {bid}: probability {taken_permille} > 1000"));
+                    }
+                }
+                Terminator::Return => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Total straight-line operation count (branches excluded).
+    pub fn n_ops(&self) -> usize {
+        self.blocks.iter().map(|b| b.ops.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_fn() -> IrFunction {
+        let mut f = IrFunction::new("t");
+        let a = f.fresh_vreg();
+        let b = f.fresh_vreg();
+        let s = f.fresh_stream();
+        let block = IrBlock::new(vec![
+            IrOp::new(Opcode::Mov).dst(a).imm(1),
+            IrOp::new(Opcode::Add).dst(b).srcs(&[a, a]),
+            IrOp::new(Opcode::Ldw).dst(a).srcs(&[b]).mem(s, false),
+        ])
+        .with_term(Terminator::Return);
+        f.push_block(block);
+        f
+    }
+
+    #[test]
+    fn valid_function_passes() {
+        assert_eq!(simple_fn().validate(), Ok(()));
+    }
+
+    #[test]
+    fn out_of_range_vreg_rejected() {
+        let mut f = simple_fn();
+        f.blocks[0].ops[1].srcs[0] = Some(VirtReg(99));
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn branch_in_body_rejected() {
+        let mut f = simple_fn();
+        f.blocks[0].ops.push(IrOp::new(Opcode::Goto));
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn mem_without_stream_rejected() {
+        let mut f = simple_fn();
+        f.blocks[0].ops[2].mem = None;
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn fallthrough_off_end_rejected() {
+        let mut f = simple_fn();
+        f.blocks[0].term = Terminator::FallThrough;
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn bad_branch_target_rejected() {
+        let mut f = simple_fn();
+        f.blocks[0].term = Terminator::Jump { target: 7 };
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn store_flag_must_match() {
+        let mut f = simple_fn();
+        f.blocks[0].ops[2].mem = Some(MemInfo {
+            stream: 0,
+            is_store: true,
+        });
+        assert!(f.validate().is_err());
+    }
+}

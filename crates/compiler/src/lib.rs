@@ -1,0 +1,42 @@
+//! # vliw-compiler — a VEX-style compiler substrate
+//!
+//! The paper's toolchain is the HP VEX C compiler: a Multiflow descendant
+//! using Trace Scheduling for global scheduling and Bottom-Up Greedy (BUG)
+//! for cluster assignment. That toolchain is not reproducible, but the merge
+//! study only needs what it *produces*: realistic static schedules — VLIW
+//! instructions whose per-cluster occupancy, fixed-slot pressure and
+//! dependence-limited ILP look like compiled media/integer code.
+//!
+//! This crate rebuilds that pipeline from scratch:
+//!
+//! * [`ir`] — a small virtual-register IR with basic blocks, conditional
+//!   branches carrying profile probabilities, and memory operations tagged
+//!   with address-stream ids (the alias-analysis stand-in).
+//! * [`ddg`] — per-block data-dependence graphs (true/anti/output register
+//!   dependences + stream-wise memory dependences) with critical-path
+//!   priorities.
+//! * [`cluster`] — Bottom-Up-Greedy-style cluster assignment: operations
+//!   are placed on the cluster minimising estimated completion time given
+//!   operand locations and cluster load; explicit [`vliw_isa::Opcode::Copy`]
+//!   operations are inserted for cross-cluster operands.
+//! * [`sched`] — a resource-aware cycle/slot list scheduler producing
+//!   [`vliw_isa::VliwInstruction`] sequences that respect dependences,
+//!   latencies and the machine's fixed-slot constraints.
+//! * [`unroll`] — loop unrolling (the trace-scheduling-lite ILP exposure
+//!   knob: self-loop bodies are replicated with register renaming).
+//! * [`regalloc`] — per-cluster round-robin register binding.
+//! * [`program`] — the laid-out executable form the simulator runs.
+//! * [`pipeline`] — the `compile()` driver tying the passes together.
+
+pub mod cluster;
+pub mod ddg;
+pub mod ir;
+pub mod pipeline;
+pub mod program;
+pub mod regalloc;
+pub mod sched;
+pub mod unroll;
+
+pub use ir::{IrBlock, IrFunction, IrOp, Terminator, VirtReg};
+pub use pipeline::{compile, CompileOptions};
+pub use program::{Program, ScheduledBlock, TermKind};

@@ -1,0 +1,250 @@
+//! The executable form of a compiled function.
+//!
+//! A [`Program`] is what the simulator runs: laid-out blocks of
+//! [`VliwInstruction`]s with per-instruction byte addresses (driving the
+//! I-cache) and terminator descriptors (driving control flow and the
+//! branch-penalty model).
+
+use vliw_isa::{encode, MachineConfig, OpClass, VliwInstruction};
+
+/// How a scheduled block ends (mirrors [`crate::ir::Terminator`] minus the
+/// predicate, which is baked into the branch operation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TermKind {
+    /// Continue with the next block in layout order.
+    FallThrough,
+    /// Unconditional jump: always taken.
+    Jump {
+        /// Target block id.
+        target: u32,
+    },
+    /// Conditional branch.
+    CondBranch {
+        /// Target when taken.
+        taken: u32,
+        /// Probability of being taken (1/1000 units).
+        taken_permille: u16,
+    },
+    /// Function return: the simulator restarts at the entry block.
+    Return,
+}
+
+/// One block of scheduled, laid-out instructions.
+#[derive(Debug, Clone)]
+pub struct ScheduledBlock {
+    /// Instructions in issue order.
+    pub instrs: Vec<VliwInstruction>,
+    /// Byte address of each instruction.
+    pub addrs: Vec<u64>,
+    /// Terminator descriptor.
+    pub term: TermKind,
+}
+
+impl ScheduledBlock {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if the block has no instructions (never produced by the
+    /// pipeline, which pads empty blocks with a nop).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+/// Aggregate shape statistics of a program (diagnostics and calibration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramStats {
+    /// Static instruction count.
+    pub n_instrs: usize,
+    /// Static operation count.
+    pub n_ops: usize,
+    /// Static operations per instruction (schedule density).
+    pub ops_per_instr: f64,
+    /// Fraction of operations per cluster.
+    pub cluster_share: Vec<f64>,
+    /// Fraction of operations that are memory accesses.
+    pub mem_share: f64,
+    /// Fraction of operations that are multiplies.
+    pub mul_share: f64,
+    /// Code size in bytes.
+    pub code_bytes: u64,
+}
+
+/// A compiled, laid-out program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Program name (from the IR function).
+    pub name: String,
+    /// Blocks indexed by block id.
+    pub blocks: Vec<ScheduledBlock>,
+    /// Entry block id.
+    pub entry: u32,
+    /// Total code size in bytes.
+    pub code_bytes: u64,
+    /// Number of memory address streams the program references.
+    pub n_streams: u16,
+}
+
+impl Program {
+    /// Lay out `blocks` contiguously from address 0 and wrap into a program.
+    pub fn new(
+        name: String,
+        blocks: Vec<(Vec<VliwInstruction>, TermKind)>,
+        entry: u32,
+        n_streams: u16,
+    ) -> Program {
+        let mut laid = Vec::with_capacity(blocks.len());
+        let mut pc = 0u64;
+        for (instrs, term) in blocks {
+            let (addrs, end) = encode::layout_block(pc, &instrs);
+            pc = end;
+            laid.push(ScheduledBlock {
+                instrs,
+                addrs,
+                term,
+            });
+        }
+        Program {
+            name,
+            blocks: laid,
+            entry,
+            code_bytes: pc,
+            n_streams,
+        }
+    }
+
+    /// Compute shape statistics.
+    pub fn stats(&self, machine: &MachineConfig) -> ProgramStats {
+        let mut n_instrs = 0usize;
+        let mut n_ops = 0usize;
+        let mut per_cluster = vec![0usize; machine.n_clusters as usize];
+        let mut mem = 0usize;
+        let mut mul = 0usize;
+        for b in &self.blocks {
+            n_instrs += b.instrs.len();
+            for i in &b.instrs {
+                n_ops += i.n_ops();
+                for op in i.ops() {
+                    per_cluster[op.cluster as usize] += 1;
+                    match op.class() {
+                        OpClass::Mem => mem += 1,
+                        OpClass::Mul => mul += 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        let denom = n_ops.max(1) as f64;
+        ProgramStats {
+            n_instrs,
+            n_ops,
+            ops_per_instr: n_ops as f64 / n_instrs.max(1) as f64,
+            cluster_share: per_cluster.iter().map(|&c| c as f64 / denom).collect(),
+            mem_share: mem as f64 / denom,
+            mul_share: mul as f64 / denom,
+            code_bytes: self.code_bytes,
+        }
+    }
+
+    /// Check program invariants (addresses monotone, targets valid, blocks
+    /// non-empty).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.blocks.is_empty() {
+            return Err("no blocks".into());
+        }
+        if self.entry as usize >= self.blocks.len() {
+            return Err("entry out of range".into());
+        }
+        let mut expected = 0u64;
+        for (bid, b) in self.blocks.iter().enumerate() {
+            if b.instrs.is_empty() {
+                return Err(format!("block {bid} empty"));
+            }
+            if b.instrs.len() != b.addrs.len() {
+                return Err(format!("block {bid}: addr/instr mismatch"));
+            }
+            for (i, &a) in b.addrs.iter().enumerate() {
+                if a != expected {
+                    return Err(format!("block {bid} instr {i}: address gap"));
+                }
+                expected += encode::encoded_size(&b.instrs[i]);
+            }
+            match b.term {
+                TermKind::Jump { target } | TermKind::CondBranch { taken: target, .. } => {
+                    if target as usize >= self.blocks.len() {
+                        return Err(format!("block {bid}: target {target} out of range"));
+                    }
+                }
+                TermKind::FallThrough => {
+                    if bid + 1 >= self.blocks.len() {
+                        return Err(format!("block {bid}: falls off the end"));
+                    }
+                }
+                TermKind::Return => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_isa::{InstrBuilder, Opcode, Operation};
+
+    fn instr(m: &MachineConfig, n: usize) -> VliwInstruction {
+        let mut b = InstrBuilder::new(m);
+        for c in 0..n {
+            b.push(Operation::new(Opcode::Add, (c % 4) as u8)).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn layout_is_contiguous_across_blocks() {
+        let m = MachineConfig::paper_baseline();
+        let p = Program::new(
+            "t".into(),
+            vec![
+                (vec![instr(&m, 2), instr(&m, 1)], TermKind::FallThrough),
+                (vec![instr(&m, 4)], TermKind::Return),
+            ],
+            0,
+            0,
+        );
+        p.validate().unwrap();
+        assert_eq!(p.blocks[0].addrs, vec![0, 8]);
+        assert_eq!(p.blocks[1].addrs, vec![12]);
+        assert_eq!(p.code_bytes, 28);
+    }
+
+    #[test]
+    fn stats_reflect_shape() {
+        let m = MachineConfig::paper_baseline();
+        let p = Program::new(
+            "t".into(),
+            vec![(vec![instr(&m, 4), instr(&m, 2)], TermKind::Return)],
+            0,
+            0,
+        );
+        let s = p.stats(&m);
+        assert_eq!(s.n_instrs, 2);
+        assert_eq!(s.n_ops, 6);
+        assert!((s.ops_per_instr - 3.0).abs() < 1e-12);
+        assert_eq!(s.mem_share, 0.0);
+    }
+
+    #[test]
+    fn validate_catches_bad_targets() {
+        let m = MachineConfig::paper_baseline();
+        let p = Program::new(
+            "t".into(),
+            vec![(vec![instr(&m, 1)], TermKind::Jump { target: 5 })],
+            0,
+            0,
+        );
+        assert!(p.validate().is_err());
+    }
+}

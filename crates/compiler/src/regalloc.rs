@@ -1,0 +1,112 @@
+//! Physical register binding.
+//!
+//! After cluster assignment every virtual register has a home cluster; this
+//! pass binds each to a physical index in that cluster's file. The binding
+//! is a deterministic round-robin per cluster: realistic enough for code
+//! layout and I-cache behaviour (register numbers do not influence timing
+//! in the simulator), with wraparound when a file's supply is exhausted.
+//! True spilling is out of scope and recorded as a statistic so workloads
+//! staying under pressure can assert on it.
+
+use crate::cluster::ClusteredFunction;
+use vliw_isa::{MachineConfig, Reg};
+
+/// Result of register binding.
+#[derive(Debug, Clone)]
+pub struct RegAssignment {
+    /// Physical register per virtual register id.
+    pub map: Vec<Reg>,
+    /// How many vregs were bound per cluster (pressure proxy).
+    pub per_cluster: Vec<u32>,
+    /// Vregs that wrapped around an exhausted file (would-be spills).
+    pub wraparounds: u32,
+}
+
+/// Bind every virtual register of `func` to a physical register.
+pub fn allocate(machine: &MachineConfig, func: &ClusteredFunction) -> RegAssignment {
+    let regs = machine.regs_per_cluster;
+    let mut next: Vec<u16> = vec![0; machine.n_clusters as usize];
+    let mut per_cluster: Vec<u32> = vec![0; machine.n_clusters as usize];
+    let mut wraparounds = 0u32;
+    let mut map = Vec::with_capacity(func.n_vregs as usize);
+    for v in 0..func.n_vregs {
+        let cluster = func.vreg_home[v as usize];
+        let c = cluster as usize;
+        let idx = next[c];
+        next[c] = (next[c] + 1) % regs;
+        if per_cluster[c] >= u32::from(regs) {
+            wraparounds += 1;
+        }
+        per_cluster[c] += 1;
+        map.push(Reg::new(cluster, idx));
+    }
+    RegAssignment {
+        map,
+        per_cluster,
+        wraparounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::assign_clusters;
+    use crate::ir::{IrBlock, IrFunction, IrOp, Terminator, VirtReg};
+    use vliw_isa::{MachineConfig, Opcode};
+
+    #[test]
+    fn binds_to_home_cluster() {
+        let mut f = IrFunction::new("ra");
+        for _ in 0..9 {
+            f.fresh_vreg();
+        }
+        let ops: Vec<IrOp> = (0..8)
+            .map(|i| IrOp::new(Opcode::Add).dst(VirtReg(i + 1)).imm(i as i32))
+            .collect();
+        f.push_block(IrBlock::new(ops).with_term(Terminator::Return));
+        let m = MachineConfig::paper_baseline();
+        let cf = assign_clusters(&m, &f);
+        let ra = allocate(&m, &cf);
+        assert_eq!(ra.map.len(), cf.n_vregs as usize);
+        for v in 0..cf.n_vregs {
+            assert_eq!(ra.map[v as usize].cluster, cf.vreg_home[v as usize]);
+        }
+        assert_eq!(ra.wraparounds, 0);
+    }
+
+    #[test]
+    fn wraparound_detected_under_pressure() {
+        let mut f = IrFunction::new("pressure");
+        for _ in 0..200 {
+            f.fresh_vreg();
+        }
+        // A long chain keeps everything on one cluster: 199 defs on a
+        // 64-register file must wrap.
+        let ops: Vec<IrOp> = (0..199)
+            .map(|i| IrOp::new(Opcode::Add).dst(VirtReg(i + 1)).srcs(&[VirtReg(i)]))
+            .collect();
+        f.push_block(IrBlock::new(ops).with_term(Terminator::Return));
+        let m = MachineConfig::paper_baseline();
+        let cf = assign_clusters(&m, &f);
+        let ra = allocate(&m, &cf);
+        assert!(ra.wraparounds > 0);
+    }
+
+    #[test]
+    fn indices_stay_in_file_bounds() {
+        let mut f = IrFunction::new("bounds");
+        for _ in 0..100 {
+            f.fresh_vreg();
+        }
+        let ops: Vec<IrOp> = (0..99)
+            .map(|i| IrOp::new(Opcode::Add).dst(VirtReg(i + 1)).imm(i as i32))
+            .collect();
+        f.push_block(IrBlock::new(ops).with_term(Terminator::Return));
+        let m = MachineConfig::paper_baseline();
+        let cf = assign_clusters(&m, &f);
+        let ra = allocate(&m, &cf);
+        for r in &ra.map {
+            assert!(r.index < m.regs_per_cluster);
+        }
+    }
+}

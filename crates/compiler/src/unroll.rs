@@ -1,0 +1,196 @@
+//! Loop unrolling — the ILP-exposure pass standing in for trace scheduling.
+//!
+//! The Multiflow/VEX compiler exposes ILP across branches with trace
+//! scheduling; the dominant effect on loop-heavy media code is that several
+//! iterations of the hot loop end up in one scheduling region. Plain
+//! unrolling of self-loops reproduces that effect: the body is replicated
+//! `factor` times with register renaming, loop-carried values flow between
+//! copies, and the backedge probability is rescaled so the *total iteration
+//! count* is preserved:
+//!
+//! With per-iteration backedge probability `p`, expected trips are
+//! `1/(1-p)`; executing `U` iterations per unrolled pass needs
+//! `1/(1-p') = 1/(U(1-p))`, i.e. `p' = 1 - U(1-p)`.
+
+use crate::ir::{IrFunction, IrOp, Terminator, VirtReg};
+use std::collections::HashMap;
+
+/// Unroll every self-loop block of `func` by up to `factor`, renaming
+/// registers between copies. Blocks that are not self-loops, loops with
+/// low backedge probability (< 0.5), or a factor of 1 are left untouched.
+pub fn unroll_self_loops(func: &IrFunction, factor: u32) -> IrFunction {
+    if factor <= 1 {
+        return func.clone();
+    }
+    let mut out = func.clone();
+    for bid in 0..out.blocks.len() {
+        let (taken, permille, pred) = match out.blocks[bid].term {
+            Terminator::CondBranch {
+                taken,
+                taken_permille,
+                pred,
+            } => (taken, taken_permille, pred),
+            _ => continue,
+        };
+        if taken as usize != bid || permille < 500 {
+            continue;
+        }
+        // Cap the factor so the rescaled probability stays >= 0.
+        let fail = 1000 - u32::from(permille); // per-iteration exit weight
+        let max_factor = if fail == 0 { factor } else { (1000 / fail).max(1) };
+        let u = factor.min(max_factor);
+        if u <= 1 {
+            continue;
+        }
+
+        let body = out.blocks[bid].ops.clone();
+        let mut ops: Vec<IrOp> = Vec::with_capacity(body.len() * u as usize);
+        // rename[orig] = current name of the value (def from latest copy).
+        let mut rename: HashMap<u32, VirtReg> = HashMap::new();
+        let mut cur_pred = pred;
+        for copy in 0..u {
+            for op in &body {
+                let mut new_op = op.clone();
+                for s in new_op.srcs.iter_mut() {
+                    if let Some(r) = *s {
+                        if let Some(&nr) = rename.get(&r.0) {
+                            *s = Some(nr);
+                        }
+                    }
+                }
+                if let Some(d) = new_op.dst {
+                    if copy + 1 < u || true {
+                        // Fresh name for every def; the final copy's names
+                        // feed the next unrolled pass via the rename of the
+                        // loop-carried uses *within this pass* only — the
+                        // next pass reads the original names, which is
+                        // conservative (a loop-carried dependence into the
+                        // first copy) and keeps the IR valid without phi
+                        // nodes.
+                        let fresh = VirtReg(out.n_vregs);
+                        out.n_vregs += 1;
+                        rename.insert(d.0, fresh);
+                        new_op.dst = Some(fresh);
+                        if Some(d) == cur_pred {
+                            cur_pred = Some(fresh);
+                        }
+                    }
+                }
+                ops.push(new_op);
+            }
+        }
+        let new_permille = (1000 - (u * fail).min(1000)) as u16;
+        out.blocks[bid].ops = ops;
+        out.blocks[bid].term = Terminator::CondBranch {
+            taken,
+            taken_permille: new_permille,
+            pred: cur_pred,
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::IrBlock;
+    use vliw_isa::Opcode;
+
+    fn v(i: u32) -> VirtReg {
+        VirtReg(i)
+    }
+
+    fn loop_fn(permille: u16) -> IrFunction {
+        let mut f = IrFunction::new("loop");
+        for _ in 0..4 {
+            f.fresh_vreg();
+        }
+        let s = f.fresh_stream();
+        let body = vec![
+            IrOp::new(Opcode::Ldw).dst(v(1)).srcs(&[v(0)]).mem(s, false),
+            IrOp::new(Opcode::Add).dst(v(2)).srcs(&[v(1), v(2)]),
+            IrOp::new(Opcode::CmpLt).dst(v(3)).srcs(&[v(2), v(0)]),
+        ];
+        f.push_block(IrBlock::new(body).with_term(Terminator::CondBranch {
+            taken: 0,
+            taken_permille: permille,
+            pred: Some(v(3)),
+        }));
+        f.push_block(IrBlock::new(vec![]).with_term(Terminator::Return));
+        f.validate().unwrap();
+        f
+    }
+
+    #[test]
+    fn unrolls_and_rescales_probability() {
+        let f = loop_fn(990); // ~100 iterations
+        let u = unroll_self_loops(&f, 4);
+        u.validate().unwrap();
+        assert_eq!(u.blocks[0].ops.len(), 12);
+        match u.blocks[0].term {
+            Terminator::CondBranch { taken_permille, .. } => {
+                assert_eq!(taken_permille, 1000 - 4 * 10);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn defs_renamed_between_copies() {
+        let f = loop_fn(990);
+        let u = unroll_self_loops(&f, 2);
+        u.validate().unwrap();
+        let defs: Vec<u32> = u.blocks[0]
+            .ops
+            .iter()
+            .filter_map(|o| o.dst.map(|d| d.0))
+            .collect();
+        let mut dedup = defs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(defs.len(), dedup.len(), "every def gets a fresh name");
+        // The second copy's load address still reads the loop-carried %0.
+        assert_eq!(u.blocks[0].ops[3].srcs[0], Some(v(0)));
+        // The second copy's add reads the first copy's renamed %2.
+        let first_add_dst = u.blocks[0].ops[1].dst.unwrap();
+        assert_eq!(u.blocks[0].ops[4].srcs[1], Some(first_add_dst));
+    }
+
+    #[test]
+    fn factor_capped_by_trip_count() {
+        let f = loop_fn(750); // 4 iterations expected
+        let u = unroll_self_loops(&f, 16);
+        // fail = 250 -> max factor 4.
+        assert_eq!(u.blocks[0].ops.len(), 12);
+        match u.blocks[0].term {
+            Terminator::CondBranch { taken_permille, .. } => {
+                assert_eq!(taken_permille, 0);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn non_loops_untouched() {
+        let mut f = IrFunction::new("nl");
+        f.fresh_vreg();
+        f.push_block(IrBlock::new(vec![IrOp::new(Opcode::Mov).dst(v(0)).imm(1)]));
+        f.push_block(IrBlock::new(vec![]).with_term(Terminator::Return));
+        let u = unroll_self_loops(&f, 8);
+        assert_eq!(u.blocks[0].ops.len(), 1);
+    }
+
+    #[test]
+    fn low_probability_loops_untouched() {
+        let f = loop_fn(300);
+        let u = unroll_self_loops(&f, 8);
+        assert_eq!(u.blocks[0].ops.len(), 3);
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let f = loop_fn(990);
+        let u = unroll_self_loops(&f, 1);
+        assert_eq!(u, f);
+    }
+}

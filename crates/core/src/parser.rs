@@ -1,0 +1,210 @@
+//! Parser for the paper's scheme-naming grammar.
+//!
+//! Grammar (paper §4.1): the leading digit is the number of cascade levels;
+//! each following letter is the merge kind at that level (`S` = SMT,
+//! `C` = CSMT); a digit subscript after a `C` denotes a *parallel* CSMT
+//! block merging that many operands at once. Special forms:
+//!
+//! * `ST` — single thread, no merge network;
+//! * `1S` / `1C` — 2-thread SMT / CSMT;
+//! * `C4` (generally `C<n>`) — one parallel CSMT block over all threads;
+//! * two-letter `2XY` names — balanced trees over 4 threads: both pairs
+//!   merge with `X`, the pair results merge with `Y` (figures 8(l)–8(o)).
+//!
+//! Cascade names generalize to any thread count (`5SCCCC` is a valid
+//! 6-thread extension scheme); tree names are 4-thread only, as in the
+//! paper.
+
+use crate::catalog;
+use crate::scheme::{MergeKind, MergeScheme, SchemeError, SchemeNode};
+
+/// Parse a scheme name.
+///
+/// Accepts every name used in the paper (`3SCC`, `2SC3`, `C4`, `1S`, `2CS`,
+/// ...) plus the natural generalizations described in the module docs.
+pub fn parse(name: &str) -> Result<MergeScheme, SchemeError> {
+    let name = name.trim();
+    if name.is_empty() {
+        return Err(SchemeError::Parse("empty name".into()));
+    }
+    if name.eq_ignore_ascii_case("ST") {
+        return Ok(MergeScheme::single_thread());
+    }
+    // C<n>: single parallel CSMT block.
+    if let Some(rest) = name.strip_prefix('C') {
+        if let Ok(n) = rest.parse::<u8>() {
+            if n < 2 || n as usize > crate::MAX_PORTS {
+                return Err(SchemeError::Parse(format!(
+                    "C{n}: thread count out of range"
+                )));
+            }
+            return Ok(catalog::csmt_parallel(n));
+        }
+    }
+    let mut chars = name.chars().peekable();
+    let levels: u32 = {
+        let mut digits = String::new();
+        while let Some(c) = chars.peek() {
+            if c.is_ascii_digit() {
+                digits.push(*c);
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        digits
+            .parse()
+            .map_err(|_| SchemeError::Parse(format!("{name}: missing level count")))?
+    };
+    // Tokenize: letter with optional numeric subscript.
+    let mut tokens: Vec<(MergeKind, Option<u8>)> = Vec::new();
+    while let Some(c) = chars.next() {
+        let kind = match c.to_ascii_uppercase() {
+            'S' => MergeKind::Smt,
+            'C' => MergeKind::Csmt,
+            other => {
+                return Err(SchemeError::Parse(format!(
+                    "{name}: unexpected character '{other}'"
+                )))
+            }
+        };
+        let mut sub = String::new();
+        while let Some(d) = chars.peek() {
+            if d.is_ascii_digit() {
+                sub.push(*d);
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        let sub = if sub.is_empty() {
+            None
+        } else {
+            Some(
+                sub.parse::<u8>()
+                    .map_err(|_| SchemeError::Parse(format!("{name}: bad subscript")))?,
+            )
+        };
+        if sub.is_some() && kind == MergeKind::Smt {
+            return Err(SchemeError::ParallelSmt);
+        }
+        tokens.push((kind, sub));
+    }
+    if tokens.is_empty() {
+        return Err(SchemeError::Parse(format!("{name}: no merge letters")));
+    }
+    if tokens.len() != levels as usize {
+        return Err(SchemeError::Parse(format!(
+            "{name}: {} letters but {levels} levels",
+            tokens.len()
+        )));
+    }
+
+    // Balanced-tree form: exactly two plain letters with leading 2 and no
+    // subscripts — the paper's 2CC/2CS/2SC/2SS.
+    if levels == 2 && tokens.len() == 2 && tokens.iter().all(|(_, s)| s.is_none()) {
+        let (pair, _) = tokens[0];
+        let (top, _) = tokens[1];
+        return Ok(catalog::tree4(name, pair, top));
+    }
+
+    // Cascade form (with optional parallel-CSMT star steps).
+    let mut next_port = 0u8;
+    let mut take_port = |err_name: &str| -> Result<SchemeNode, SchemeError> {
+        if next_port as usize >= crate::MAX_PORTS {
+            return Err(SchemeError::Parse(format!(
+                "{err_name}: more than {} threads",
+                crate::MAX_PORTS
+            )));
+        }
+        let p = SchemeNode::Port(next_port);
+        next_port += 1;
+        Ok(p)
+    };
+
+    let mut acc: Option<SchemeNode> = None;
+    for (kind, sub) in tokens {
+        let arity = sub.unwrap_or(2);
+        if arity < 2 {
+            return Err(SchemeError::Parse(format!(
+                "{name}: subscript must be >= 2"
+            )));
+        }
+        let mut children = Vec::with_capacity(arity as usize);
+        match acc.take() {
+            Some(a) => {
+                children.push(a);
+                for _ in 1..arity {
+                    children.push(take_port(name)?);
+                }
+            }
+            None => {
+                for _ in 0..arity {
+                    children.push(take_port(name)?);
+                }
+            }
+        }
+        acc = Some(SchemeNode::Merge {
+            kind,
+            parallel: sub.is_some(),
+            children,
+        });
+    }
+    MergeScheme::new(name, acc.expect("at least one token"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_paper_name() {
+        for name in catalog::paper_scheme_names() {
+            let parsed = parse(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let reference = catalog::by_name(name).unwrap();
+            assert_eq!(parsed, reference, "{name}");
+        }
+        assert_eq!(parse("ST").unwrap(), MergeScheme::single_thread());
+    }
+
+    #[test]
+    fn parses_star_subscripts() {
+        let s = parse("2SC3").unwrap();
+        assert_eq!(s, catalog::scheme_2sc3());
+        let s = parse("2C3S").unwrap();
+        assert_eq!(s, catalog::scheme_2c3s());
+    }
+
+    #[test]
+    fn cascade_generalizes_beyond_four_threads() {
+        let s = parse("5SCCCC").unwrap();
+        assert_eq!(s.n_ports(), 6);
+        assert_eq!(s.smt_blocks(), 1);
+        assert_eq!(s.csmt_blocks(), 4);
+        let s = parse("7CCCCCCC").unwrap();
+        assert_eq!(s.n_ports(), 8);
+    }
+
+    #[test]
+    fn parallel_csmt_form() {
+        let s = parse("C8").unwrap();
+        assert_eq!(s.n_ports(), 8);
+        assert!(parse("C1").is_err());
+        assert!(parse("C9").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("3SXC").is_err());
+        assert!(parse("4SC").is_err()); // level/letter mismatch
+        assert!(parse("2S3C").is_err()); // parallel SMT
+        assert!(parse("42").is_err());
+    }
+
+    #[test]
+    fn level_count_must_match() {
+        assert!(parse("2SCC").is_err());
+        assert!(parse("3SC").is_err());
+    }
+}

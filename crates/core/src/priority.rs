@@ -1,0 +1,154 @@
+//! Thread-to-port priority rotation.
+//!
+//! The scheme's port 0 is the *anchor*: its thread always issues when ready.
+//! Left as a fixed assignment this would starve high-numbered threads, so —
+//! as in the CSMT work the paper builds on — the hardware rotates the
+//! thread→port mapping. Three policies are provided; round-robin is the
+//! default used by the paper reproduction, the others exist for the
+//! ablation benches.
+
+/// How the thread→port mapping evolves over time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PriorityPolicy {
+    /// Never rotate: thread i is always port i. Starves late threads.
+    Fixed,
+    /// Rotate the mapping by one position every cycle.
+    RoundRobin,
+    /// Threads that issued move behind threads that did not (least
+    /// recently *served* first), preserving relative order otherwise.
+    LeastRecentlyIssued,
+}
+
+/// Maintains the thread→port permutation for one core.
+#[derive(Debug, Clone)]
+pub struct PriorityRotator {
+    policy: PriorityPolicy,
+    /// `order[port] = hardware thread occupying that port`.
+    order: Vec<u8>,
+    scratch: Vec<u8>,
+}
+
+impl PriorityRotator {
+    /// Identity mapping over `n_threads` threads under `policy`.
+    pub fn new(policy: PriorityPolicy, n_threads: u8) -> Self {
+        assert!(n_threads >= 1 && n_threads as usize <= crate::MAX_PORTS);
+        PriorityRotator {
+            policy,
+            order: (0..n_threads).collect(),
+            scratch: Vec::with_capacity(n_threads as usize),
+        }
+    }
+
+    /// Current mapping: `order()[port]` is the hardware thread at `port`.
+    #[inline]
+    pub fn order(&self) -> &[u8] {
+        &self.order
+    }
+
+    /// Hardware thread occupying `port`.
+    #[inline]
+    pub fn thread_at(&self, port: u8) -> u8 {
+        self.order[port as usize]
+    }
+
+    /// Translate a port bitmask (as produced by the merge network) into a
+    /// hardware-thread bitmask.
+    pub fn ports_to_threads(&self, port_mask: u8) -> u8 {
+        let mut out = 0u8;
+        let mut m = port_mask;
+        while m != 0 {
+            let port = m.trailing_zeros() as u8;
+            out |= 1 << self.order[port as usize];
+            m &= m - 1;
+        }
+        out
+    }
+
+    /// Advance the mapping after a cycle in which `issued_threads` (hardware
+    /// thread bitmask) issued.
+    pub fn advance(&mut self, issued_threads: u8) {
+        match self.policy {
+            PriorityPolicy::Fixed => {}
+            PriorityPolicy::RoundRobin => {
+                self.order.rotate_left(1);
+            }
+            PriorityPolicy::LeastRecentlyIssued => {
+                self.scratch.clear();
+                self.scratch
+                    .extend(self.order.iter().copied().filter(|t| issued_threads & (1 << t) == 0));
+                self.scratch
+                    .extend(self.order.iter().copied().filter(|t| issued_threads & (1 << t) != 0));
+                std::mem::swap(&mut self.order, &mut self.scratch);
+            }
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> PriorityPolicy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_never_moves() {
+        let mut r = PriorityRotator::new(PriorityPolicy::Fixed, 4);
+        r.advance(0b1111);
+        r.advance(0b0001);
+        assert_eq!(r.order(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut r = PriorityRotator::new(PriorityPolicy::RoundRobin, 4);
+        assert_eq!(r.thread_at(0), 0);
+        r.advance(0);
+        assert_eq!(r.order(), &[1, 2, 3, 0]);
+        r.advance(0);
+        r.advance(0);
+        r.advance(0);
+        assert_eq!(r.order(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn lri_moves_issued_to_back() {
+        let mut r = PriorityRotator::new(PriorityPolicy::LeastRecentlyIssued, 4);
+        // Threads 0 and 2 issue: they go behind 1 and 3.
+        r.advance(0b0101);
+        assert_eq!(r.order(), &[1, 3, 0, 2]);
+        // Nobody issues: order unchanged.
+        r.advance(0);
+        assert_eq!(r.order(), &[1, 3, 0, 2]);
+        // Thread 1 issues.
+        r.advance(0b0010);
+        assert_eq!(r.order(), &[3, 0, 2, 1]);
+    }
+
+    #[test]
+    fn ports_to_threads_translates() {
+        let mut r = PriorityRotator::new(PriorityPolicy::RoundRobin, 4);
+        r.advance(0); // order = [1,2,3,0]
+        // Ports 0 and 3 issued -> threads 1 and 0.
+        assert_eq!(r.ports_to_threads(0b1001), 0b0011);
+    }
+
+    #[test]
+    fn permutation_invariant() {
+        for policy in [
+            PriorityPolicy::Fixed,
+            PriorityPolicy::RoundRobin,
+            PriorityPolicy::LeastRecentlyIssued,
+        ] {
+            let mut r = PriorityRotator::new(policy, 4);
+            for mask in 0..16u8 {
+                r.advance(mask);
+                let mut sorted: Vec<u8> = r.order().to_vec();
+                sorted.sort_unstable();
+                assert_eq!(sorted, vec![0, 1, 2, 3], "{policy:?}");
+            }
+        }
+    }
+}

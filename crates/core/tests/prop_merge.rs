@@ -1,0 +1,240 @@
+//! Property tests for the merge-scheme evaluator.
+//!
+//! Pinned invariants:
+//! * issued threads are always a subset of ready threads, and the anchor
+//!   (highest-priority ready port) always issues;
+//! * merged packets never exceed machine capacities;
+//! * serial and parallel CSMT implementations are functionally identical
+//!   (paper §3) — `3CCC` ≡ `C4`, `3SCC` ≡ `2SC3`, `3CCS` ≡ `2C3S`;
+//! * whatever CSMT merges, SMT merges too (cluster disjointness implies
+//!   operation-level compatibility);
+//! * the SMT counting check is exact: a validated merge can always be
+//!   routed onto concrete slots, a rejected pair never can.
+
+use proptest::prelude::*;
+use vliw_core::{catalog, routing, MergeEvaluator, PortInput};
+use vliw_isa::{
+    InstrBuilder, InstrSignature, MachineConfig, Opcode, Operation, ResourceCaps,
+};
+
+/// Random instruction on the paper machine: a bag of opcodes over clusters,
+/// built through the checked builder (overflowing ops are dropped).
+fn arb_instr() -> impl Strategy<Value = vliw_isa::VliwInstruction> {
+    let opcode = prop_oneof![
+        Just(Opcode::Add),
+        Just(Opcode::Sub),
+        Just(Opcode::Shl),
+        Just(Opcode::Mov),
+        Just(Opcode::Mpy),
+        Just(Opcode::Mpyl),
+        Just(Opcode::Ldw),
+        Just(Opcode::Stw),
+        Just(Opcode::Goto),
+    ];
+    prop::collection::vec((0u8..4, opcode), 0..10).prop_map(|ops| {
+        let m = MachineConfig::paper_baseline();
+        let mut b = InstrBuilder::new(&m);
+        for (cluster, opc) in ops {
+            let _ = b.push(Operation::new(opc, cluster));
+        }
+        b.build()
+    })
+}
+
+fn arb_inputs() -> impl Strategy<Value = Vec<PortInput>> {
+    prop::collection::vec(
+        (arb_instr(), any::<bool>()).prop_map(|(i, ready)| PortInput {
+            sig: i.signature(),
+            ready,
+        }),
+        4,
+    )
+}
+
+fn evaluator() -> MergeEvaluator {
+    MergeEvaluator::new(&MachineConfig::paper_baseline())
+}
+
+proptest! {
+    #[test]
+    fn issued_subset_of_ready_and_anchor_issues(inputs in arb_inputs()) {
+        let ev = evaluator();
+        let ready_mask: u8 = inputs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.ready)
+            .fold(0, |m, (i, _)| m | (1 << i));
+        for scheme in catalog::paper_schemes() {
+            if scheme.n_ports() != 4 { continue; }
+            let compiled = scheme.compile();
+            let out = ev.evaluate(&compiled, &inputs);
+            prop_assert_eq!(out.issued_ports & !ready_mask, 0,
+                "{}: issued non-ready port", scheme.name());
+            if ready_mask != 0 {
+                let anchor = ready_mask.trailing_zeros() as u8;
+                prop_assert!(out.issued_ports & (1 << anchor) != 0,
+                    "{}: anchor port {} did not issue", scheme.name(), anchor);
+            } else {
+                prop_assert_eq!(out.issued_ports, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn packets_respect_capacities(inputs in arb_inputs()) {
+        let m = MachineConfig::paper_baseline();
+        let caps = ResourceCaps::of(&m);
+        let ev = evaluator();
+        for scheme in catalog::paper_schemes() {
+            if scheme.n_ports() != 4 { continue; }
+            let out = ev.evaluate(&scheme.compile(), &inputs);
+            prop_assert!(!out.packet.res.exceeds(&caps),
+                "{}: packet exceeds class capacities", scheme.name());
+            for c in 0..m.n_clusters {
+                prop_assert!(out.packet.res.cluster_total(c) <= u32::from(m.issue_per_cluster),
+                    "{}: cluster {} over-subscribed", scheme.name(), c);
+            }
+        }
+    }
+
+    /// Paper §3/§4.1: parallel CSMT is functionally equivalent to the
+    /// serial cascade, so these scheme pairs produce identical outcomes on
+    /// every input.
+    #[test]
+    fn serial_parallel_equivalences(inputs in arb_inputs()) {
+        let ev = evaluator();
+        let pairs = [("3CCC", "C4"), ("3SCC", "2SC3"), ("3CCS", "2C3S")];
+        for (a, b) in pairs {
+            let sa = catalog::by_name(a).unwrap().compile();
+            let sb = catalog::by_name(b).unwrap().compile();
+            let oa = ev.evaluate(&sa, &inputs);
+            let ob = ev.evaluate(&sb, &inputs);
+            prop_assert_eq!(oa, ob, "{} != {}", a, b);
+        }
+    }
+
+    /// Anything CSMT can merge, SMT can merge — *pairwise*: whenever two
+    /// instructions use disjoint clusters, the operation-level check also
+    /// passes. (The whole-cascade analogue is false: greedy selections are
+    /// not pointwise monotone — SMT may accept an early wide thread that
+    /// blocks a later one CSMT would have taken.)
+    #[test]
+    fn csmt_mergeable_implies_smt_mergeable(a in arb_instr(), b in arb_instr()) {
+        let m = MachineConfig::paper_baseline();
+        let caps = ResourceCaps::of(&m);
+        let (sa, sb) = (a.signature(), b.signature());
+        if sa.cluster_disjoint(sb) {
+            prop_assert!(sa.smt_compatible(sb, &caps),
+                "disjoint clusters must be SMT-mergeable: {} | {}", sa, sb);
+        }
+        // And the 2-thread schemes agree with the pairwise checks.
+        let ev = evaluator();
+        let smt2 = catalog::smt_cascade(2).compile();
+        let csmt2 = catalog::csmt_serial(2).compile();
+        let inp = [PortInput::ready(sa), PortInput::ready(sb)];
+        let o_s = ev.evaluate(&smt2, &inp);
+        let o_c = ev.evaluate(&csmt2, &inp);
+        prop_assert_eq!(o_c.issued_ports & !o_s.issued_ports, 0,
+            "2-thread CSMT issued something 2-thread SMT refused");
+    }
+
+    /// The counting check is exact: a pair accepted by `smt_compatible`
+    /// always routes onto concrete slots; a rejected pair never does.
+    #[test]
+    fn smt_check_iff_routable(a in arb_instr(), b in arb_instr()) {
+        let m = MachineConfig::paper_baseline();
+        let caps = ResourceCaps::of(&m);
+        let compatible = a.signature().smt_compatible(b.signature(), &caps);
+        let routed = routing::route_packet(&m, &[(0, &a), (1, &b)]);
+        prop_assert_eq!(compatible, routed.is_ok(),
+            "counting check and routing disagree: a={} b={}",
+            a.signature(), b.signature());
+        if let Ok(routed) = routed {
+            let sig = routing::packet_signature(&routed);
+            prop_assert_eq!(sig, a.signature().merged_with(b.signature()));
+        }
+    }
+
+    /// Scheme evaluation is a pure function: same inputs, same outcome.
+    #[test]
+    fn evaluation_is_deterministic(inputs in arb_inputs()) {
+        let ev = evaluator();
+        for scheme in [catalog::by_name("2SC3").unwrap(), catalog::by_name("2SS").unwrap()] {
+            let c = scheme.compile();
+            prop_assert_eq!(ev.evaluate(&c, &inputs), ev.evaluate(&c, &inputs));
+        }
+    }
+
+    /// Issuing alone: with only one ready port, every scheme issues exactly
+    /// that port and the packet equals its signature.
+    #[test]
+    fn single_ready_port_passes_through(instr in arb_instr(), which in 0u8..4) {
+        let ev = evaluator();
+        let mut inputs = vec![PortInput::stalled(); 4];
+        inputs[which as usize] = PortInput::ready(instr.signature());
+        for scheme in catalog::paper_schemes() {
+            if scheme.n_ports() != 4 { continue; }
+            let out = ev.evaluate(&scheme.compile(), &inputs);
+            prop_assert_eq!(out.issued_ports, 1 << which, "{}", scheme.name());
+            prop_assert_eq!(out.packet, instr.signature(), "{}", scheme.name());
+        }
+    }
+}
+
+/// Exhaustive mini-model check on tiny signatures: every 4-thread scheme's
+/// issued set, compared against a direct tree interpreter, for all 3^4
+/// single-cluster usage combinations.
+#[test]
+fn exhaustive_tiny_model() {
+    let m = MachineConfig::paper_baseline();
+    let ev = MergeEvaluator::new(&m);
+    // Each thread uses cluster 0, cluster 1, or is stalled.
+    let mk = |choice: u8| -> PortInput {
+        match choice {
+            0 => PortInput::stalled(),
+            c => {
+                let mut res = vliw_isa::ResourceVec::zero();
+                res.bump(c - 1, vliw_isa::OpClass::Alu);
+                PortInput::ready(InstrSignature {
+                    res,
+                    clusters: 1 << (c - 1),
+                    n_ops: 1,
+                })
+            }
+        }
+    };
+    for combo in 0..81u32 {
+        let choices = [
+            (combo % 3) as u8,
+            ((combo / 3) % 3) as u8,
+            ((combo / 9) % 3) as u8,
+            ((combo / 27) % 3) as u8,
+        ];
+        let inputs: Vec<PortInput> = choices.iter().map(|&c| mk(c)).collect();
+        // CSMT serial cascade reference: greedily add threads with disjoint
+        // cluster usage.
+        let mut used = 0u8;
+        let mut expect = 0u8;
+        for (i, &c) in choices.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let mask = 1u8 << (c - 1);
+            if used & mask == 0 {
+                used |= mask;
+                expect |= 1 << i;
+            }
+        }
+        let out = ev.evaluate(&catalog::csmt_serial(4).compile(), &inputs);
+        assert_eq!(out.issued_ports, expect, "combo {choices:?}");
+        // SMT merges everything that is ready here (ALU counts of 1 or 2
+        // per cluster always fit a 4-wide cluster).
+        let ready: u8 = choices
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .fold(0, |m, (i, _)| m | (1 << i));
+        let out = ev.evaluate(&catalog::smt_cascade(4).compile(), &inputs);
+        assert_eq!(out.issued_ports, ready, "combo {choices:?}");
+    }
+}

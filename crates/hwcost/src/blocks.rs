@@ -1,0 +1,391 @@
+//! The merge-control blocks as gate netlists.
+//!
+//! Terminology: a *selection state* is what flows between blocks —
+//!
+//! * for CSMT logic, the accumulated per-cluster usage bits (`M` signals);
+//! * for SMT logic, additionally the per-cluster per-class operation
+//!   counters (`M x 4` small counters plus an `M`-wide total counter).
+//!
+//! Every function appends gates to the shared [`Netlist`]; depths compose
+//! automatically through node dependencies.
+
+use crate::gates::{Gate, Netlist, NodeId};
+
+/// Counter width for per-class operation counts (issue widths <= 8).
+const CNT_BITS: usize = 2;
+/// Counter width for per-cluster totals.
+const TOT_BITS: usize = 3;
+
+/// Selection state flowing through a merge network.
+#[derive(Debug, Clone)]
+pub struct SelState {
+    /// Per-cluster usage bits.
+    pub usage: Vec<NodeId>,
+    /// Per-cluster, per-class count bits (present when an SMT block has
+    /// produced or consumed this state; lazily materialised otherwise).
+    pub counts: Option<Vec<NodeId>>,
+}
+
+impl SelState {
+    /// Fresh thread-input state: usage bits are primary inputs.
+    pub fn thread_input(net: &mut Netlist, m_clusters: u8) -> SelState {
+        SelState {
+            usage: (0..m_clusters).map(|_| net.input()).collect(),
+            counts: None,
+        }
+    }
+
+    /// Arrival depth of the state (max over its signals).
+    pub fn ready_depth(&self, net: &Netlist) -> u32 {
+        let u = self.usage.iter().map(|&n| net.depth_of(n)).max().unwrap_or(0);
+        let c = self
+            .counts
+            .iter()
+            .flatten()
+            .map(|&n| net.depth_of(n))
+            .max()
+            .unwrap_or(0);
+        u.max(c)
+    }
+
+    /// Materialise count signals (per cluster: 4 classes x CNT_BITS plus
+    /// TOT_BITS total). For thread inputs these are decoder outputs off the
+    /// instruction word (primary inputs); for CSMT-merged states they are
+    /// muxed from the member threads, costed here as one mux level per bit.
+    fn counts_or_materialize(&mut self, net: &mut Netlist, m_clusters: u8) -> Vec<NodeId> {
+        if let Some(c) = &self.counts {
+            return c.clone();
+        }
+        let bits_per_cluster = 4 * CNT_BITS + TOT_BITS;
+        let base = self.ready_depth(net);
+        let counts: Vec<NodeId> = (0..m_clusters as usize * bits_per_cluster)
+            .map(|_| {
+                if base == 0 {
+                    net.input()
+                } else {
+                    // Mux the member thread's counters through the
+                    // cluster-select lines decided so far.
+                    let sel = net.input_at(base);
+                    let a = net.input();
+                    net.gate(Gate::Mux2, &[sel, a])
+                }
+            })
+            .collect();
+        self.counts = Some(counts.clone());
+        counts
+    }
+}
+
+/// One serial CSMT stage: merge the accumulated state with one candidate.
+///
+/// Logic (paper §2.2 / [7]): per-cluster conflict ANDs, an OR-reduction to
+/// the stage conflict signal, an inverter for the accept line, and one
+/// AOI-style update per cluster usage bit.
+pub fn csmt_serial_stage(net: &mut Netlist, acc: &SelState, cand: &SelState) -> SelState {
+    let m = acc.usage.len();
+    let conflicts: Vec<NodeId> = (0..m)
+        .map(|c| net.gate(Gate::And2, &[acc.usage[c], cand.usage[c]]))
+        .collect();
+    let conflict = net.or_tree(&conflicts);
+    let accept = net.gate(Gate::Inv, &[conflict]);
+    let usage = (0..m)
+        .map(|c| net.gate(Gate::Aoi22, &[acc.usage[c], cand.usage[c], accept]))
+        .collect();
+    SelState {
+        usage,
+        counts: None,
+    }
+}
+
+/// Parallel CSMT block over `k` operands (the paper's `C_k`).
+///
+/// All `2^(k-1)` candidate selections containing the anchor are checked
+/// concurrently against the pairwise cluster-conflict matrix; a prefix
+/// priority network picks the greedy-equivalent winner and per-operand OR
+/// trees derive the accept lines. Functionally identical to the serial
+/// cascade; lower depth, exponentially more area.
+pub fn csmt_parallel(net: &mut Netlist, operands: &[SelState]) -> SelState {
+    let k = operands.len();
+    let m = operands[0].usage.len();
+    assert!(k >= 2);
+
+    // Pairwise conflict matrix.
+    let mut pair_ok: Vec<Vec<Option<NodeId>>> = vec![vec![None; k]; k];
+    for i in 0..k {
+        for j in i + 1..k {
+            let ands: Vec<NodeId> = (0..m)
+                .map(|c| net.gate(Gate::And2, &[operands[i].usage[c], operands[j].usage[c]]))
+                .collect();
+            let conflict = net.or_tree(&ands);
+            let ok = net.gate(Gate::Inv, &[conflict]);
+            pair_ok[i][j] = Some(ok);
+        }
+    }
+
+    // Validity of each candidate subset (anchor 0 always in).
+    let n_subsets = 1usize << (k - 1);
+    let mut valid = Vec::with_capacity(n_subsets);
+    for s in 0..n_subsets {
+        let members: Vec<usize> = std::iter::once(0)
+            .chain((1..k).filter(|&t| s & (1 << (t - 1)) != 0))
+            .collect();
+        let mut pair_bits = Vec::new();
+        for (ai, &a) in members.iter().enumerate() {
+            for &b in &members[ai + 1..] {
+                pair_bits.push(pair_ok[a][b].expect("pair precomputed"));
+            }
+        }
+        let v = if pair_bits.is_empty() {
+            // Singleton {anchor}: always valid (free).
+            net.input()
+        } else {
+            net.and_tree(&pair_bits)
+        };
+        valid.push(v);
+    }
+
+    // Priority: subsets ordered by the greedy cascade equivalence. A
+    // Kogge-Stone parallel prefix-OR (log depth, n log n gates) computes
+    // "some higher-priority subset is valid", then one inverter + AND per
+    // subset produces the win lines.
+    let mut prefix = valid.clone();
+    let mut gap = 1usize;
+    while gap < n_subsets {
+        let snapshot = prefix.clone();
+        for i in gap..n_subsets {
+            prefix[i] = net.gate(Gate::Or2, &[snapshot[i], snapshot[i - gap]]);
+        }
+        gap *= 2;
+    }
+    let mut wins = Vec::with_capacity(n_subsets);
+    for (i, &v) in valid.iter().enumerate() {
+        let w = if i == 0 {
+            v
+        } else {
+            let not_prev = net.gate(Gate::Inv, &[prefix[i - 1]]);
+            net.gate(Gate::And2, &[v, not_prev])
+        };
+        wins.push(w);
+    }
+
+    // Per-cluster usage of the winning selection: OR over winning subsets'
+    // member usages (modelled per cluster as an OR tree over k AND gates).
+    let usage: Vec<NodeId> = (0..m)
+        .map(|c| {
+            let per_thread: Vec<NodeId> = (0..k)
+                .map(|t| {
+                    // accept_t = OR of wins over subsets containing t —
+                    // approximate with a log-depth OR over half the subsets.
+                    let subset_sample: Vec<NodeId> = wins
+                        .iter()
+                        .copied()
+                        .take((n_subsets / 2).max(1))
+                        .collect();
+                    let accept = net.or_tree(&subset_sample);
+                    net.gate(Gate::And2, &[operands[t].usage[c], accept])
+                })
+                .collect();
+            net.or_tree(&per_thread)
+        })
+        .collect();
+
+    SelState {
+        usage,
+        counts: None,
+    }
+}
+
+/// Result of an SMT stage: the merged state plus the depth at which the
+/// stage's routing signals are ready (routing-signal generation starts once
+/// the accept decision is known and proceeds in parallel with downstream
+/// merge logic — the paper's explanation for `3SCC`'s low delay).
+pub struct SmtStageOut {
+    /// Merged selection state.
+    pub state: SelState,
+    /// Depth at which this stage's routing signals settle.
+    pub routing_done: u32,
+}
+
+/// One SMT (operation-level) merge stage.
+///
+/// Per cluster: per-class count adders + capacity comparators + a total
+/// comparator; a global conflict OR-reduce; accept inverter; counter update
+/// muxes; and the routing-signal generator (slot-allocation prefix matrix).
+pub fn smt_stage(
+    net: &mut Netlist,
+    acc: &mut SelState,
+    cand: &mut SelState,
+    m_clusters: u8,
+    issue_width: u8,
+) -> SmtStageOut {
+    let m = m_clusters as usize;
+    let w = issue_width as usize;
+    let acc_counts = acc.counts_or_materialize(net, m_clusters);
+    let cand_counts = cand.counts_or_materialize(net, m_clusters);
+    let bits_per_cluster = 4 * CNT_BITS + TOT_BITS;
+
+    let mut conflict_signals = Vec::new();
+    let mut summed: Vec<NodeId> = Vec::with_capacity(acc_counts.len());
+    for c in 0..m {
+        let base = c * bits_per_cluster;
+        // Four class counters.
+        for k in 0..4 {
+            let a = &acc_counts[base + k * CNT_BITS..base + (k + 1) * CNT_BITS];
+            let b = &cand_counts[base + k * CNT_BITS..base + (k + 1) * CNT_BITS];
+            let sum = net.adder(a, b);
+            let over = net.exceeds_const(&sum, 2);
+            conflict_signals.push(over);
+            summed.extend_from_slice(&sum[..CNT_BITS]);
+        }
+        // Cluster total counter.
+        let a = &acc_counts[base + 4 * CNT_BITS..base + bits_per_cluster];
+        let b = &cand_counts[base + 4 * CNT_BITS..base + bits_per_cluster];
+        let sum = net.adder(a, b);
+        let over = net.exceeds_const(&sum, issue_width);
+        conflict_signals.push(over);
+        summed.extend_from_slice(&sum[..TOT_BITS]);
+    }
+    let conflict = net.or_tree(&conflict_signals);
+    let accept = net.gate(Gate::Inv, &[conflict]);
+
+    // Counter/usage update muxes.
+    let counts: Vec<NodeId> = summed
+        .iter()
+        .map(|&s| net.gate(Gate::Mux2, &[accept, s]))
+        .collect();
+    let usage: Vec<NodeId> = (0..m)
+        .map(|c| net.gate(Gate::Aoi22, &[acc.usage[c], cand.usage[c], accept]))
+        .collect();
+
+    // Routing-signal generation: per cluster, a slot-allocation prefix
+    // network (w half-adders) plus the w x w selection matrix driving the
+    // routing block of Figure 2.
+    let mut routing_done = 0u32;
+    for c in 0..m {
+        let _ = c;
+        let mut prefix = accept;
+        for _ in 0..w.saturating_sub(1) {
+            prefix = net.gate(Gate::HalfAdder, &[prefix, accept]);
+        }
+        for _ in 0..w {
+            for _ in 0..w {
+                let g = net.gate(Gate::And2, &[prefix, accept]);
+                routing_done = routing_done.max(net.depth_of(g));
+            }
+        }
+    }
+
+    SmtStageOut {
+        state: SelState {
+            usage,
+            counts: Some(counts),
+        },
+        routing_done,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csmt_serial_stage_is_cheap_and_shallow() {
+        let mut net = Netlist::new();
+        let a = SelState::thread_input(&mut net, 4);
+        let b = SelState::thread_input(&mut net, 4);
+        let out = csmt_serial_stage(&mut net, &a, &b);
+        assert!(net.transistors() < 200, "stage = {}", net.transistors());
+        assert!(out.ready_depth(&net) <= 6, "depth = {}", out.ready_depth(&net));
+    }
+
+    #[test]
+    fn csmt_cascade_depth_grows_linearly() {
+        let mut depths = Vec::new();
+        for n in 2..=8u8 {
+            let mut net = Netlist::new();
+            let mut acc = SelState::thread_input(&mut net, 4);
+            for _ in 1..n {
+                let cand = SelState::thread_input(&mut net, 4);
+                acc = csmt_serial_stage(&mut net, &acc, &cand);
+            }
+            depths.push(acc.ready_depth(&net));
+        }
+        for w in depths.windows(2) {
+            let step = w[1] - w[0];
+            assert!((3..=6).contains(&step), "per-stage depth {step}");
+        }
+    }
+
+    #[test]
+    fn csmt_parallel_is_shallower_but_bigger() {
+        let mut serial = Netlist::new();
+        let mut acc = SelState::thread_input(&mut serial, 4);
+        for _ in 1..4 {
+            let cand = SelState::thread_input(&mut serial, 4);
+            acc = csmt_serial_stage(&mut serial, &acc, &cand);
+        }
+        let serial_depth = acc.ready_depth(&serial);
+
+        let mut par = Netlist::new();
+        let operands: Vec<SelState> = (0..4)
+            .map(|_| SelState::thread_input(&mut par, 4))
+            .collect();
+        let out = csmt_parallel(&mut par, &operands);
+        let par_depth = out.ready_depth(&par);
+
+        assert!(par_depth < serial_depth, "{par_depth} !< {serial_depth}");
+        assert!(
+            par.transistors() > serial.transistors(),
+            "{} !> {}",
+            par.transistors(),
+            serial.transistors()
+        );
+    }
+
+    #[test]
+    fn csmt_parallel_area_grows_exponentially() {
+        let cost = |k: u8| {
+            let mut net = Netlist::new();
+            let ops: Vec<SelState> = (0..k)
+                .map(|_| SelState::thread_input(&mut net, 4))
+                .collect();
+            csmt_parallel(&mut net, &ops);
+            net.transistors()
+        };
+        let c4 = cost(4);
+        let c6 = cost(6);
+        let c8 = cost(8);
+        assert!(c6 > 2 * c4, "c6={c6} c4={c4}");
+        assert!(c8 > 3 * c6, "c8={c8} c6={c6}");
+    }
+
+    #[test]
+    fn smt_stage_dominates_csmt_stage_cost() {
+        let mut csmt = Netlist::new();
+        let a = SelState::thread_input(&mut csmt, 4);
+        let b = SelState::thread_input(&mut csmt, 4);
+        csmt_serial_stage(&mut csmt, &a, &b);
+
+        let mut smt = Netlist::new();
+        let mut a = SelState::thread_input(&mut smt, 4);
+        let mut b = SelState::thread_input(&mut smt, 4);
+        smt_stage(&mut smt, &mut a, &mut b, 4, 4);
+
+        assert!(
+            smt.transistors() > 10 * csmt.transistors(),
+            "SMT {} vs CSMT {}",
+            smt.transistors(),
+            csmt.transistors()
+        );
+    }
+
+    #[test]
+    fn smt_routing_finishes_after_decision() {
+        let mut net = Netlist::new();
+        let mut a = SelState::thread_input(&mut net, 4);
+        let mut b = SelState::thread_input(&mut net, 4);
+        let out = smt_stage(&mut net, &mut a, &mut b, 4, 4);
+        assert!(out.routing_done > out.state.ready_depth(&net) - 3);
+        assert!(out.routing_done >= out.state.ready_depth(&net));
+    }
+}

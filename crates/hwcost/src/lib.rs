@@ -1,0 +1,38 @@
+//! # vliw-hwcost — gate-level cost model for thread merge control
+//!
+//! The paper's cost analysis (§3, §4.2, figures 5 and 9) prices the *thread
+//! merge control* — the only part of the merging hardware that differs
+//! between SMT and CSMT (the routing muxes/blocks are needed by any
+//! multithreading scheme, §2.2) — in transistors and gate delays, following
+//! the methodology of the authors' DSD'07 paper [7]. [7] is not publicly
+//! reproducible, so this crate *rebuilds the logic the papers describe* as
+//! explicit gate netlists and counts:
+//!
+//! * [`gates`] — a static-CMOS gate library (transistor counts, unit
+//!   delays) and a [`gates::Netlist`] accumulator that tracks transistor
+//!   totals and critical-path depth.
+//! * [`blocks`] — the three merge-control blocks: the serial CSMT stage
+//!   (cluster-usage conflict cascade), the parallel CSMT block (subset
+//!   enumeration), and the SMT stage (per-cluster per-class population
+//!   adders + capacity comparators + routing-signal generation).
+//! * [`scheme_cost`] — composes block netlists along a
+//!   [`vliw_core::MergeScheme`] tree, implementing the paper's timing
+//!   observation that routing-signal generation of early SMT blocks runs
+//!   in parallel with downstream CSMT decision logic (why `3SCC`/`2SC3`
+//!   sit near `1S` in delay while `3CCS` does not).
+//! * [`sweep`] — Figure 5's thread-count sweeps.
+//!
+//! Absolute numbers are calibration-dependent (gate sizing, counter
+//! widths); the *orderings and growth laws* — linear serial CSMT,
+//! exponential parallel CSMT, SMT an order of magnitude above CSMT, costs
+//! dominated by the number of SMT blocks — are structural. Unit tests pin
+//! them.
+
+pub mod blocks;
+pub mod gates;
+pub mod scheme_cost;
+pub mod sweep;
+
+pub use gates::{Gate, Netlist, NodeId};
+pub use scheme_cost::{scheme_cost, SchemeCost};
+pub use sweep::{fig5_sweep, Fig5Row};

@@ -1,0 +1,202 @@
+//! Scheme-level cost composition (Figure 9).
+
+use crate::blocks::{csmt_parallel, csmt_serial_stage, smt_stage, SelState};
+use crate::gates::Netlist;
+use vliw_core::{MergeKind, MergeScheme, SchemeNode};
+
+/// Cost summary of a scheme's merge-control hardware.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeCost {
+    /// Scheme name.
+    pub name: String,
+    /// Transistors of the thread merge control.
+    pub transistors: u64,
+    /// Gate delays of the full merge path, including the paper's overlap
+    /// rule: routing-signal generation of early SMT blocks runs in
+    /// parallel with later merge-decision logic.
+    pub gate_delays: u32,
+    /// Gate delays of the decision path alone.
+    pub decision_delays: u32,
+    /// Number of SMT blocks (the dominant area driver).
+    pub smt_blocks: usize,
+}
+
+/// Price a merging scheme on an `m_clusters` x `issue_width` machine.
+pub fn scheme_cost(scheme: &MergeScheme, m_clusters: u8, issue_width: u8) -> SchemeCost {
+    let mut net = Netlist::new();
+    let mut routing_dones: Vec<u32> = Vec::new();
+    let state = walk(
+        scheme.root(),
+        &mut net,
+        m_clusters,
+        issue_width,
+        &mut routing_dones,
+    );
+    let decision = state.ready_depth(&net);
+    let total = routing_dones
+        .iter()
+        .copied()
+        .chain(std::iter::once(decision))
+        .max()
+        .unwrap_or(0);
+    SchemeCost {
+        name: scheme.name().to_string(),
+        transistors: net.transistors(),
+        gate_delays: total,
+        decision_delays: decision,
+        smt_blocks: scheme.smt_blocks(),
+    }
+}
+
+fn walk(
+    node: &SchemeNode,
+    net: &mut Netlist,
+    m: u8,
+    w: u8,
+    routing: &mut Vec<u32>,
+) -> SelState {
+    match node {
+        SchemeNode::Port(_) => SelState::thread_input(net, m),
+        SchemeNode::Merge {
+            kind,
+            parallel,
+            children,
+        } => {
+            let mut states: Vec<SelState> = children
+                .iter()
+                .map(|c| walk(c, net, m, w, routing))
+                .collect();
+            match (kind, parallel) {
+                (MergeKind::Csmt, true) => csmt_parallel(net, &states),
+                (MergeKind::Csmt, false) => {
+                    let mut acc = states.remove(0);
+                    for cand in states {
+                        acc = csmt_serial_stage(net, &acc, &cand);
+                    }
+                    acc
+                }
+                (MergeKind::Smt, _) => {
+                    let mut acc = states.remove(0);
+                    for mut cand in states {
+                        let out = smt_stage(net, &mut acc, &mut cand, m, w);
+                        routing.push(out.routing_done);
+                        acc = out.state;
+                    }
+                    acc
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_core::catalog;
+
+    fn cost(name: &str) -> SchemeCost {
+        scheme_cost(&catalog::by_name(name).unwrap(), 4, 4)
+    }
+
+    #[test]
+    fn transistors_grow_with_smt_block_count() {
+        // Paper §4.2: area is dominated by the number of SMT blocks.
+        let zero = ["C4", "3CCC", "2CC"].map(|n| cost(n).transistors);
+        let one = ["1S", "2SC3", "3SCC", "3CSC", "3CCS", "2C3S", "2CS"]
+            .map(|n| cost(n).transistors);
+        let two = ["2SC", "3SSC", "3SCS", "3CSS"].map(|n| cost(n).transistors);
+        let three = ["2SS", "3SSS"].map(|n| cost(n).transistors);
+        let max0 = zero.iter().max().unwrap();
+        let min1 = one.iter().min().unwrap();
+        let max1 = one.iter().max().unwrap();
+        let min2 = two.iter().min().unwrap();
+        let max2 = two.iter().max().unwrap();
+        let min3 = three.iter().min().unwrap();
+        assert!(max0 < min1, "0-SMT {max0} !< 1-SMT {min1}");
+        assert!(max1 < min2, "1-SMT {max1} !< 2-SMT {min2}");
+        assert!(max2 < min3, "2-SMT {max2} !< 3-SMT {min3}");
+    }
+
+    #[test]
+    fn single_smt_schemes_cost_about_one_1s(){
+        // "There is little difference in the transistor requirement of a
+        // 2-Thread SMT (1S) and the schemes that use only 1 SMT merge
+        // control block" (paper §4.2).
+        let base = cost("1S").transistors;
+        for name in ["2SC3", "3SCC", "3CCS", "3CSC", "2C3S"] {
+            let t = cost(name).transistors;
+            let ratio = t as f64 / base as f64;
+            assert!(
+                (0.9..1.6).contains(&ratio),
+                "{name}: {t} vs 1S {base} (ratio {ratio:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn csmt_only_schemes_cheapest_and_shallowest() {
+        let all = catalog::paper_scheme_names();
+        let csmt_only = ["C4", "3CCC", "2CC"];
+        for co in csmt_only {
+            let c = cost(co);
+            for other in all.iter().filter(|n| !csmt_only.contains(n)) {
+                let o = cost(other);
+                assert!(c.transistors < o.transistors, "{co} !< {other} area");
+                assert!(c.gate_delays <= o.gate_delays, "{co} !<= {other} delay");
+            }
+        }
+    }
+
+    #[test]
+    fn c4_is_shallower_than_serial_3ccc() {
+        assert!(cost("C4").gate_delays < cost("3CCC").gate_delays);
+    }
+
+    #[test]
+    fn routing_overlap_favours_early_smt() {
+        // 3SCC (SMT first, routing overlaps the CSMT tail) must be
+        // shallower than 3CCS (SMT last, routing fully exposed).
+        let scc = cost("3SCC");
+        let ccs = cost("3CCS");
+        assert!(
+            scc.gate_delays < ccs.gate_delays,
+            "3SCC {} !< 3CCS {}",
+            scc.gate_delays,
+            ccs.gate_delays
+        );
+        // And 2SC3 sits within a couple of gate delays of 1S.
+        let sc3 = cost("2SC3");
+        let one_s = cost("1S");
+        assert!(
+            sc3.gate_delays <= one_s.gate_delays + 8,
+            "2SC3 {} vs 1S {}",
+            sc3.gate_delays,
+            one_s.gate_delays
+        );
+    }
+
+    #[test]
+    fn ssc_is_best_of_the_two_smt_cascades() {
+        // Paper: "Parallel computation of the routing also results into the
+        // lowest delay for scheme 3SSC compared to similar schemes 3SCS and
+        // 3CSS."
+        let ssc = cost("3SSC").gate_delays;
+        let scs = cost("3SCS").gate_delays;
+        let css = cost("3CSS").gate_delays;
+        assert!(ssc <= scs, "3SSC {ssc} !<= 3SCS {scs}");
+        assert!(ssc <= css, "3SSC {ssc} !<= 3CSS {css}");
+    }
+
+    #[test]
+    fn full_smt_is_the_most_expensive() {
+        let sss = cost("3SSS");
+        for name in catalog::paper_scheme_names() {
+            if name == "3SSS" || name == "2SS" {
+                continue;
+            }
+            let c = cost(name);
+            assert!(sss.transistors > c.transistors, "3SSS !> {name} area");
+            assert!(sss.gate_delays >= c.gate_delays, "3SSS !>= {name} delay");
+        }
+    }
+}

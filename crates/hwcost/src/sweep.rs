@@ -1,0 +1,127 @@
+//! Thread-count sweeps — the data behind Figure 5.
+
+use crate::blocks::{csmt_parallel, csmt_serial_stage, smt_stage, SelState};
+use crate::gates::Netlist;
+
+/// One row of Figure 5: costs of the three merge-control families at a
+/// given thread count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig5Row {
+    /// Thread count.
+    pub threads: u8,
+    /// Serial CSMT transistors.
+    pub csmt_sl_transistors: u64,
+    /// Serial CSMT gate delays.
+    pub csmt_sl_delays: u32,
+    /// Parallel CSMT transistors.
+    pub csmt_pl_transistors: u64,
+    /// Parallel CSMT gate delays.
+    pub csmt_pl_delays: u32,
+    /// SMT (serial implementation) transistors.
+    pub smt_transistors: u64,
+    /// SMT gate delays.
+    pub smt_delays: u32,
+}
+
+/// Cost of the three merge-control families for 2..=`max_threads` threads
+/// on an `m_clusters` x `issue_width` machine (paper: 4x4).
+pub fn fig5_sweep(max_threads: u8, m_clusters: u8, issue_width: u8) -> Vec<Fig5Row> {
+    (2..=max_threads)
+        .map(|n| {
+            // Serial CSMT cascade.
+            let mut sl = Netlist::new();
+            let mut acc = SelState::thread_input(&mut sl, m_clusters);
+            for _ in 1..n {
+                let cand = SelState::thread_input(&mut sl, m_clusters);
+                acc = csmt_serial_stage(&mut sl, &acc, &cand);
+            }
+            let sl_delay = acc.ready_depth(&sl);
+
+            // Parallel CSMT block.
+            let mut pl = Netlist::new();
+            let operands: Vec<SelState> = (0..n)
+                .map(|_| SelState::thread_input(&mut pl, m_clusters))
+                .collect();
+            let out = csmt_parallel(&mut pl, &operands);
+            let pl_delay = out.ready_depth(&pl);
+
+            // SMT serial cascade (the parallel form is not implementable at
+            // reasonable cost, paper §3).
+            let mut smt = Netlist::new();
+            let mut acc = SelState::thread_input(&mut smt, m_clusters);
+            let mut routing_done = 0u32;
+            for _ in 1..n {
+                let mut cand = SelState::thread_input(&mut smt, m_clusters);
+                let out = smt_stage(&mut smt, &mut acc, &mut cand, m_clusters, issue_width);
+                routing_done = routing_done.max(out.routing_done);
+                acc = out.state;
+            }
+            let smt_delay = acc.ready_depth(&smt).max(routing_done);
+
+            Fig5Row {
+                threads: n,
+                csmt_sl_transistors: sl.transistors(),
+                csmt_sl_delays: sl_delay,
+                csmt_pl_transistors: pl.transistors(),
+                csmt_pl_delays: pl_delay,
+                smt_transistors: smt.transistors(),
+                smt_delays: smt_delay,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_laws_match_figure5() {
+        let rows = fig5_sweep(8, 4, 4);
+        assert_eq!(rows.len(), 7);
+        for w in rows.windows(2) {
+            // Serial CSMT: linear area, linear delay.
+            let da = w[1].csmt_sl_transistors - w[0].csmt_sl_transistors;
+            assert!(da < 400, "serial CSMT area step {da}");
+            // Parallel CSMT: exponential area, sublinear delay growth.
+            assert!(w[1].csmt_pl_transistors > w[0].csmt_pl_transistors);
+            // SMT: roughly constant large per-stage area增.
+            let ds = w[1].smt_transistors - w[0].smt_transistors;
+            assert!(ds > 1_000, "SMT area step {ds}");
+        }
+        let last = rows.last().unwrap();
+        // At 8 threads, parallel CSMT area explodes past serial CSMT by
+        // orders of magnitude while staying far shallower.
+        assert!(last.csmt_pl_transistors > 30 * last.csmt_sl_transistors);
+        assert!(last.csmt_pl_delays < last.csmt_sl_delays);
+        // SMT delay dominates everything at high thread counts (fig 5b).
+        assert!(last.smt_delays > last.csmt_sl_delays);
+        assert!(last.smt_delays > 2 * last.csmt_pl_delays);
+        // SMT area an order of magnitude above serial CSMT at any count.
+        for r in &rows {
+            assert!(r.smt_transistors > 10 * r.csmt_sl_transistors);
+        }
+    }
+
+    #[test]
+    fn two_thread_baseline_magnitudes() {
+        // Calibration anchors (paper figure 9's 1S sits around 4x10^3
+        // transistors and ~15 gate delays; CSMT stages are tens of times
+        // smaller). We accept a generous band — the *orderings* above are
+        // the real contract.
+        let rows = fig5_sweep(2, 4, 4);
+        let r = &rows[0];
+        assert!(
+            (1_500..8_000).contains(&r.smt_transistors),
+            "1S-equivalent SMT control = {}",
+            r.smt_transistors
+        );
+        assert!(
+            (40..400).contains(&r.csmt_sl_transistors),
+            "2T CSMT control = {}",
+            r.csmt_sl_transistors
+        );
+        assert!((8..25).contains(&r.smt_delays), "SMT delay {}", r.smt_delays);
+        assert!((2..10).contains(&r.csmt_sl_delays));
+    }
+}

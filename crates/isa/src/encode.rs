@@ -1,0 +1,104 @@
+//! Instruction size / address model.
+//!
+//! VEX and the Lx/ST200 family encode a VLIW instruction as a sequence of
+//! 32-bit syllables with a stop bit on the last one; empty clusters consume
+//! no space (compressed encoding). The simulator only needs instruction
+//! *sizes* to lay out code and drive the instruction cache, not real bits,
+//! so the encoder here computes syllable counts and assigns addresses.
+
+use crate::instr::VliwInstruction;
+
+/// Bytes per operation syllable.
+pub const SYLLABLE_BYTES: u64 = 4;
+
+/// Encoded size of one instruction in bytes.
+///
+/// A fully empty word still occupies one syllable (an explicit `nop`
+/// syllable carrying the stop bit). Operations with a 32-bit immediate
+/// consume an extra extension syllable, as on ST200.
+pub fn encoded_size(instr: &VliwInstruction) -> u64 {
+    if instr.is_nop() {
+        return SYLLABLE_BYTES;
+    }
+    let mut syllables = 0u64;
+    for op in instr.ops() {
+        syllables += 1;
+        if let Some(imm) = op.imm {
+            // Short immediates fit in the syllable; long ones need an
+            // extension syllable (ST200 `imml`/`immr` style).
+            if imm < -(1 << 8) || imm >= (1 << 8) {
+                syllables += 1;
+            }
+        }
+    }
+    syllables * SYLLABLE_BYTES
+}
+
+/// Assign a byte address to every instruction of a straight-line block,
+/// starting at `base`. Returns the per-instruction addresses and the first
+/// address past the block.
+pub fn layout_block(base: u64, instrs: &[VliwInstruction]) -> (Vec<u64>, u64) {
+    let mut addrs = Vec::with_capacity(instrs.len());
+    let mut pc = base;
+    for i in instrs {
+        addrs.push(pc);
+        pc += encoded_size(i);
+    }
+    (addrs, pc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::InstrBuilder;
+    use crate::machine::MachineConfig;
+    use crate::op::Opcode;
+    use crate::operation::Operation;
+
+    #[test]
+    fn nop_occupies_one_syllable() {
+        assert_eq!(encoded_size(&VliwInstruction::nop()), 4);
+    }
+
+    #[test]
+    fn size_scales_with_ops() {
+        let m = MachineConfig::paper_baseline();
+        let mut b = InstrBuilder::new(&m);
+        b.push(Operation::new(Opcode::Add, 0)).unwrap();
+        b.push(Operation::new(Opcode::Sub, 1)).unwrap();
+        b.push(Operation::new(Opcode::Ldw, 2)).unwrap();
+        let i = b.build();
+        assert_eq!(encoded_size(&i), 12);
+    }
+
+    #[test]
+    fn long_immediates_take_extension_syllables() {
+        let m = MachineConfig::paper_baseline();
+        let mut b = InstrBuilder::new(&m);
+        b.push(Operation::new(Opcode::Add, 0).with_imm(3)).unwrap();
+        let short = b.build();
+        assert_eq!(encoded_size(&short), 4);
+
+        let mut b = InstrBuilder::new(&m);
+        b.push(Operation::new(Opcode::Add, 0).with_imm(100_000))
+            .unwrap();
+        let long = b.build();
+        assert_eq!(encoded_size(&long), 8);
+    }
+
+    #[test]
+    fn layout_is_contiguous() {
+        let m = MachineConfig::paper_baseline();
+        let mk = |n: usize| {
+            let mut b = InstrBuilder::new(&m);
+            for c in 0..n {
+                b.push(Operation::new(Opcode::Add, c as u8)).unwrap();
+            }
+            b.build()
+        };
+        let block = vec![mk(1), mk(4), mk(2)];
+        let (addrs, end) = layout_block(0x1000, &block);
+        assert_eq!(addrs, vec![0x1000, 0x1004, 0x1014]);
+        assert_eq!(end, 0x101C);
+    }
+}

@@ -1,0 +1,42 @@
+//! # vliw-isa — VEX-like clustered VLIW ISA model
+//!
+//! This crate models the instruction-set architecture of the clustered VLIW
+//! machine evaluated in *Gupta, Sánchez, Llosa — "Thread Merging Schemes for
+//! Multithreaded Clustered VLIW Processors" (ICPP 2009)*: a VEX/Lx-style
+//! machine with `M` clusters, each cluster owning a private register file and
+//! `W` issue slots.
+//!
+//! The pieces other crates build on:
+//!
+//! * [`MachineConfig`] — cluster/slot/functional-unit geometry, fixed-slot
+//!   constraints, operation latencies and branch penalty (paper §5.1).
+//! * [`Opcode`] / [`Operation`] — VEX-flavoured operation set with ALU,
+//!   multiply, memory and branch classes.
+//! * [`VliwInstruction`] and its checked [`InstrBuilder`] — one "long
+//!   instruction" = a set of operations placed on (cluster, slot) positions.
+//! * [`InstrSignature`] / [`ResourceVec`] — densely packed per-cluster
+//!   resource usage summaries. These are what the merge-control hardware of
+//!   the paper inspects, and what `vliw-core` uses to decide whether two
+//!   instructions can merge at operation level (SMT) or cluster level (CSMT).
+//!
+//! Everything is plain, deterministic, cheap-to-copy data: the simulator
+//! touches these structures hundreds of millions of times per run.
+
+pub mod disasm;
+pub mod encode;
+pub mod instr;
+pub mod machine;
+pub mod op;
+pub mod operation;
+pub mod signature;
+
+pub use instr::{InstrBuilder, InstrError, VliwInstruction};
+pub use machine::{MachineConfig, MachineError, SlotPlan};
+pub use op::{OpClass, Opcode};
+pub use operation::{BranchInfo, MemInfo, Operation, Reg};
+pub use signature::{ClusterMask, InstrSignature, ResourceCaps, ResourceVec};
+
+/// Hard upper bound on clusters supported by the packed signature types.
+pub const MAX_CLUSTERS: usize = 8;
+/// Hard upper bound on issue slots per cluster.
+pub const MAX_ISSUE: usize = 8;

@@ -1,0 +1,23 @@
+//! # vliw-mem — the simulator's memory hierarchy
+//!
+//! The paper's machine (§5.1) has a 64KB 4-way set-associative instruction
+//! cache and an identical data cache, with a 20-cycle miss penalty (derived
+//! from a 400MHz ST231-class core and 50ns critical-word DRAM latency).
+//! Caches are shared between hardware threads and *blocking per thread*: a
+//! thread that misses stalls for the penalty while other threads keep
+//! issuing — this is precisely the vertical waste multithreading recovers.
+//!
+//! * [`Cache`] — a generic set-associative, true-LRU cache with per-thread
+//!   statistics.
+//! * [`MemSystem`] — the I$/D$ pair with the paper's parameters, plus a
+//!   *perfect memory* mode used to measure the paper's `IPCp` column
+//!   (Table 1).
+
+pub mod cache;
+pub mod system;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use system::{MemConfig, MemSystem};
+
+/// Maximum hardware threads tracked by per-thread statistics.
+pub const MAX_THREADS: usize = 8;

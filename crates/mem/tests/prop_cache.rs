@@ -1,0 +1,100 @@
+//! Property tests for the cache model, validated against a naive
+//! reference implementation (per-set vector with explicit LRU ordering).
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use vliw_mem::{Cache, CacheConfig};
+
+/// Naive reference cache: per-set deque, front = MRU.
+struct RefCache {
+    sets: Vec<VecDeque<u64>>,
+    ways: usize,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl RefCache {
+    fn new(cfg: CacheConfig) -> Self {
+        RefCache {
+            sets: (0..cfg.n_sets()).map(|_| VecDeque::new()).collect(),
+            ways: cfg.ways as usize,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: u64::from(cfg.n_sets() - 1),
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let s = &mut self.sets[set];
+        if let Some(pos) = s.iter().position(|&t| t == line) {
+            s.remove(pos);
+            s.push_front(line);
+            true
+        } else {
+            if s.len() == self.ways {
+                s.pop_back();
+            }
+            s.push_front(line);
+            false
+        }
+    }
+}
+
+fn small_cfg() -> CacheConfig {
+    CacheConfig {
+        size_bytes: 1024,
+        ways: 4,
+        line_bytes: 32,
+        miss_penalty: 20,
+    }
+}
+
+proptest! {
+    /// Hit/miss decisions match the reference LRU model exactly.
+    #[test]
+    fn matches_reference_lru(addrs in prop::collection::vec(0u64..8192, 1..400)) {
+        let cfg = small_cfg();
+        let mut dut = Cache::new(cfg);
+        let mut reference = RefCache::new(cfg);
+        for &a in &addrs {
+            let expect = reference.access(a);
+            let got = dut.access(a, false, 0);
+            prop_assert_eq!(got, expect, "address {:#x}", a);
+        }
+    }
+
+    /// Conservation: hits + misses == accesses; a hit immediately follows
+    /// any access to the same line.
+    #[test]
+    fn stats_conserved(addrs in prop::collection::vec(0u64..65536, 1..300)) {
+        let mut c = Cache::new(small_cfg());
+        for &a in &addrs {
+            c.access(a, a % 3 == 0, (a % 4) as u8);
+            prop_assert!(c.probe(a), "line just brought in must be resident");
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.total_accesses(), addrs.len() as u64);
+        prop_assert!(s.total_misses() <= s.total_accesses());
+        let per_thread_sum: u64 = (0..4).map(|t| s.accesses[t]).sum();
+        prop_assert_eq!(per_thread_sum, addrs.len() as u64);
+    }
+
+    /// Any working set no larger than one way-worth of distinct lines per
+    /// set can never be evicted by its own re-accesses.
+    #[test]
+    fn small_working_set_stays_resident(seed in 0u64..1000) {
+        let cfg = small_cfg(); // 8 sets x 4 ways
+        let mut c = Cache::new(cfg);
+        // 8 lines = one line per set: trivially fits.
+        let lines: Vec<u64> = (0..8).map(|i| (seed * 8 + i) * 32).collect();
+        for round in 0..5 {
+            for &a in &lines {
+                let hit = c.access(a, false, 0);
+                if round > 0 {
+                    prop_assert!(hit);
+                }
+            }
+        }
+    }
+}

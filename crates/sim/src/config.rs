@@ -1,0 +1,82 @@
+//! Simulation configuration.
+
+use vliw_core::{MergeScheme, PriorityPolicy};
+use vliw_isa::MachineConfig;
+use vliw_mem::MemConfig;
+
+/// Everything a run needs besides the workload itself.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Processor geometry and latencies.
+    pub machine: MachineConfig,
+    /// Memory system (set `mem.perfect` for the paper's IPCp runs).
+    pub mem: MemConfig,
+    /// The merging scheme under test (its port count is the hardware
+    /// thread count).
+    pub scheme: MergeScheme,
+    /// Thread→port rotation policy (paper setup: round-robin).
+    pub priority: PriorityPolicy,
+    /// OS scheduling quantum in cycles (paper: 1M).
+    pub timeslice: u64,
+    /// Retired-VLIW-instruction budget: the run ends when any software
+    /// thread retires this many instructions (paper: 100M).
+    pub instr_budget: u64,
+    /// Safety valve: abort the run after this many cycles.
+    pub max_cycles: u64,
+    /// Seed for OS scheduling and branch/address draws.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's configuration for a given scheme, scaled down by
+    /// `scale` (1 = the paper's full 100M-instruction runs; 100 = 1M
+    /// instructions with a 10k-cycle quantum — the default for tests).
+    pub fn paper(scheme: MergeScheme, scale: u64) -> Self {
+        let scale = scale.max(1);
+        SimConfig {
+            machine: MachineConfig::paper_baseline(),
+            mem: MemConfig::paper_baseline(),
+            scheme,
+            priority: PriorityPolicy::RoundRobin,
+            timeslice: (1_000_000 / scale).max(1_000),
+            instr_budget: 100_000_000 / scale,
+            max_cycles: u64::MAX,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Same configuration with perfect memory (IPCp measurements).
+    pub fn with_perfect_memory(mut self) -> Self {
+        self.mem.perfect = true;
+        self
+    }
+
+    /// Number of hardware thread contexts (the scheme's port count).
+    pub fn n_contexts(&self) -> usize {
+        self.scheme.n_ports() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_core::catalog;
+
+    #[test]
+    fn paper_config_scales() {
+        let c = SimConfig::paper(catalog::smt_cascade(4), 100);
+        assert_eq!(c.instr_budget, 1_000_000);
+        assert_eq!(c.timeslice, 10_000);
+        assert_eq!(c.n_contexts(), 4);
+        let full = SimConfig::paper(catalog::smt_cascade(2), 1);
+        assert_eq!(full.instr_budget, 100_000_000);
+        assert_eq!(full.timeslice, 1_000_000);
+        assert_eq!(full.n_contexts(), 2);
+    }
+
+    #[test]
+    fn perfect_memory_flag() {
+        let c = SimConfig::paper(catalog::csmt_serial(4), 100).with_perfect_memory();
+        assert!(c.mem.perfect);
+    }
+}

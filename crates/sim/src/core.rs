@@ -1,0 +1,283 @@
+//! The multithreaded core: fetch → merge → issue → execute, one call per
+//! cycle.
+
+use crate::config::SimConfig;
+use crate::thread::SoftThread;
+use vliw_core::{
+    eval::CompiledScheme, MergeEvaluator, MergeStats, PortInput, PriorityRotator,
+};
+use vliw_mem::MemSystem;
+
+/// Outcome of one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Hardware contexts that issued this cycle (bitmask).
+    pub issued_contexts: u8,
+    /// Operations issued.
+    pub ops: u32,
+}
+
+/// A multithreaded clustered VLIW core.
+pub struct Core {
+    evaluator: MergeEvaluator,
+    scheme: CompiledScheme,
+    rotator: PriorityRotator,
+    /// Shared memory system.
+    pub mem: MemSystem,
+    /// Hardware contexts (port count of the scheme).
+    pub contexts: Vec<Option<SoftThread>>,
+    /// Merge-network statistics.
+    pub merge_stats: MergeStats,
+    branch_penalty: u8,
+    issue_width: u32,
+    n_clusters: u8,
+    cycle: u64,
+    // Aggregate counters.
+    total_ops: u64,
+    total_instrs: u64,
+    vertical_waste_cycles: u64,
+    horizontal_waste_slots: u64,
+    /// Set when any thread crosses the instruction budget.
+    pub budget_reached: bool,
+    instr_budget: u64,
+}
+
+impl Core {
+    /// Build a core from a configuration.
+    pub fn new(cfg: &SimConfig) -> Core {
+        let compiled = cfg.scheme.compile();
+        let n = compiled.n_ports() as usize;
+        Core {
+            evaluator: MergeEvaluator::new(&cfg.machine),
+            merge_stats: MergeStats::new(compiled.n_nodes()),
+            scheme: compiled,
+            rotator: PriorityRotator::new(cfg.priority, n as u8),
+            mem: MemSystem::new(cfg.mem),
+            contexts: (0..n).map(|_| None).collect(),
+            branch_penalty: cfg.machine.taken_branch_penalty,
+            issue_width: cfg.machine.total_issue() as u32,
+            n_clusters: cfg.machine.n_clusters,
+            cycle: 0,
+            total_ops: 0,
+            total_instrs: 0,
+            vertical_waste_cycles: 0,
+            horizontal_waste_slots: 0,
+            budget_reached: false,
+            instr_budget: cfg.instr_budget,
+        }
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Total operations issued so far.
+    pub fn total_ops(&self) -> u64 {
+        self.total_ops
+    }
+
+    /// Total VLIW instructions issued so far.
+    pub fn total_instrs(&self) -> u64 {
+        self.total_instrs
+    }
+
+    /// Vertical waste cycles so far.
+    pub fn vertical_waste_cycles(&self) -> u64 {
+        self.vertical_waste_cycles
+    }
+
+    /// Horizontal waste slots so far.
+    pub fn horizontal_waste_slots(&self) -> u64 {
+        self.horizontal_waste_slots
+    }
+
+    /// Install a software thread on a hardware context and fetch its head
+    /// instruction. Panics if the context is occupied.
+    ///
+    /// The context determines the thread's physical-cluster rotation: the
+    /// fixed wiring that spreads compact threads over different physical
+    /// clusters so cluster-level merging has disjoint operands to work on.
+    pub fn install(&mut self, ctx: usize, mut thread: SoftThread) {
+        assert!(self.contexts[ctx].is_none(), "context {ctx} occupied");
+        thread.cluster_rot = (ctx as u8) % self.n_clusters;
+        thread.n_clusters = self.n_clusters;
+        // A freshly (re)installed thread may issue at the earliest next
+        // cycle; its previous stall (if swapped out mid-miss) has elapsed
+        // in wall-clock terms only if the OS kept it out long enough.
+        thread.stall_until = thread.stall_until.max(self.cycle);
+        thread.fetch_head(self.cycle, &mut self.mem, ctx as u8);
+        self.contexts[ctx] = Some(thread);
+    }
+
+    /// Remove and return the thread on `ctx`.
+    pub fn evict(&mut self, ctx: usize) -> Option<SoftThread> {
+        self.contexts[ctx].take()
+    }
+
+    /// Execute one cycle.
+    pub fn step(&mut self) -> StepOutcome {
+        let n = self.contexts.len();
+        let mut inputs = [PortInput::stalled(); vliw_core::MAX_PORTS];
+        {
+            let order = self.rotator.order();
+            for (port, &t) in order.iter().enumerate().take(n) {
+                if let Some(th) = &self.contexts[t as usize] {
+                    if th.ready(self.cycle) {
+                        inputs[port] = PortInput::ready(th.head_sig());
+                    }
+                }
+            }
+        }
+        let out =
+            self.evaluator
+                .evaluate_with_stats(&self.scheme, &inputs[..n], &mut self.merge_stats);
+        let issued = self.rotator.ports_to_threads(out.issued_ports);
+
+        let mut m = issued;
+        while m != 0 {
+            let t = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let th = self.contexts[t].as_mut().expect("issued context occupied");
+            th.execute_head(self.cycle, &mut self.mem, t as u8, self.branch_penalty);
+            self.total_instrs += 1;
+            if th.instrs >= self.instr_budget {
+                self.budget_reached = true;
+            }
+        }
+        self.rotator.advance(issued);
+
+        let ops = u32::from(out.packet.n_ops);
+        self.total_ops += u64::from(ops);
+        if ops == 0 {
+            self.vertical_waste_cycles += 1;
+        } else {
+            self.horizontal_waste_slots += u64::from(self.issue_width - ops);
+        }
+        self.cycle += 1;
+        StepOutcome {
+            issued_contexts: issued,
+            ops,
+        }
+    }
+
+    /// Run until `cycles_limit` or until the budget is reached.
+    pub fn run(&mut self, cycles_limit: u64) {
+        while self.cycle < cycles_limit && !self.budget_reached {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thread::ProgramMeta;
+    use std::sync::Arc;
+    use vliw_core::catalog;
+    use vliw_workloads::build_named;
+
+    fn mk_core(scheme: vliw_core::MergeScheme) -> Core {
+        let cfg = SimConfig::paper(scheme, 1000);
+        Core::new(&cfg)
+    }
+
+    fn mk_thread(name: &str, tid: u64) -> SoftThread {
+        let m = vliw_isa::MachineConfig::paper_baseline();
+        let img = build_named(name, &m);
+        let meta = Arc::new(ProgramMeta::of(&img));
+        SoftThread::new(&img, meta, tid, 7)
+    }
+
+    #[test]
+    fn single_thread_progresses() {
+        let mut core = mk_core(catalog::by_name("ST").unwrap());
+        core.install(0, mk_thread("gsmencode", 0));
+        core.run(20_000);
+        assert!(core.total_ops() > 0);
+        let th = core.contexts[0].as_ref().unwrap();
+        assert!(th.instrs > 1_000);
+        // Single thread on a 16-issue machine: plenty of waste.
+        assert!(core.vertical_waste_cycles() + core.horizontal_waste_slots() > 0);
+    }
+
+    #[test]
+    fn budget_stops_the_run() {
+        let mut core = mk_core(catalog::by_name("ST").unwrap());
+        core.install(0, mk_thread("gsmencode", 0));
+        core.run(u64::MAX - 1);
+        assert!(core.budget_reached);
+        let th = core.contexts[0].as_ref().unwrap();
+        assert_eq!(th.instrs, 100_000); // budget = 100M/1000
+    }
+
+    #[test]
+    fn multithreading_beats_single_thread_throughput() {
+        // Two low-ILP threads merged by 2-thread SMT must outperform one.
+        let mut st = mk_core(catalog::by_name("ST").unwrap());
+        st.install(0, mk_thread("bzip2", 0));
+        st.run(30_000);
+        let ipc_st = st.total_ops() as f64 / st.cycle() as f64;
+
+        let mut smt = mk_core(catalog::by_name("1S").unwrap());
+        smt.install(0, mk_thread("bzip2", 0));
+        smt.install(1, mk_thread("blowfish", 1));
+        smt.run(30_000);
+        let ipc_smt = smt.total_ops() as f64 / smt.cycle() as f64;
+        assert!(
+            ipc_smt > ipc_st * 1.3,
+            "SMT {ipc_smt:.2} vs ST {ipc_st:.2}"
+        );
+    }
+
+    #[test]
+    fn smt_at_least_matches_csmt() {
+        let load = |core: &mut Core| {
+            core.install(0, mk_thread("mcf", 0));
+            core.install(1, mk_thread("blowfish", 1));
+            core.install(2, mk_thread("x264", 2));
+            core.install(3, mk_thread("idct", 3));
+        };
+        let mut smt = mk_core(catalog::smt_cascade(4));
+        load(&mut smt);
+        smt.run(40_000);
+        let mut csmt = mk_core(catalog::csmt_serial(4));
+        load(&mut csmt);
+        csmt.run(40_000);
+        let ipc_smt = smt.total_ops() as f64 / smt.cycle() as f64;
+        let ipc_csmt = csmt.total_ops() as f64 / csmt.cycle() as f64;
+        assert!(
+            ipc_smt >= ipc_csmt * 0.98,
+            "SMT {ipc_smt:.2} must not lose to CSMT {ipc_csmt:.2}"
+        );
+    }
+
+    #[test]
+    fn eviction_returns_thread_state() {
+        let mut core = mk_core(catalog::by_name("1S").unwrap());
+        core.install(0, mk_thread("bzip2", 0));
+        core.run(5_000);
+        let th = core.evict(0).unwrap();
+        assert!(th.instrs > 0);
+        assert!(core.evict(0).is_none());
+        // Reinstall continues from where it stopped.
+        let before = th.instrs;
+        core.install(1, th);
+        core.run(10_000);
+        assert!(core.contexts[1].as_ref().unwrap().instrs > before);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = || {
+            let mut core = mk_core(catalog::by_name("2SC3").unwrap());
+            core.install(0, mk_thread("mcf", 0));
+            core.install(1, mk_thread("cjpeg", 1));
+            core.install(2, mk_thread("idct", 2));
+            core.install(3, mk_thread("bzip2", 3));
+            core.run(25_000);
+            (core.total_ops(), core.total_instrs(), core.vertical_waste_cycles())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,246 @@
+//! Figure/table-level experiment drivers.
+//!
+//! Every public function here regenerates the *data* behind one of the
+//! paper's exhibits; `vliw-bench`'s `paper` binary formats them. All
+//! functions take a `scale` divisor (1 = the paper's full 100M-instruction
+//! runs) and return plain structs.
+
+use crate::config::SimConfig;
+use crate::runner::{self, ImageCache, RunResult};
+use vliw_core::catalog;
+use vliw_workloads::{all_benchmarks, table2_mixes};
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// ILP class letter.
+    pub ilp: char,
+    /// Measured IPC with real memory.
+    pub ipcr: f64,
+    /// Measured IPC with perfect memory.
+    pub ipcp: f64,
+    /// Paper's IPCr.
+    pub paper_ipcr: f64,
+    /// Paper's IPCp.
+    pub paper_ipcp: f64,
+}
+
+/// Regenerate Table 1: single-thread IPC of every benchmark with real and
+/// perfect memory.
+pub fn table1(scale: u64, parallelism: usize) -> Vec<Table1Row> {
+    let cache = ImageCache::new();
+    let jobs: Vec<(&'static str, bool)> = all_benchmarks()
+        .iter()
+        .flat_map(|b| [(b.name, false), (b.name, true)])
+        .collect();
+    let results = runner::run_jobs(
+        jobs.clone(),
+        |&(name, perfect)| {
+            let mut cfg = SimConfig::paper(catalog::by_name("ST").unwrap(), scale);
+            if perfect {
+                cfg = cfg.with_perfect_memory();
+            }
+            runner::run_single(&cache, &cfg, name)
+        },
+        parallelism,
+    );
+    all_benchmarks()
+        .iter()
+        .enumerate()
+        .map(|(i, b)| Table1Row {
+            name: b.name,
+            ilp: b.ilp.letter(),
+            ipcr: results[2 * i].ipc(),
+            ipcp: results[2 * i + 1].ipc(),
+            paper_ipcr: b.paper_ipcr,
+            paper_ipcp: b.paper_ipcp,
+        })
+        .collect()
+}
+
+/// Figure 4 data: per-mix and average IPC of SMT with 1, 2 and 4 hardware
+/// threads.
+#[derive(Debug, Clone)]
+pub struct Fig4Data {
+    /// Mix labels in Table-2 order.
+    pub mixes: Vec<&'static str>,
+    /// IPC per mix for [single-thread, 2-thread SMT, 4-thread SMT].
+    pub ipc: Vec<[f64; 3]>,
+}
+
+impl Fig4Data {
+    /// Average IPC across mixes for each processor width.
+    pub fn averages(&self) -> [f64; 3] {
+        let mut acc = [0.0f64; 3];
+        for row in &self.ipc {
+            for k in 0..3 {
+                acc[k] += row[k];
+            }
+        }
+        acc.map(|x| x / self.ipc.len().max(1) as f64)
+    }
+}
+
+/// Regenerate Figure 4.
+pub fn fig4(scale: u64, parallelism: usize) -> Fig4Data {
+    let cache = ImageCache::new();
+    let schemes = ["ST", "1S", "3SSS"];
+    let jobs: Vec<(usize, &'static str)> = table2_mixes()
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| schemes.iter().map(move |&s| (i, s)))
+        .collect();
+    let results = runner::run_jobs(
+        jobs,
+        |&(mix_idx, scheme)| {
+            let cfg = SimConfig::paper(catalog::by_name(scheme).unwrap(), scale);
+            runner::run_mix(&cache, &cfg, &table2_mixes()[mix_idx])
+        },
+        parallelism,
+    );
+    let mixes: Vec<&'static str> = table2_mixes().iter().map(|m| m.name).collect();
+    let ipc = (0..mixes.len())
+        .map(|i| [results[3 * i].ipc(), results[3 * i + 1].ipc(), results[3 * i + 2].ipc()])
+        .collect();
+    Fig4Data { mixes, ipc }
+}
+
+/// Figure 6 data: SMT's advantage over CSMT per mix, in percent.
+#[derive(Debug, Clone)]
+pub struct Fig6Data {
+    /// (mix label, SMT IPC, CSMT IPC, advantage %).
+    pub rows: Vec<(&'static str, f64, f64, f64)>,
+}
+
+impl Fig6Data {
+    /// Average advantage across mixes.
+    pub fn average(&self) -> f64 {
+        self.rows.iter().map(|r| r.3).sum::<f64>() / self.rows.len().max(1) as f64
+    }
+}
+
+/// Regenerate Figure 6 (4-thread SMT vs 4-thread CSMT).
+pub fn fig6(scale: u64, parallelism: usize) -> Fig6Data {
+    let cache = ImageCache::new();
+    let jobs: Vec<(usize, &'static str)> = table2_mixes()
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| ["3SSS", "3CCC"].iter().map(move |&s| (i, s)))
+        .collect();
+    let results = runner::run_jobs(
+        jobs,
+        |&(mix_idx, scheme)| {
+            let cfg = SimConfig::paper(catalog::by_name(scheme).unwrap(), scale);
+            runner::run_mix(&cache, &cfg, &table2_mixes()[mix_idx])
+        },
+        parallelism,
+    );
+    let rows = table2_mixes()
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let smt = results[2 * i].ipc();
+            let csmt = results[2 * i + 1].ipc();
+            (m.name, smt, csmt, (smt / csmt - 1.0) * 100.0)
+        })
+        .collect();
+    Fig6Data { rows }
+}
+
+/// Figure 10 data: IPC of every scheme on every mix.
+#[derive(Debug, Clone)]
+pub struct Fig10Data {
+    /// Scheme names (catalog order: C4 ... 3SSS).
+    pub schemes: Vec<String>,
+    /// Mix labels.
+    pub mixes: Vec<&'static str>,
+    /// `ipc[scheme][mix]`.
+    pub ipc: Vec<Vec<f64>>,
+}
+
+impl Fig10Data {
+    /// IPC of `scheme` averaged over mixes.
+    pub fn average_of(&self, scheme: &str) -> Option<f64> {
+        let i = self.schemes.iter().position(|s| s == scheme)?;
+        Some(self.ipc[i].iter().sum::<f64>() / self.ipc[i].len().max(1) as f64)
+    }
+
+    /// All per-scheme averages, in scheme order.
+    pub fn averages(&self) -> Vec<(String, f64)> {
+        self.schemes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                (
+                    s.clone(),
+                    self.ipc[i].iter().sum::<f64>() / self.ipc[i].len().max(1) as f64,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Regenerate Figure 10: all 16 catalog schemes (plus the implicit 1S
+/// member of the catalog) across the 9 mixes.
+pub fn fig10(scale: u64, parallelism: usize) -> Fig10Data {
+    let cache = ImageCache::new();
+    let scheme_names: Vec<String> = catalog::paper_schemes()
+        .iter()
+        .map(|s| s.name().to_string())
+        .collect();
+    let jobs: Vec<(usize, usize)> = (0..scheme_names.len())
+        .flat_map(|s| (0..table2_mixes().len()).map(move |m| (s, m)))
+        .collect();
+    let results: Vec<RunResult> = runner::run_jobs(
+        jobs,
+        |&(s, m)| {
+            let scheme = catalog::paper_schemes().remove(s);
+            let cfg = SimConfig::paper(scheme, scale);
+            runner::run_mix(&cache, &cfg, &table2_mixes()[m])
+        },
+        parallelism,
+    );
+    let n_mixes = table2_mixes().len();
+    let ipc = (0..scheme_names.len())
+        .map(|s| (0..n_mixes).map(|m| results[s * n_mixes + m].ipc()).collect())
+        .collect();
+    Fig10Data {
+        schemes: scheme_names,
+        mixes: table2_mixes().iter().map(|m| m.name).collect(),
+        ipc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tiny-scale smoke tests: the full-size validations live in the
+    // integration suite and the paper harness.
+
+    #[test]
+    fn table1_smoke() {
+        let rows = table1(20_000, 4);
+        assert_eq!(rows.len(), 12);
+        for r in &rows {
+            assert!(r.ipcp >= r.ipcr * 0.95, "{}: perfect memory can't lose", r.name);
+            assert!(r.ipcr > 0.1 && r.ipcp < 16.0, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn fig4_smoke_ordering() {
+        let d = fig4(20_000, 4);
+        let [st, smt2, smt4] = d.averages();
+        assert!(smt2 > st, "2T SMT {smt2:.2} must beat 1T {st:.2}");
+        assert!(smt4 > smt2, "4T SMT {smt4:.2} must beat 2T {smt2:.2}");
+    }
+
+    #[test]
+    fn fig6_smoke_smt_wins() {
+        let d = fig6(20_000, 4);
+        assert!(d.average() > 0.0, "SMT must beat CSMT on average");
+    }
+}

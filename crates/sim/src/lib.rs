@@ -1,0 +1,44 @@
+//! # vliw-sim — cycle-accurate multithreaded clustered VLIW simulator
+//!
+//! The evaluation vehicle of the paper (§5.1): a 4-cluster, 4-issue-per-
+//! cluster VLIW with per-thread program counters, a merge network between
+//! fetch and execute (one extra pipeline stage, hence the 2-cycle taken-
+//! branch penalty), shared blocking 64KB 4-way I$/D$ with a 20-cycle miss
+//! penalty, and a multitasking OS layer that timeslices software threads
+//! onto hardware contexts (1M-cycle quantum, random replacement).
+//!
+//! Model summary (every simplification is deliberate and documented):
+//!
+//! * **Trace-driven execution** — instructions carry their resource
+//!   signatures, memory ops draw addresses from calibrated streams, branch
+//!   outcomes are drawn from per-branch probabilities with a deterministic
+//!   per-thread RNG. Data values are never computed; timing is.
+//! * **In-order, blocking threads** — a D$ miss stalls the *issuing thread*
+//!   for the penalty; other threads keep going (that recovered vertical
+//!   waste is the whole point of multithreading). Multiple misses in one
+//!   instruction serialize.
+//! * **Taken branches** cost [`vliw_isa::MachineConfig::taken_branch_penalty`]
+//!   bubble cycles on the branching thread; wrong-path operations are
+//!   squashed before reaching other threads' issue bandwidth.
+//! * **Intra-block latencies** are the compiler's responsibility (the
+//!   scheduler pads blocks); the pipeline issues one instruction per ready
+//!   thread per cycle at most.
+//!
+//! Entry points: [`Core`] for a bare multithreaded core, [`os::Machine`]
+//! for the timesliced multiprogramming layer, [`runner`] for the
+//! experiment-level API (single runs and parallel sweeps), and
+//! [`experiments`] for the paper's figure-level drivers.
+
+pub mod config;
+pub mod core;
+pub mod experiments;
+pub mod os;
+pub mod runner;
+pub mod stats;
+pub mod thread;
+
+pub use crate::core::Core;
+pub use config::SimConfig;
+pub use runner::{run_mix, run_single, RunResult};
+pub use stats::RunStats;
+pub use thread::SoftThread;

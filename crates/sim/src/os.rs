@@ -1,0 +1,189 @@
+//! The multitasking OS layer (paper §5.1).
+//!
+//! The processor exposes its hardware thread contexts as virtual CPUs; the
+//! OS schedules as many software threads as there are virtual CPUs, with a
+//! 1M-cycle timeslice. At quantum expiry the running threads are replaced
+//! by threads picked at random from the workload ("to improve fairness and
+//! to alleviate any bias"). The run ends when one thread retires its
+//! instruction budget.
+
+use crate::config::SimConfig;
+use crate::core::Core;
+use crate::stats::{RunStats, ThreadStats};
+use crate::thread::SoftThread;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The simulated machine: a core plus the OS scheduling layer.
+pub struct Machine {
+    core: Core,
+    /// Swapped-out threads.
+    pool: Vec<SoftThread>,
+    rng: SmallRng,
+    timeslice: u64,
+    max_cycles: u64,
+    context_switches: u64,
+    issue_width: u32,
+}
+
+impl Machine {
+    /// Build a machine and admit `threads` as the workload. The first
+    /// `n_contexts` (in random order) start running.
+    pub fn new(cfg: &SimConfig, threads: Vec<SoftThread>) -> Machine {
+        assert!(!threads.is_empty(), "workload must have threads");
+        let mut m = Machine {
+            core: Core::new(cfg),
+            pool: threads,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            timeslice: cfg.timeslice.max(1),
+            max_cycles: cfg.max_cycles,
+            context_switches: 0,
+            issue_width: cfg.machine.total_issue() as u32,
+        };
+        m.pool.shuffle(&mut m.rng);
+        m.fill_contexts();
+        m
+    }
+
+    fn fill_contexts(&mut self) {
+        for ctx in 0..self.core.contexts.len() {
+            if self.core.contexts[ctx].is_none() {
+                if let Some(t) = self.pool.pop() {
+                    self.core.install(ctx, t);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Perform a context switch: evict everything, shuffle, refill.
+    fn context_switch(&mut self) {
+        for ctx in 0..self.core.contexts.len() {
+            if let Some(t) = self.core.evict(ctx) {
+                self.pool.push(t);
+            }
+        }
+        self.pool.shuffle(&mut self.rng);
+        self.fill_contexts();
+        self.context_switches += 1;
+    }
+
+    /// Run to completion (budget reached or `max_cycles`), returning the
+    /// collected statistics.
+    pub fn run(mut self) -> RunStats {
+        let mut next_slice = self.timeslice;
+        while !self.core.budget_reached && self.core.cycle() < self.max_cycles {
+            let limit = next_slice.min(self.max_cycles);
+            self.core.run(limit);
+            if self.core.budget_reached {
+                break;
+            }
+            if self.core.cycle() >= next_slice {
+                self.context_switch();
+                next_slice += self.timeslice;
+            }
+        }
+        self.collect()
+    }
+
+    /// Gather statistics from the core and all threads.
+    fn collect(mut self) -> RunStats {
+        for ctx in 0..self.core.contexts.len() {
+            if let Some(t) = self.core.evict(ctx) {
+                self.pool.push(t);
+            }
+        }
+        self.pool.sort_by_key(|t| t.tid);
+        let threads = self
+            .pool
+            .iter()
+            .map(|t| ThreadStats {
+                name: t.name,
+                tid: t.tid,
+                instrs: t.instrs,
+                ops: t.ops,
+                dstall_cycles: t.dstall_cycles,
+                istall_cycles: t.istall_cycles,
+                branch_stall_cycles: t.branch_stall_cycles,
+                taken_branches: t.taken_branches,
+            })
+            .collect();
+        RunStats {
+            cycles: self.core.cycle(),
+            total_ops: self.core.total_ops(),
+            total_instrs: self.core.total_instrs(),
+            vertical_waste_cycles: self.core.vertical_waste_cycles(),
+            horizontal_waste_slots: self.core.horizontal_waste_slots(),
+            issue_width: self.issue_width,
+            threads,
+            merge: self.core.merge_stats.clone(),
+            icache: self.core.mem.icache_stats().clone(),
+            dcache: self.core.mem.dcache_stats().clone(),
+            context_switches: self.context_switches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thread::ProgramMeta;
+    use std::sync::Arc;
+    use vliw_core::catalog;
+    use vliw_isa::MachineConfig;
+    use vliw_workloads::build_named;
+
+    fn threads(names: &[&str], seed: u64) -> Vec<SoftThread> {
+        let m = MachineConfig::paper_baseline();
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let img = build_named(n, &m);
+                let meta = Arc::new(ProgramMeta::of(&img));
+                SoftThread::new(&img, meta, i as u64, seed)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn four_threads_on_four_contexts_run_to_budget() {
+        let cfg = SimConfig::paper(catalog::smt_cascade(4), 2000);
+        let stats = Machine::new(&cfg, threads(&["mcf", "bzip2", "x264", "idct"], 1)).run();
+        assert!(stats.threads.iter().any(|t| t.instrs >= cfg.instr_budget));
+        assert!(stats.ipc() > 0.0);
+        assert_eq!(stats.threads.len(), 4);
+    }
+
+    #[test]
+    fn timeslicing_rotates_threads_on_narrow_machines() {
+        // 4 software threads on 1 context: every thread must get cycles.
+        let mut cfg = SimConfig::paper(catalog::by_name("ST").unwrap(), 2000);
+        cfg.timeslice = 2_000;
+        let stats = Machine::new(&cfg, threads(&["mcf", "bzip2", "blowfish", "gsmencode"], 2)).run();
+        assert!(stats.context_switches > 0);
+        for t in &stats.threads {
+            assert!(t.instrs > 0, "thread {} starved", t.name);
+        }
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let cfg = SimConfig::paper(catalog::by_name("2SC3").unwrap(), 5000);
+        let a = Machine::new(&cfg, threads(&["mcf", "cjpeg", "x264", "bzip2"], 3)).run();
+        let b = Machine::new(&cfg, threads(&["mcf", "cjpeg", "x264", "bzip2"], 3)).run();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.total_ops, b.total_ops);
+        assert_eq!(a.context_switches, b.context_switches);
+    }
+
+    #[test]
+    fn max_cycles_caps_runaway() {
+        let mut cfg = SimConfig::paper(catalog::by_name("ST").unwrap(), 1);
+        cfg.max_cycles = 10_000;
+        let stats = Machine::new(&cfg, threads(&["mcf"], 4)).run();
+        assert!(stats.cycles <= 10_000);
+    }
+}

@@ -1,0 +1,184 @@
+//! Experiment-level API: build workloads, run them, sweep in parallel.
+
+use crate::config::SimConfig;
+use crate::os::Machine;
+use crate::stats::RunStats;
+use crate::thread::{ProgramMeta, SoftThread};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use vliw_workloads::{build_named, BenchmarkImage, WorkloadMix};
+
+/// Result of one run: what was run, with which scheme, and the stats.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Scheme name.
+    pub scheme: String,
+    /// Workload label (mix name or benchmark name).
+    pub workload: String,
+    /// Collected statistics.
+    pub stats: RunStats,
+}
+
+impl RunResult {
+    /// Convenience accessor.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+}
+
+/// Cache of compiled benchmark images (compilation is deterministic, so
+/// sharing across runs and threads is sound).
+#[derive(Default)]
+pub struct ImageCache {
+    map: Mutex<HashMap<&'static str, Arc<(BenchmarkImage, Arc<ProgramMeta>)>>>,
+}
+
+impl ImageCache {
+    /// Create an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or build the image + metadata for a benchmark.
+    pub fn get(
+        &self,
+        name: &'static str,
+        machine: &vliw_isa::MachineConfig,
+    ) -> Arc<(BenchmarkImage, Arc<ProgramMeta>)> {
+        let mut map = self.map.lock();
+        map.entry(name)
+            .or_insert_with(|| {
+                let img = build_named(name, machine);
+                let meta = Arc::new(ProgramMeta::of(&img));
+                Arc::new((img, meta))
+            })
+            .clone()
+    }
+}
+
+/// Instantiate the software threads of a benchmark list.
+pub fn make_threads(
+    cache: &ImageCache,
+    cfg: &SimConfig,
+    names: &[&'static str],
+) -> Vec<SoftThread> {
+    names
+        .iter()
+        .enumerate()
+        .map(|(tid, name)| {
+            let entry = cache.get(name, &cfg.machine);
+            SoftThread::new(&entry.0, entry.1.clone(), tid as u64, cfg.seed)
+        })
+        .collect()
+}
+
+/// Run one benchmark alone (the paper's Table-1 single-thread setup).
+pub fn run_single(cache: &ImageCache, cfg: &SimConfig, name: &'static str) -> RunResult {
+    let threads = make_threads(cache, cfg, &[name]);
+    let stats = Machine::new(cfg, threads).run();
+    RunResult {
+        scheme: cfg.scheme.name().to_string(),
+        workload: name.to_string(),
+        stats,
+    }
+}
+
+/// Run a Table-2 mix under the configured scheme.
+pub fn run_mix(cache: &ImageCache, cfg: &SimConfig, mix: &WorkloadMix) -> RunResult {
+    let threads = make_threads(cache, cfg, &mix.members);
+    let stats = Machine::new(cfg, threads).run();
+    RunResult {
+        scheme: cfg.scheme.name().to_string(),
+        workload: mix.name.to_string(),
+        stats,
+    }
+}
+
+/// Run a set of jobs in parallel across OS threads (simulations are
+/// independent and deterministic; results come back in job order).
+pub fn run_jobs<J, F>(jobs: Vec<J>, worker: F, parallelism: usize) -> Vec<RunResult>
+where
+    J: Sync,
+    F: Fn(&J) -> RunResult + Sync,
+{
+    let n = jobs.len();
+    let results: Mutex<Vec<Option<RunResult>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let jobs_ref = &jobs;
+    let worker_ref = &worker;
+    let results_ref = &results;
+    let next_ref = &next;
+    let par = parallelism.max(1).min(n.max(1));
+    crossbeam::scope(|scope| {
+        for _ in 0..par {
+            scope.spawn(move |_| loop {
+                let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = worker_ref(&jobs_ref[i]);
+                results_ref.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("simulation worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("all jobs completed"))
+        .collect()
+}
+
+/// Default sweep parallelism: physical cores minus one, at least 1.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1).max(1))
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_core::catalog;
+    use vliw_workloads::mixes;
+
+    #[test]
+    fn single_run_produces_sane_ipc() {
+        let cache = ImageCache::new();
+        let cfg = SimConfig::paper(catalog::by_name("ST").unwrap(), 5000);
+        let r = run_single(&cache, &cfg, "idct");
+        assert!(r.ipc() > 1.0, "idct single-thread IPC {:.2}", r.ipc());
+        assert!(r.ipc() <= 16.0);
+    }
+
+    #[test]
+    fn mix_run_reports_all_threads() {
+        let cache = ImageCache::new();
+        let cfg = SimConfig::paper(catalog::by_name("2SC3").unwrap(), 5000);
+        let mix = mixes::mix("LLHH").unwrap();
+        let r = run_mix(&cache, &cfg, mix);
+        assert_eq!(r.stats.threads.len(), 4);
+        assert_eq!(r.workload, "LLHH");
+        assert_eq!(r.scheme, "2SC3");
+    }
+
+    #[test]
+    fn parallel_jobs_preserve_order_and_determinism() {
+        let cache = ImageCache::new();
+        let jobs: Vec<&'static str> = vec!["bzip2", "idct", "mcf", "bzip2"];
+        let worker = |name: &&'static str| {
+            let cfg = SimConfig::paper(catalog::by_name("ST").unwrap(), 10000);
+            run_single(&cache, &cfg, name)
+        };
+        let a = run_jobs(jobs.clone(), worker, 4);
+        let b = run_jobs(jobs, worker, 2);
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.workload, y.workload);
+            assert_eq!(x.stats.total_ops, y.stats.total_ops);
+        }
+        // Same benchmark, same config -> identical results.
+        assert_eq!(a[0].stats.total_ops, a[3].stats.total_ops);
+    }
+}

@@ -1,0 +1,185 @@
+//! Run statistics: IPC, waste decomposition, stall attribution.
+
+use vliw_core::MergeStats;
+use vliw_mem::CacheStats;
+
+/// Per-software-thread results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadStats {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Software thread id.
+    pub tid: u32,
+    /// Retired VLIW instructions.
+    pub instrs: u64,
+    /// Retired operations.
+    pub ops: u64,
+    /// Stall cycles charged to data-cache misses.
+    pub dstall_cycles: u64,
+    /// Stall cycles charged to instruction-cache misses.
+    pub istall_cycles: u64,
+    /// Stall cycles charged to taken-branch bubbles.
+    pub branch_stall_cycles: u64,
+    /// Taken branches.
+    pub taken_branches: u64,
+}
+
+/// Full result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Executed cycles.
+    pub cycles: u64,
+    /// Operations issued (all threads).
+    pub total_ops: u64,
+    /// VLIW instructions issued (all threads).
+    pub total_instrs: u64,
+    /// Cycles in which no operation issued (vertical waste).
+    pub vertical_waste_cycles: u64,
+    /// Issue slots wasted in non-empty cycles (horizontal waste).
+    pub horizontal_waste_slots: u64,
+    /// Machine issue width (for waste normalisation).
+    pub issue_width: u32,
+    /// Per-thread breakdown.
+    pub threads: Vec<ThreadStats>,
+    /// Merge-network statistics.
+    pub merge: MergeStats,
+    /// Final I-cache statistics.
+    pub icache: CacheStats,
+    /// Final D-cache statistics.
+    pub dcache: CacheStats,
+    /// Context switches performed by the OS layer.
+    pub context_switches: u64,
+}
+
+impl RunStats {
+    /// Operations per cycle — the paper's IPC metric (VLIW "instructions"
+    /// in the IPC of Figure 4/10 are operations; a 16-issue machine peaks
+    /// at 16).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_ops as f64 / self.cycles as f64
+        }
+    }
+
+    /// VLIW instructions (execution packets' member instructions) per cycle.
+    pub fn instr_throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_instrs as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of cycles with no issue at all.
+    pub fn vertical_waste(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.vertical_waste_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of total issue bandwidth lost to partially-filled cycles.
+    pub fn horizontal_waste(&self) -> f64 {
+        let total_slots = self.cycles.saturating_mul(u64::from(self.issue_width));
+        if total_slots == 0 {
+            0.0
+        } else {
+            self.horizontal_waste_slots as f64 / total_slots as f64
+        }
+    }
+
+    /// Utilisation = 1 - vertical - horizontal (of total slot bandwidth).
+    pub fn utilization(&self) -> f64 {
+        let total_slots = self.cycles.saturating_mul(u64::from(self.issue_width));
+        if total_slots == 0 {
+            0.0
+        } else {
+            self.total_ops as f64 / total_slots as f64
+        }
+    }
+
+    /// Jain's fairness index over per-thread retired instructions.
+    pub fn fairness(&self) -> f64 {
+        if self.threads.is_empty() {
+            return 1.0;
+        }
+        let xs: Vec<f64> = self.threads.iter().map(|t| t.instrs as f64).collect();
+        let sum: f64 = xs.iter().sum();
+        let sq: f64 = xs.iter().map(|x| x * x).sum();
+        if sq == 0.0 {
+            1.0
+        } else {
+            sum * sum / (xs.len() as f64 * sq)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(cycles: u64, ops: u64, width: u32) -> RunStats {
+        RunStats {
+            cycles,
+            total_ops: ops,
+            total_instrs: ops / 2,
+            vertical_waste_cycles: 0,
+            horizontal_waste_slots: 0,
+            issue_width: width,
+            threads: vec![],
+            merge: MergeStats::new(0),
+            icache: CacheStats::default(),
+            dcache: CacheStats::default(),
+            context_switches: 0,
+        }
+    }
+
+    #[test]
+    fn ipc_and_utilization() {
+        let s = stats(100, 400, 16);
+        assert!((s.ipc() - 4.0).abs() < 1e-12);
+        assert!((s.utilization() - 0.25).abs() < 1e-12);
+        assert!((s.instr_throughput() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_is_safe() {
+        let s = stats(0, 0, 16);
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.vertical_waste(), 0.0);
+        assert_eq!(s.horizontal_waste(), 0.0);
+    }
+
+    #[test]
+    fn fairness_index() {
+        let mut s = stats(1, 1, 16);
+        s.threads = vec![
+            ThreadStats {
+                name: "a",
+                tid: 0,
+                instrs: 100,
+                ops: 0,
+                dstall_cycles: 0,
+                istall_cycles: 0,
+                branch_stall_cycles: 0,
+                taken_branches: 0,
+            },
+            ThreadStats {
+                name: "b",
+                tid: 1,
+                instrs: 100,
+                ops: 0,
+                dstall_cycles: 0,
+                istall_cycles: 0,
+                branch_stall_cycles: 0,
+                taken_branches: 0,
+            },
+        ];
+        assert!((s.fairness() - 1.0).abs() < 1e-12);
+        s.threads[1].instrs = 0;
+        assert!((s.fairness() - 0.5).abs() < 1e-12);
+    }
+}

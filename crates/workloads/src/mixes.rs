@@ -1,0 +1,102 @@
+//! The paper's Table 2: nine 4-thread workload configurations.
+
+use crate::spec::{benchmark, BenchmarkSpec};
+
+/// One multiprogrammed workload: four benchmarks classified by the ILP-mix
+/// label the paper uses (`LLHH` = two low-ILP + two high-ILP threads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadMix {
+    /// ILP-combination label (paper Table 2, column "ILP Comb").
+    pub name: &'static str,
+    /// Member benchmarks, thread 0..3.
+    pub members: [&'static str; 4],
+}
+
+impl WorkloadMix {
+    /// Resolve the member benchmark specs.
+    pub fn specs(&self) -> [&'static BenchmarkSpec; 4] {
+        self.members
+            .map(|m| benchmark(m).unwrap_or_else(|| panic!("unknown benchmark {m}")))
+    }
+}
+
+/// Table 2, verbatim.
+pub fn table2_mixes() -> &'static [WorkloadMix] {
+    &TABLE2
+}
+
+/// Look up a mix by its label.
+pub fn mix(name: &str) -> Option<&'static WorkloadMix> {
+    TABLE2.iter().find(|m| m.name == name)
+}
+
+static TABLE2: [WorkloadMix; 9] = [
+    WorkloadMix {
+        name: "LLLL",
+        members: ["mcf", "bzip2", "blowfish", "gsmencode"],
+    },
+    WorkloadMix {
+        name: "LMMH",
+        members: ["bzip2", "cjpeg", "djpeg", "imgpipe"],
+    },
+    WorkloadMix {
+        name: "MMMM",
+        members: ["g721encode", "g721decode", "cjpeg", "djpeg"],
+    },
+    WorkloadMix {
+        name: "LLMM",
+        members: ["gsmencode", "blowfish", "g721encode", "djpeg"],
+    },
+    WorkloadMix {
+        name: "LLMH",
+        members: ["mcf", "blowfish", "cjpeg", "x264"],
+    },
+    WorkloadMix {
+        name: "LLHH",
+        members: ["mcf", "blowfish", "x264", "idct"],
+    },
+    WorkloadMix {
+        name: "LMHH",
+        members: ["gsmencode", "g721encode", "imgpipe", "colorspace"],
+    },
+    WorkloadMix {
+        name: "MMHH",
+        members: ["djpeg", "g721decode", "idct", "colorspace"],
+    },
+    WorkloadMix {
+        name: "HHHH",
+        members: ["x264", "idct", "imgpipe", "colorspace"],
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_mixes_all_resolvable() {
+        assert_eq!(table2_mixes().len(), 9);
+        for m in table2_mixes() {
+            let specs = m.specs();
+            assert_eq!(specs.len(), 4);
+        }
+    }
+
+    #[test]
+    fn labels_match_member_classes() {
+        for m in table2_mixes() {
+            let mut letters: Vec<char> = m.specs().iter().map(|s| s.ilp.letter()).collect();
+            letters.sort_unstable();
+            let mut want: Vec<char> = m.name.chars().collect();
+            want.sort_unstable();
+            assert_eq!(letters, want, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(mix("LLHH").is_some());
+        assert!(mix("XXXX").is_none());
+        assert_eq!(mix("HHHH").unwrap().members[0], "x264");
+    }
+}

@@ -1,0 +1,255 @@
+//! Address-stream models.
+//!
+//! The simulator is trace-driven: memory operations carry a stream id, and
+//! at execution time the owning thread asks its stream generator for the
+//! next address. Three patterns cover the suite:
+//!
+//! * **Strided** — `base + (k * stride) mod working_set`: array walks;
+//!   miss rate ≈ `stride / line` once the working set exceeds the cache.
+//! * **Random** — uniform within the working set: pointer chasing; miss
+//!   rate ≈ `1 - cache/working_set` (for large sets, nearly every access
+//!   misses).
+//! * **Mixed** — the locality model real programs exhibit: most accesses
+//!   walk a small cache-resident *hot* region; a `cold_permille` fraction
+//!   touches the large *cold* region (strided or random). This is the knob
+//!   that calibrates each benchmark's `IPCr` against its `IPCp` — the
+//!   dynamic cold share is exact regardless of how many static memory
+//!   operations the kernel has.
+//!
+//! Generators are deterministic per (thread, stream, seed) — two identical
+//! runs produce identical address traces.
+
+/// The access pattern of one stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamPattern {
+    /// Sequential walk with a fixed byte stride, wrapping at the working
+    /// set boundary.
+    Strided {
+        /// Byte distance between consecutive accesses.
+        stride: u64,
+        /// Wrap-around footprint in bytes.
+        working_set: u64,
+    },
+    /// Uniform-random word accesses within the working set.
+    Random {
+        /// Footprint in bytes.
+        working_set: u64,
+    },
+    /// Hot/cold locality mix (see module docs).
+    Mixed {
+        /// Hot-region footprint (should fit the cache comfortably).
+        hot_set: u64,
+        /// Cold-region footprint.
+        cold_set: u64,
+        /// Per-access probability of going cold, in 1/1000 units.
+        cold_permille: u16,
+        /// Cold-region stride; 0 = uniform random (pointer chasing).
+        cold_stride: u64,
+    },
+}
+
+/// One stream: a pattern anchored at a base address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSpec {
+    /// Pattern of the stream.
+    pub pattern: StreamPattern,
+    /// Base byte address (the simulator adds a per-thread offset so
+    /// distinct software threads never share data).
+    pub base: u64,
+}
+
+impl StreamSpec {
+    /// Total footprint in bytes (for laying out disjoint streams).
+    pub fn footprint(&self) -> u64 {
+        match self.pattern {
+            StreamPattern::Strided { working_set, .. }
+            | StreamPattern::Random { working_set } => working_set,
+            StreamPattern::Mixed {
+                hot_set, cold_set, ..
+            } => hot_set + cold_set,
+        }
+    }
+}
+
+/// Mutable per-thread state of one stream.
+#[derive(Debug, Clone)]
+pub struct StreamState {
+    spec: StreamSpec,
+    counter: u64,
+    cold_counter: u64,
+    rng: u64,
+}
+
+impl StreamState {
+    /// Fresh state with a deterministic per-thread seed.
+    pub fn new(spec: StreamSpec, seed: u64) -> Self {
+        StreamState {
+            spec,
+            counter: 0,
+            cold_counter: 0,
+            rng: seed | 1,
+        }
+    }
+
+    #[inline]
+    fn next_rng(&mut self) -> u64 {
+        // xorshift64*: cheap, deterministic, good enough spread.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Next address of the stream.
+    #[inline]
+    pub fn next_addr(&mut self) -> u64 {
+        match self.spec.pattern {
+            StreamPattern::Strided {
+                stride,
+                working_set,
+            } => {
+                let off = (self.counter * stride) % working_set.max(1);
+                self.counter += 1;
+                self.spec.base + off
+            }
+            StreamPattern::Random { working_set } => {
+                let r = self.next_rng();
+                let off = (r % working_set.max(1)) & !3; // word aligned
+                self.spec.base + off
+            }
+            StreamPattern::Mixed {
+                hot_set,
+                cold_set,
+                cold_permille,
+                cold_stride,
+            } => {
+                let r = self.next_rng();
+                if ((r >> 32) % 1000) < u64::from(cold_permille) {
+                    // Cold access, past the hot region.
+                    let off = if cold_stride == 0 {
+                        (r % cold_set.max(1)) & !3
+                    } else {
+                        let o = (self.cold_counter * cold_stride) % cold_set.max(1);
+                        self.cold_counter += 1;
+                        o
+                    };
+                    self.spec.base + hot_set + off
+                } else {
+                    let off = (self.counter * 4) % hot_set.max(1);
+                    self.counter += 1;
+                    self.spec.base + off
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strided_wraps_at_working_set() {
+        let mut s = StreamState::new(
+            StreamSpec {
+                pattern: StreamPattern::Strided {
+                    stride: 64,
+                    working_set: 256,
+                },
+                base: 0x1000,
+            },
+            7,
+        );
+        let addrs: Vec<u64> = (0..6).map(|_| s.next_addr()).collect();
+        assert_eq!(addrs, vec![0x1000, 0x1040, 0x1080, 0x10C0, 0x1000, 0x1040]);
+    }
+
+    #[test]
+    fn random_stays_in_working_set_and_is_deterministic() {
+        let spec = StreamSpec {
+            pattern: StreamPattern::Random { working_set: 4096 },
+            base: 0x8000,
+        };
+        let mut a = StreamState::new(spec, 42);
+        let mut b = StreamState::new(spec, 42);
+        for _ in 0..1000 {
+            let x = a.next_addr();
+            assert_eq!(x, b.next_addr());
+            assert!((0x8000..0x8000 + 4096).contains(&x));
+            assert_eq!(x % 4, 0, "word aligned");
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let spec = StreamSpec {
+            pattern: StreamPattern::Random {
+                working_set: 1 << 20,
+            },
+            base: 0,
+        };
+        let mut a = StreamState::new(spec, 1);
+        let mut b = StreamState::new(spec, 2);
+        let same = (0..100).filter(|_| a.next_addr() == b.next_addr()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn mixed_cold_share_is_exact() {
+        let spec = StreamSpec {
+            pattern: StreamPattern::Mixed {
+                hot_set: 1 << 12,
+                cold_set: 1 << 24,
+                cold_permille: 150,
+                cold_stride: 0,
+            },
+            base: 0,
+        };
+        let mut s = StreamState::new(spec, 99);
+        let n = 100_000;
+        let cold = (0..n)
+            .filter(|_| s.next_addr() >= (1 << 12))
+            .count();
+        let share = cold as f64 / n as f64;
+        assert!(
+            (share - 0.150).abs() < 0.01,
+            "cold share {share} should be ~0.150"
+        );
+    }
+
+    #[test]
+    fn mixed_strided_cold_walks_sequentially() {
+        let spec = StreamSpec {
+            pattern: StreamPattern::Mixed {
+                hot_set: 4096,
+                cold_set: 1 << 20,
+                cold_permille: 1000, // always cold
+                cold_stride: 4,
+            },
+            base: 0,
+        };
+        let mut s = StreamState::new(spec, 3);
+        let a0 = s.next_addr();
+        let a1 = s.next_addr();
+        let a2 = s.next_addr();
+        assert_eq!(a1 - a0, 4);
+        assert_eq!(a2 - a1, 4);
+        assert!(a0 >= 4096);
+    }
+
+    #[test]
+    fn footprints_cover_both_regions() {
+        let spec = StreamSpec {
+            pattern: StreamPattern::Mixed {
+                hot_set: 4096,
+                cold_set: 8192,
+                cold_permille: 100,
+                cold_stride: 0,
+            },
+            base: 0,
+        };
+        assert_eq!(spec.footprint(), 12288);
+    }
+}

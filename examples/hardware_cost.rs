@@ -1,0 +1,54 @@
+//! Hardware-cost explorer: how the merge-control families scale with
+//! thread count, and what each paper scheme costs.
+//!
+//! ```text
+//! cargo run --release --example hardware_cost
+//! ```
+
+use vliw_tms::core::{catalog, parser};
+use vliw_tms::hwcost::{fig5_sweep, scheme_cost};
+
+fn main() {
+    println!("Merge-control cost vs thread count (4-cluster, 4-issue machine)\n");
+    println!(
+        "{:>7} | {:>12} {:>12} {:>12} | {:>8} {:>8} {:>8}",
+        "threads", "CSMT-SL [T]", "CSMT-PL [T]", "SMT [T]", "SL [gd]", "PL [gd]", "SMT [gd]"
+    );
+    for r in fig5_sweep(8, 4, 4) {
+        println!(
+            "{:>7} | {:>12} {:>12} {:>12} | {:>8} {:>8} {:>8}",
+            r.threads,
+            r.csmt_sl_transistors,
+            r.csmt_pl_transistors,
+            r.smt_transistors,
+            r.csmt_sl_delays,
+            r.csmt_pl_delays,
+            r.smt_delays
+        );
+    }
+
+    println!("\nPer-scheme cost (paper Figure 9 order):\n");
+    println!(
+        "{:<6} {:>12} {:>12} {:>10}",
+        "scheme", "transistors", "gate delays", "SMT blocks"
+    );
+    for scheme in catalog::paper_schemes() {
+        let c = scheme_cost(&scheme, 4, 4);
+        println!(
+            "{:<6} {:>12} {:>12} {:>10}",
+            c.name, c.transistors, c.gate_delays, c.smt_blocks
+        );
+    }
+
+    // The paper's grammar generalizes: price some 8-thread designs.
+    println!("\n8-thread extension schemes:\n");
+    for name in ["C8", "7CCCCCCC", "7SCCCCCC", "7SSSSSSS"] {
+        let scheme = parser::parse(name).expect("extension scheme parses");
+        let c = scheme_cost(&scheme, 4, 4);
+        println!(
+            "{:<9} {:>12} transistors, {:>3} gate delays",
+            name, c.transistors, c.gate_delays
+        );
+    }
+    println!("\n(the paper supports 2SC3: near-1S cost, near-3SSS performance)");
+}

@@ -1,0 +1,57 @@
+//! Quickstart: simulate the paper's headline configuration.
+//!
+//! Builds the 16-issue 4-cluster machine, compiles the LLHH workload
+//! (mcf + blowfish + x264 + idct) and runs it under the paper's recommended
+//! scheme `2SC3`, printing IPC, waste decomposition and merge statistics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use vliw_tms::core::catalog;
+use vliw_tms::sim::runner::{self, ImageCache};
+use vliw_tms::sim::SimConfig;
+use vliw_tms::workloads::mixes;
+
+fn main() {
+    // 1/100 of the paper's 100M-instruction run — a couple of seconds.
+    let scheme = catalog::by_name("2SC3").expect("2SC3 is in the catalog");
+    println!(
+        "scheme 2SC3: {} SMT block(s), {} CSMT block(s), {} cascade level(s)",
+        scheme.smt_blocks(),
+        scheme.csmt_blocks(),
+        scheme.levels()
+    );
+
+    let cfg = SimConfig::paper(scheme, 100);
+    let cache = ImageCache::new();
+    let mix = mixes::mix("LLHH").expect("LLHH is in Table 2");
+    println!(
+        "workload LLHH: {:?}\nrunning {} instructions per thread...\n",
+        mix.members, cfg.instr_budget
+    );
+
+    let result = runner::run_mix(&cache, &cfg, mix);
+    let s = &result.stats;
+    println!("cycles            : {}", s.cycles);
+    println!("IPC               : {:.2} (of {} issue slots)", s.ipc(), s.issue_width);
+    println!("vertical waste    : {:.1}% of cycles", s.vertical_waste() * 100.0);
+    println!("horizontal waste  : {:.1}% of slot bandwidth", s.horizontal_waste() * 100.0);
+    println!("utilization       : {:.1}%", s.utilization() * 100.0);
+    println!("fairness (Jain)   : {:.3}", s.fairness());
+    println!("D$ miss rate      : {:.2}%", s.dcache.miss_rate() * 100.0);
+
+    println!("\nthreads-per-packet histogram:");
+    for (k, &n) in s.merge.packet_histogram().iter().enumerate().take(5) {
+        let share = n as f64 / s.cycles.max(1) as f64 * 100.0;
+        println!("  {k} thread(s): {share:5.1}% of cycles");
+    }
+
+    println!("\nper-thread progress:");
+    for t in &s.threads {
+        println!(
+            "  {:<10} instrs={:<9} ops={:<9} d-stall={} br-stall={}",
+            t.name, t.instrs, t.ops, t.dstall_cycles, t.branch_stall_cycles
+        );
+    }
+}

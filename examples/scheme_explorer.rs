@@ -1,0 +1,59 @@
+//! Scheme explorer: sweep every merging scheme of the paper (plus any
+//! custom scheme named on the command line) over one workload mix and rank
+//! them by performance and by hardware cost.
+//!
+//! ```text
+//! cargo run --release --example scheme_explorer -- [MIX] [EXTRA_SCHEME...]
+//! cargo run --release --example scheme_explorer -- MMHH 3CSC 5SCCCC
+//! ```
+
+use vliw_tms::core::{catalog, parser};
+use vliw_tms::hwcost::scheme_cost;
+use vliw_tms::sim::runner::{self, ImageCache};
+use vliw_tms::sim::SimConfig;
+use vliw_tms::workloads::mixes;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mix_name = args.first().map(String::as_str).unwrap_or("LLHH");
+    let mix = mixes::mix(mix_name).unwrap_or_else(|| {
+        eprintln!("unknown mix {mix_name}; pick one of Table 2 (LLLL..HHHH)");
+        std::process::exit(2);
+    });
+
+    let mut schemes = catalog::paper_schemes();
+    for extra in args.iter().skip(1) {
+        match parser::parse(extra) {
+            Ok(s) if s.n_ports() <= 4 => schemes.push(s),
+            Ok(s) => eprintln!("skipping {extra}: {} ports > 4-thread workload", s.n_ports()),
+            Err(e) => eprintln!("skipping {extra}: {e}"),
+        }
+    }
+
+    let cache = ImageCache::new();
+    println!(
+        "{:<6} {:>6} {:>8} {:>12} {:>11} {:>10}",
+        "scheme", "IPC", "IPC/1S", "transistors", "gate delays", "SMT blocks"
+    );
+    let baseline = {
+        let cfg = SimConfig::paper(catalog::by_name("1S").unwrap(), 200);
+        runner::run_mix(&cache, &cfg, mix).ipc()
+    };
+    let mut rows: Vec<(String, f64, u64, u32, usize)> = schemes
+        .into_iter()
+        .map(|scheme| {
+            let cost = scheme_cost(&scheme, 4, 4);
+            let cfg = SimConfig::paper(scheme, 200);
+            let ipc = runner::run_mix(&cache, &cfg, mix).ipc();
+            (cost.name, ipc, cost.transistors, cost.gate_delays, cost.smt_blocks)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (name, ipc, trans, delay, smt) in rows {
+        println!(
+            "{name:<6} {ipc:>6.2} {:>8.2} {trans:>12} {delay:>11} {smt:>10}",
+            ipc / baseline
+        );
+    }
+    println!("\n(workload {mix_name}: {:?})", mix.members);
+}

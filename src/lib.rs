@@ -1,0 +1,39 @@
+//! # vliw-tms — Thread Merging Schemes for Multithreaded Clustered VLIW Processors
+//!
+//! A full reproduction of Gupta, Sánchez & Llosa (ICPP 2009) as a Rust
+//! workspace. This facade crate re-exports every subsystem:
+//!
+//! * [`isa`] — the VEX-like clustered VLIW ISA model;
+//! * [`compiler`] — dependence graphs, Bottom-Up-Greedy cluster assignment,
+//!   list scheduling, unrolling;
+//! * [`workloads`] — the synthetic Table-1 benchmark suite and Table-2
+//!   workload mixes;
+//! * [`mem`] — the shared I$/D$ hierarchy;
+//! * [`core`] — **the paper's contribution**: SMT/CSMT hybrid merging
+//!   schemes, their evaluation and routing;
+//! * [`hwcost`] — gate-level transistor/delay models of the merge-control
+//!   hardware;
+//! * [`sim`] — the cycle-accurate multithreaded processor simulator and
+//!   experiment drivers.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vliw_tms::{core, sim, workloads};
+//!
+//! // The paper's 16-issue machine and its headline scheme, 2SC3.
+//! let scheme = core::catalog::by_name("2SC3").unwrap();
+//! let cfg = sim::SimConfig::paper(scheme, 50_000); // heavily scaled down
+//! let cache = sim::runner::ImageCache::new();
+//! let mix = workloads::mixes::mix("LLHH").unwrap();
+//! let result = sim::runner::run_mix(&cache, &cfg, mix);
+//! assert!(result.ipc() > 1.0 && result.ipc() <= 16.0);
+//! ```
+
+pub use vliw_compiler as compiler;
+pub use vliw_core as core;
+pub use vliw_hwcost as hwcost;
+pub use vliw_isa as isa;
+pub use vliw_mem as mem;
+pub use vliw_sim as sim;
+pub use vliw_workloads as workloads;

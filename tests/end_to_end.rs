@@ -1,0 +1,144 @@
+//! Cross-crate integration: the full compile → simulate pipeline.
+
+use std::sync::Arc;
+use vliw_tms::compiler::{compile, CompileOptions, IrBlock, IrFunction, IrOp, Terminator, VirtReg};
+use vliw_tms::core::catalog;
+use vliw_tms::isa::{MachineConfig, Opcode};
+use vliw_tms::sim::runner::{self, ImageCache};
+use vliw_tms::sim::thread::ProgramMeta;
+use vliw_tms::sim::{os, SimConfig, SoftThread};
+use vliw_tms::workloads::{self, mixes};
+
+/// Hand-built IR survives the whole pipeline and executes with the exact
+/// cycle count the schedule implies.
+#[test]
+fn hand_built_kernel_runs_cycle_accurately() {
+    let machine = MachineConfig::paper_baseline();
+    let mut f = IrFunction::new("tiny");
+    let a = f.fresh_vreg();
+    let b = f.fresh_vreg();
+    let c = f.fresh_vreg();
+    // Three dependent single-cycle ops + return: the block is 3 cycles
+    // (the return shares the last cycle), plus the 2-cycle taken-branch
+    // penalty for the wrap-around.
+    f.push_block(
+        IrBlock::new(vec![
+            IrOp::new(Opcode::Add).dst(b).srcs(&[a]).imm(1),
+            IrOp::new(Opcode::Add).dst(c).srcs(&[b]).imm(1),
+            IrOp::new(Opcode::Add).dst(a).srcs(&[c]).imm(1),
+        ])
+        .with_term(Terminator::Return),
+    );
+    let program = compile(&machine, &f, CompileOptions { unroll: 1, verify: true }).unwrap();
+    assert_eq!(program.blocks.len(), 1);
+    let n_instrs = program.blocks[0].instrs.len() as u64;
+    assert_eq!(n_instrs, 3, "3-op chain schedules into 3 instructions");
+
+    // Run it raw through a single-thread core with perfect memory.
+    let image = workloads::BenchmarkImage {
+        spec: workloads::benchmark("mcf").unwrap().clone(), // spec irrelevant here
+        program,
+        streams: vec![],
+    };
+    let cfg = SimConfig::paper(catalog::by_name("ST").unwrap(), 1_000_000).with_perfect_memory();
+    let meta = Arc::new(ProgramMeta::of(&image));
+    let thread = SoftThread::new(&image, meta, 0, 1);
+    let stats = os::Machine::new(&cfg, vec![thread]).run();
+    // Per loop pass: 3 instruction cycles + 2 penalty cycles.
+    let per_pass = 3 + 2;
+    let passes = stats.threads[0].instrs / n_instrs;
+    let expect = passes * per_pass;
+    let tolerance = per_pass + 1;
+    assert!(
+        stats.cycles.abs_diff(expect) <= tolerance,
+        "cycles {} vs expected {expect}",
+        stats.cycles
+    );
+}
+
+/// The same run is bit-identical across repetitions and parallelism.
+#[test]
+fn determinism_across_runs() {
+    let cache = ImageCache::new();
+    let one = |seed: u64| {
+        let mut cfg = SimConfig::paper(catalog::by_name("2SC3").unwrap(), 2000);
+        cfg.seed = seed;
+        runner::run_mix(&cache, &cfg, mixes::mix("MMHH").unwrap())
+    };
+    let a = one(7);
+    let b = one(7);
+    assert_eq!(a.stats.cycles, b.stats.cycles);
+    assert_eq!(a.stats.total_ops, b.stats.total_ops);
+    for (x, y) in a.stats.threads.iter().zip(&b.stats.threads) {
+        assert_eq!(x.instrs, y.instrs);
+        assert_eq!(x.dstall_cycles, y.dstall_cycles);
+    }
+    // Different seeds genuinely change OS scheduling/addresses.
+    let c = one(8);
+    assert_ne!(a.stats.cycles, c.stats.cycles);
+}
+
+/// Timeslicing on a narrow machine serves every thread (no starvation),
+/// and more contexts means fewer context switches to finish the budget.
+#[test]
+fn os_scheduling_fairness() {
+    let cache = ImageCache::new();
+    let mut cfg = SimConfig::paper(catalog::by_name("ST").unwrap(), 2000);
+    cfg.timeslice = 5_000;
+    let r1 = runner::run_mix(&cache, &cfg, mixes::mix("LLLL").unwrap());
+    assert!(r1.stats.context_switches > 0);
+    for t in &r1.stats.threads {
+        assert!(t.instrs > 0, "{} starved on the 1-context machine", t.name);
+    }
+    let mut cfg4 = SimConfig::paper(catalog::by_name("3SSS").unwrap(), 2000);
+    cfg4.timeslice = 5_000;
+    let r4 = runner::run_mix(&cache, &cfg4, mixes::mix("LLLL").unwrap());
+    assert!(
+        r4.stats.cycles < r1.stats.cycles,
+        "4 contexts must finish the budget in fewer cycles"
+    );
+}
+
+/// IPC never exceeds machine width; caches and merge stats are consistent.
+#[test]
+fn invariants_hold_across_all_mixes() {
+    let cache = ImageCache::new();
+    for mix in mixes::table2_mixes() {
+        let cfg = SimConfig::paper(catalog::by_name("2SC3").unwrap(), 5000);
+        let r = runner::run_mix(&cache, &cfg, mix);
+        let s = &r.stats;
+        assert!(s.ipc() <= 16.0, "{}: IPC {}", mix.name, s.ipc());
+        assert!(s.utilization() <= 1.0);
+        assert!(s.vertical_waste() <= 1.0);
+        // Packet histogram sums to cycles.
+        let hist_sum: u64 = s.merge.packet_histogram().iter().sum();
+        assert_eq!(hist_sum, s.cycles, "{}", mix.name);
+        // Ops issued through the merge network match thread accounting.
+        let thread_ops: u64 = s.threads.iter().map(|t| t.ops).sum();
+        assert_eq!(thread_ops, s.total_ops, "{}", mix.name);
+        // Cache sanity.
+        assert!(s.dcache.total_misses() <= s.dcache.total_accesses());
+        assert!(s.icache.total_misses() <= s.icache.total_accesses());
+    }
+}
+
+/// Perfect memory dominates real memory for every benchmark and mix.
+#[test]
+fn perfect_memory_dominates() {
+    let cache = ImageCache::new();
+    for name in ["mcf", "colorspace"] {
+        let real = {
+            let cfg = SimConfig::paper(catalog::by_name("ST").unwrap(), 2000);
+            runner::run_single(&cache, &cfg, name).ipc()
+        };
+        let perfect = {
+            let cfg =
+                SimConfig::paper(catalog::by_name("ST").unwrap(), 2000).with_perfect_memory();
+            runner::run_single(&cache, &cfg, name).ipc()
+        };
+        assert!(
+            perfect >= real * 0.98,
+            "{name}: perfect {perfect:.2} vs real {real:.2}"
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Behavioural integration tests of the merge layer against the simulator:
+//! why the schemes rank the way they do. These encode the paper's causal
+//! explanations (§5.2), not just the outcomes.
+
+use vliw_tms::core::catalog;
+use vliw_tms::sim::runner::{self, ImageCache};
+use vliw_tms::sim::SimConfig;
+use vliw_tms::workloads::mixes;
+
+fn run(scheme: &str, mix: &str, scale: u64) -> vliw_tms::sim::RunStats {
+    let cache = ImageCache::new();
+    let cfg = SimConfig::paper(catalog::by_name(scheme).unwrap(), scale);
+    runner::run_mix(&cache, &cfg, mixes::mix(mix).unwrap()).stats
+}
+
+/// "Using CSMT merging after the threads have been merged using SMT results
+/// into a significant restriction on merging" (§5.2 on scheme 2SC): the
+/// top-level CSMT block of 2SC must show a far lower success rate than the
+/// top-level SMT block of 2CS on the same workload.
+#[test]
+fn csmt_after_smt_is_restricted() {
+    let sc = run("2SC", "MMHH", 2000);
+    let cs = run("2CS", "MMHH", 2000);
+    // Block ids are DFS-postorder: for both trees the top block is node 2.
+    let sc_top = sc.merge.success_rate(2);
+    let cs_top = cs.merge.success_rate(2);
+    assert!(
+        sc_top < cs_top,
+        "top-level C-after-S success {sc_top:.2} must trail S-after-C {cs_top:.2}"
+    );
+}
+
+/// Multi-thread packets are the mechanism: 4-thread SMT must issue 3+
+/// thread packets substantially more often than 4-thread CSMT on a
+/// high-ILP mix (where cluster conflicts abound).
+#[test]
+fn smt_builds_bigger_packets_on_high_ilp() {
+    let smt = run("3SSS", "HHHH", 2000);
+    let csmt = run("3CCC", "HHHH", 2000);
+    let big = |s: &vliw_tms::sim::RunStats| {
+        let h = s.merge.packet_histogram();
+        (h[3] + h[4]) as f64 / s.cycles.max(1) as f64
+    };
+    assert!(
+        big(&smt) > big(&csmt) * 1.2,
+        "SMT 3+-thread packet share {:.3} vs CSMT {:.3}",
+        big(&smt),
+        big(&csmt)
+    );
+}
+
+/// Multithreading attacks vertical waste first: going 1T -> 4T must slash
+/// the empty-cycle fraction on a low-ILP, miss-heavy mix.
+#[test]
+fn multithreading_recovers_vertical_waste() {
+    let st = run("ST", "LLLL", 2000);
+    let smt = run("3SSS", "LLLL", 2000);
+    assert!(
+        smt.vertical_waste() < st.vertical_waste() * 0.5,
+        "vertical waste {:.2} -> {:.2} should halve",
+        st.vertical_waste(),
+        smt.vertical_waste()
+    );
+    assert!(smt.ipc() > st.ipc() * 2.0);
+}
+
+/// The hybrid's division of labour: in 2SC3, the SMT block's success rate
+/// exceeds the CSMT block's on cluster-saturated (high-ILP) workloads —
+/// that is exactly what the paper buys by spending the one SMT block.
+#[test]
+fn hybrid_smt_block_earns_its_cost() {
+    let s = run("2SC3", "HHHH", 2000);
+    // DFS order: node 0 = the SMT pair block, node 1 = the parallel CSMT.
+    let smt_rate = s.merge.success_rate(0);
+    let csmt_rate = s.merge.success_rate(1);
+    assert!(
+        smt_rate > csmt_rate,
+        "SMT block success {smt_rate:.2} must exceed CSMT block {csmt_rate:.2} on HHHH"
+    );
+}
+
+/// Cache interference is real but bounded: the shared D$ sees cross-thread
+/// evictions under a 4-thread mix, yet each thread still progresses.
+#[test]
+fn shared_cache_interference_is_observable() {
+    let s = run("3SSS", "LLHH", 2000);
+    assert!(
+        s.dcache.interference_evictions > 0,
+        "co-running threads must evict each other occasionally"
+    );
+    for t in &s.threads {
+        assert!(t.instrs > 0, "{} starved", t.name);
+    }
+}

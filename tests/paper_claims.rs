@@ -1,0 +1,135 @@
+//! Integration tests pinning the paper's §5.2 claims and figure shapes at
+//! reduced scale. These are the "does the reproduction still reproduce?"
+//! regression tests; EXPERIMENTS.md records the full-scale numbers.
+
+use vliw_tms::core::catalog;
+use vliw_tms::hwcost::scheme_cost;
+use vliw_tms::sim::experiments;
+
+const SCALE: u64 = 1000; // 100k instructions per thread
+const PAR: usize = 8;
+
+/// Figure 4: multithreading scales — 4T SMT > 2T SMT > single thread, and
+/// the 4T-over-2T gain is in the paper's ballpark (+61%).
+#[test]
+fn fig4_smt_scales_with_threads() {
+    let d = experiments::fig4(SCALE, PAR);
+    let [st, smt2, smt4] = d.averages();
+    assert!(smt2 > st * 1.3, "2T {smt2:.2} vs 1T {st:.2}");
+    assert!(smt4 > smt2 * 1.3, "4T {smt4:.2} vs 2T {smt2:.2}");
+    let gain = (smt4 / smt2 - 1.0) * 100.0;
+    assert!(
+        (30.0..100.0).contains(&gain),
+        "4T-over-2T gain {gain:.0}% too far from paper's 61%"
+    );
+}
+
+/// Figure 6: SMT beats CSMT on every mix; the average advantage is near
+/// the paper's 27%.
+#[test]
+fn fig6_smt_advantage_over_csmt() {
+    let d = experiments::fig6(SCALE, PAR);
+    for (mix, smt, csmt, _) in &d.rows {
+        assert!(smt >= csmt, "{mix}: SMT {smt:.2} < CSMT {csmt:.2}");
+    }
+    let avg = d.average();
+    assert!(
+        (10.0..60.0).contains(&avg),
+        "average SMT advantage {avg:.0}% too far from paper's 27%"
+    );
+}
+
+/// §5.2 headline: 2SC3 lands between 4T CSMT and 4T SMT, well above 1S.
+#[test]
+fn headline_2sc3_tradeoff() {
+    let d = experiments::fig10(SCALE, PAR);
+    let avg = |n: &str| d.average_of(n).unwrap();
+    let sc3 = avg("2SC3");
+    assert!(
+        sc3 > avg("3CCC") * 1.05,
+        "2SC3 {sc3:.2} must beat 4T CSMT {:.2} clearly (paper +14%)",
+        avg("3CCC")
+    );
+    assert!(
+        sc3 > avg("1S") * 1.2,
+        "2SC3 {sc3:.2} must beat 2T SMT {:.2} clearly (paper +45%)",
+        avg("1S")
+    );
+    assert!(
+        sc3 < avg("3SSS"),
+        "2SC3 {sc3:.2} must stay below 4T SMT {:.2} (paper -11%)",
+        avg("3SSS")
+    );
+}
+
+/// Figure 10 ordering: the endpoints and the broad ranking hold.
+#[test]
+fn fig10_scheme_ordering() {
+    let d = experiments::fig10(SCALE, PAR);
+    let avg = |n: &str| d.average_of(n).unwrap();
+    // Endpoints.
+    for name in vliw_tms::core::catalog::paper_scheme_names() {
+        if name == "1S" || name == "3SSS" {
+            continue;
+        }
+        assert!(avg(name) >= avg("1S") * 0.98, "{name} below the 1S floor");
+        assert!(avg(name) <= avg("3SSS") * 1.02, "{name} above the 3SSS ceiling");
+    }
+    // Identical-by-construction groups (serial vs parallel CSMT).
+    assert!((avg("3CCC") - avg("C4")).abs() < 1e-9);
+    assert!((avg("3SCC") - avg("2SC3")).abs() < 1e-9);
+    assert!((avg("3CCS") - avg("2C3S")).abs() < 1e-9);
+    // Tree pair-merging loses opportunities: 2CC <= 3CCC (paper §4.1).
+    assert!(avg("2CC") <= avg("3CCC") + 1e-9);
+    // Pure-SMT trees/cascades lead the field.
+    assert!(avg("3SSS") >= avg("2SS"));
+    assert!(avg("2SS") >= avg("2SC3") * 0.98);
+}
+
+/// Figure 9 cost claims: 2SC3 ≈ 1S in both metrics; CSMT-only schemes are
+/// the cheapest; cost ranks by SMT-block count.
+#[test]
+fn fig9_cost_claims() {
+    let cost = |n: &str| scheme_cost(&catalog::by_name(n).unwrap(), 4, 4);
+    let one_s = cost("1S");
+    let sc3 = cost("2SC3");
+    let ratio = sc3.transistors as f64 / one_s.transistors as f64;
+    assert!(
+        (0.9..1.7).contains(&ratio),
+        "2SC3 transistors {:.2}x of 1S (paper: comparable)",
+        ratio
+    );
+    assert!(
+        sc3.gate_delays <= one_s.gate_delays + 8,
+        "2SC3 delay {} too far above 1S {}",
+        sc3.gate_delays,
+        one_s.gate_delays
+    );
+    let sss = cost("3SSS");
+    assert!(sss.transistors > 2 * one_s.transistors);
+    assert!(cost("C4").transistors < one_s.transistors / 2);
+}
+
+/// Table 1 shape: ILP classes are ordered, and perfect memory never loses.
+#[test]
+fn table1_class_ordering() {
+    let rows = experiments::table1(SCALE, PAR);
+    let class_avg = |c: char| {
+        let xs: Vec<f64> = rows.iter().filter(|r| r.ilp == c).map(|r| r.ipcp).collect();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    let (l, m, h) = (class_avg('L'), class_avg('M'), class_avg('H'));
+    assert!(h > m && m > l, "ILP classes out of order: L={l:.2} M={m:.2} H={h:.2}");
+    for r in &rows {
+        assert!(r.ipcp >= r.ipcr * 0.95, "{}: IPCp below IPCr", r.name);
+        // Within a loose band of the paper's values (synthetic stand-ins).
+        let rel_p = r.ipcp / r.paper_ipcp;
+        assert!(
+            (0.6..1.6).contains(&rel_p),
+            "{}: IPCp {:.2} vs paper {:.2} off by more than 60%",
+            r.name,
+            r.ipcp,
+            r.paper_ipcp
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Whole-simulation scheme equivalences and rotation-policy behaviour.
+
+use vliw_tms::core::{catalog, parser, PriorityPolicy};
+use vliw_tms::sim::runner::{self, ImageCache};
+use vliw_tms::sim::SimConfig;
+use vliw_tms::workloads::mixes;
+
+/// Serial/parallel CSMT pairs are cycle-identical end to end, not just in
+/// the unit-level evaluator: the whole simulation produces the same counts.
+#[test]
+fn serial_parallel_pairs_are_cycle_identical() {
+    let cache = ImageCache::new();
+    let pairs = [("3CCC", "C4"), ("3SCC", "2SC3"), ("3CCS", "2C3S")];
+    for (a, b) in pairs {
+        for mix_name in ["LLLL", "LLHH", "HHHH"] {
+            let run = |scheme: &str| {
+                let cfg = SimConfig::paper(catalog::by_name(scheme).unwrap(), 5000);
+                runner::run_mix(&cache, &cfg, mixes::mix(mix_name).unwrap())
+            };
+            let ra = run(a);
+            let rb = run(b);
+            assert_eq!(ra.stats.cycles, rb.stats.cycles, "{a} vs {b} on {mix_name}");
+            assert_eq!(
+                ra.stats.total_ops, rb.stats.total_ops,
+                "{a} vs {b} on {mix_name}"
+            );
+        }
+    }
+}
+
+/// Parsed schemes behave identically to catalog-built ones.
+#[test]
+fn parser_and_catalog_agree_in_simulation() {
+    let cache = ImageCache::new();
+    for name in ["2SC3", "2CS", "3SSC"] {
+        let run = |scheme: vliw_tms::core::MergeScheme| {
+            let cfg = SimConfig::paper(scheme, 5000);
+            runner::run_mix(&cache, &cfg, mixes::mix("LLMH").unwrap())
+        };
+        let a = run(catalog::by_name(name).unwrap());
+        let b = run(parser::parse(name).unwrap());
+        assert_eq!(a.stats.cycles, b.stats.cycles, "{name}");
+        assert_eq!(a.stats.total_ops, b.stats.total_ops, "{name}");
+    }
+}
+
+/// Round-robin rotation is dramatically fairer than a fixed priority
+/// order, at comparable throughput.
+#[test]
+fn rotation_policies_change_fairness() {
+    let cache = ImageCache::new();
+    let run = |policy: PriorityPolicy| {
+        let mut cfg = SimConfig::paper(catalog::by_name("3CCC").unwrap(), 2000);
+        cfg.priority = policy;
+        runner::run_mix(&cache, &cfg, mixes::mix("HHHH").unwrap())
+    };
+    let fixed = run(PriorityPolicy::Fixed);
+    let rr = run(PriorityPolicy::RoundRobin);
+    assert!(
+        rr.stats.fairness() > fixed.stats.fairness(),
+        "round-robin fairness {:.3} must beat fixed {:.3}",
+        rr.stats.fairness(),
+        fixed.stats.fairness()
+    );
+}
+
+/// The 8-thread extension schemes run and rank sensibly: full SMT >=
+/// hybrid >= full serial CSMT.
+#[test]
+fn eight_thread_extension_ranks() {
+    let cache = ImageCache::new();
+    let pool: [&'static str; 8] = [
+        "mcf", "bzip2", "blowfish", "gsmencode", "x264", "idct", "imgpipe", "colorspace",
+    ];
+    let run = |name: &str| {
+        let scheme = parser::parse(name).unwrap();
+        let cfg = SimConfig::paper(scheme, 5000);
+        let threads = runner::make_threads(&cache, &cfg, &pool);
+        vliw_tms::sim::os::Machine::new(&cfg, threads).run().ipc()
+    };
+    let smt = run("7SSSSSSS");
+    let hybrid = run("7SCCCCCC");
+    let csmt = run("7CCCCCCC");
+    assert!(smt >= hybrid * 0.98, "8T SMT {smt:.2} vs hybrid {hybrid:.2}");
+    assert!(hybrid >= csmt * 0.98, "hybrid {hybrid:.2} vs CSMT {csmt:.2}");
+    assert!(smt > 2.0, "8-thread SMT should keep the machine busy");
+}
