@@ -60,7 +60,14 @@ fn main() {
     println!("{:<12} {:>8} {:>8}", "scheme", "threads", "IPC");
     // 6- and 8-thread pools reuse the Table-1 suite.
     let pool8: [&'static str; 8] = [
-        "mcf", "bzip2", "blowfish", "gsmencode", "x264", "idct", "imgpipe", "colorspace",
+        "mcf",
+        "bzip2",
+        "blowfish",
+        "gsmencode",
+        "x264",
+        "idct",
+        "imgpipe",
+        "colorspace",
     ];
     for scheme_name in ["5SCCCC", "7CCCCCCC", "C8", "7SSSSSSS"] {
         let scheme = parser::parse(scheme_name).expect("extension scheme parses");

@@ -13,7 +13,7 @@ fn main() {
     println!("regenerating all paper exhibits at scale 1/{scale} ({par} workers)\n");
     let t0 = std::time::Instant::now();
 
-    let exhibits = vec![
+    let exhibits = [
         figures::table1(scale, par),
         figures::table2(),
         figures::fig4(scale, par),
@@ -29,5 +29,8 @@ fn main() {
         println!("{}", e.text);
         let _ = e.save_csv(&out);
     }
-    println!("all exhibits regenerated in {:.1}s", t0.elapsed().as_secs_f64());
+    println!(
+        "all exhibits regenerated in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -3,25 +3,29 @@
 //! Usage:
 //!
 //! ```text
-//! paper [EXHIBIT...] [--scale N] [--full] [--par N] [--out DIR]
+//! paper [EXHIBIT...] [--scale N] [--full] [--threads N] [--filter S] [--out DIR]
 //!
 //! EXHIBIT: table1 table2 fig4 fig5 fig6 fig9 fig10 fig11 fig12 headline all
 //!          (default: all)
-//! --scale N   divide the paper's 100M-instruction budget by N (default 20)
-//! --full      the paper's full run lengths (scale 1); slow
-//! --par N     worker threads for simulation sweeps (default: cores-1)
-//! --out DIR   CSV output directory (default: results/)
+//! --scale N    divide the paper's 100M-instruction budget by N (default 20)
+//! --full       the paper's full run lengths (scale 1); slow
+//! --threads N  rayon worker threads for simulation sweeps (default: cores-1;
+//!              --par is accepted as an alias)
+//! --filter S   keep only exhibits whose name contains the substring S
+//! --out DIR    CSV output directory (default: results/)
 //! ```
 
 use std::path::PathBuf;
 use vliw_bench::figures;
 use vliw_bench::Exhibit;
+use vliw_sim::experiments::{self, Fig10Data};
 
 fn main() {
     let mut scale: u64 = 20;
     let mut par = vliw_sim::runner::default_parallelism();
     let mut out = PathBuf::from("results");
     let mut wanted: Vec<String> = Vec::new();
+    let mut filter: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -33,11 +37,18 @@ fn main() {
                     .unwrap_or_else(|| die("--scale needs a number"));
             }
             "--full" => scale = 1,
-            "--par" => {
+            "--threads" | "--par" => {
                 par = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--par needs a number"));
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| die("--threads needs a positive number"));
+            }
+            "--filter" => {
+                filter = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--filter needs a substring")),
+                );
             }
             "--out" => {
                 out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
@@ -59,11 +70,23 @@ fn main() {
         .map(String::from)
         .collect();
     }
+    if let Some(f) = &filter {
+        wanted.retain(|w| w.contains(f.as_str()));
+        if wanted.is_empty() {
+            die(&format!("--filter {f:?} matches no exhibit"));
+        }
+    }
 
     println!(
-        "vliw-tms paper harness — scale 1/{scale} of the paper's run length, {par} workers\n"
+        "vliw-tms paper harness — scale 1/{scale} of the paper's run length, {par} rayon workers\n"
     );
     let t0 = std::time::Instant::now();
+    // The Figure-10 sweep (all schemes x all mixes) also feeds figs 11/12
+    // and the headline claims; simulate it at most once per invocation.
+    let mut fig10_data: Option<Fig10Data> = None;
+    fn fig10_once(data: &mut Option<Fig10Data>, scale: u64, par: usize) -> &Fig10Data {
+        data.get_or_insert_with(|| experiments::fig10(scale, par))
+    }
     for name in &wanted {
         let exhibits: Vec<Exhibit> = match name.as_str() {
             "table1" => vec![figures::table1(scale, par)],
@@ -72,16 +95,20 @@ fn main() {
             "fig5" => vec![figures::fig5()],
             "fig6" => vec![figures::fig6(scale, par)],
             "fig9" => vec![figures::fig9()],
-            "fig10" => vec![figures::fig10(scale, par)],
+            "fig10" => vec![figures::fig10_from(fig10_once(&mut fig10_data, scale, par))],
             "fig11" | "fig12" => {
-                let (a, b) = figures::fig11_12(scale, par);
+                let (a, b) = figures::fig11_12_from(fig10_once(&mut fig10_data, scale, par));
                 if name == "fig11" {
                     vec![a]
                 } else {
                     vec![b]
                 }
             }
-            "headline" => vec![figures::headline(scale, par)],
+            "headline" => vec![figures::headline_from(fig10_once(
+                &mut fig10_data,
+                scale,
+                par,
+            ))],
             other => die(&format!("unknown exhibit {other}")),
         };
         for e in exhibits {
@@ -103,5 +130,6 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-const HELP: &str = "usage: paper [EXHIBIT...] [--scale N] [--full] [--par N] [--out DIR]
+const HELP: &str =
+    "usage: paper [EXHIBIT...] [--scale N] [--full] [--threads N] [--filter S] [--out DIR]
 exhibits: table1 table2 fig4 fig5 fig6 fig9 fig10 fig11 fig12 headline all";

@@ -9,7 +9,12 @@ use vliw_workloads::{all_benchmarks, table2_mixes};
 pub fn table1(scale: u64, par: usize) -> Exhibit {
     let rows = experiments::table1(scale, par);
     let mut t = TextTable::new(&[
-        "benchmark", "ILP", "IPCr", "IPCp", "paper IPCr", "paper IPCp",
+        "benchmark",
+        "ILP",
+        "IPCr",
+        "IPCp",
+        "paper IPCr",
+        "paper IPCp",
     ]);
     for r in &rows {
         t.row(vec![
@@ -125,7 +130,13 @@ pub fn fig6(scale: u64, par: usize) -> Exhibit {
 
 /// Figure 9: per-scheme merge hardware cost.
 pub fn fig9() -> Exhibit {
-    let mut t = TextTable::new(&["scheme", "gate delays", "decision delays", "transistors", "SMT blocks"]);
+    let mut t = TextTable::new(&[
+        "scheme",
+        "gate delays",
+        "decision delays",
+        "transistors",
+        "SMT blocks",
+    ]);
     for scheme in vliw_core::catalog::paper_schemes() {
         let c = scheme_cost(&scheme, 4, 4);
         t.row(vec![
@@ -148,7 +159,12 @@ pub fn fig9() -> Exhibit {
 
 /// Figure 10: per-scheme, per-mix IPC.
 pub fn fig10(scale: u64, par: usize) -> Exhibit {
-    let d = experiments::fig10(scale, par);
+    fig10_from(&experiments::fig10(scale, par))
+}
+
+/// Render Figure 10 from precomputed sweep data (the same `Fig10Data`
+/// also feeds Figures 11/12 and the headline claims — compute it once).
+pub fn fig10_from(d: &experiments::Fig10Data) -> Exhibit {
     let mut header: Vec<&str> = vec!["scheme"];
     header.extend(d.mixes.iter().copied());
     header.push("Average");
@@ -162,14 +178,21 @@ pub fn fig10(scale: u64, par: usize) -> Exhibit {
     }
     Exhibit {
         id: "fig10".into(),
-        text: format!("Figure 10 — merging schemes performance (IPC)\n{}", t.render()),
+        text: format!(
+            "Figure 10 — merging schemes performance (IPC)\n{}",
+            t.render()
+        ),
         csv: t.to_csv(),
     }
 }
 
 /// Figures 11 & 12: performance vs cost scatter data.
 pub fn fig11_12(scale: u64, par: usize) -> (Exhibit, Exhibit) {
-    let perf = experiments::fig10(scale, par);
+    fig11_12_from(&experiments::fig10(scale, par))
+}
+
+/// Render Figures 11 & 12 from precomputed Figure-10 sweep data.
+pub fn fig11_12_from(perf: &experiments::Fig10Data) -> (Exhibit, Exhibit) {
     let mut t11 = TextTable::new(&["scheme", "IPC", "transistors"]);
     let mut t12 = TextTable::new(&["scheme", "IPC", "gate delays"]);
     for scheme in vliw_core::catalog::paper_schemes() {
@@ -194,13 +217,25 @@ pub fn fig11_12(scale: u64, par: usize) -> (Exhibit, Exhibit) {
 
 /// §5.2 headline claims: 2SC3 vs the reference points.
 pub fn headline(scale: u64, par: usize) -> Exhibit {
-    let d = experiments::fig10(scale, par);
+    headline_from(&experiments::fig10(scale, par))
+}
+
+/// Render the headline claims from precomputed Figure-10 sweep data.
+pub fn headline_from(d: &experiments::Fig10Data) -> Exhibit {
     let avg = |n: &str| d.average_of(n).unwrap_or(0.0);
     let sc3 = avg("2SC3");
     let rows = [
-        ("2SC3 vs 4T CSMT (3CCC)", (sc3 / avg("3CCC") - 1.0) * 100.0, 14.0),
+        (
+            "2SC3 vs 4T CSMT (3CCC)",
+            (sc3 / avg("3CCC") - 1.0) * 100.0,
+            14.0,
+        ),
         ("2SC3 vs 2T SMT (1S)", (sc3 / avg("1S") - 1.0) * 100.0, 45.0),
-        ("2SC3 vs 4T SMT (3SSS)", (sc3 / avg("3SSS") - 1.0) * 100.0, -11.0),
+        (
+            "2SC3 vs 4T SMT (3SSS)",
+            (sc3 / avg("3SSS") - 1.0) * 100.0,
+            -11.0,
+        ),
     ];
     let mut t = TextTable::new(&["comparison", "measured", "paper"]);
     for (name, got, want) in rows {

@@ -1,0 +1,251 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API shape the workspace's benches use — [`Criterion`],
+//! `benchmark_group`, `bench_function`, [`Bencher::iter`], [`Throughput`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros —
+//! backed by a plain wall-clock measurement loop (warm-up, then timed
+//! batches, median-of-samples reporting). No statistics engine, plots, or
+//! HTML reports; numbers print to stdout as `name: time/iter`.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group (accepted, echoed in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness handle.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(400),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Set the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let report = run_bench(self, &mut f);
+        println!("{id:<40} {report}");
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput annotations.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let report = run_bench(self.criterion, &mut f);
+        match self.throughput {
+            Some(Throughput::Elements(n)) if n > 0 => {
+                println!("{id:<40} {report} ({n} elem/iter)");
+            }
+            Some(Throughput::Bytes(n)) if n > 0 => {
+                println!("{id:<40} {report} ({n} B/iter)");
+            }
+            _ => println!("{id:<40} {report}"),
+        }
+        self
+    }
+
+    /// Finish the group (separator line; kept for API compatibility).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the routine.
+pub struct Bencher {
+    /// Iterations the routine must run this sample.
+    iters: u64,
+    /// Measured elapsed time for those iterations.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` for the sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Format a per-iteration duration in adaptive units.
+fn fmt_per_iter(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:8.3}  s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Warm up, pick an iteration count that fills a per-sample slice of the
+/// measurement budget, take samples, report the median.
+fn run_bench<F: FnMut(&mut Bencher)>(cfg: &Criterion, f: &mut F) -> String {
+    // Warm-up & calibration: grow iters until one sample takes >= 1ms or
+    // the warm-up budget is spent.
+    let mut iters: u64 = 1;
+    let warm_start = Instant::now();
+    let per_iter_ns = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let ns = b.elapsed.as_nanos().max(1) as u64;
+        if b.elapsed >= Duration::from_millis(1) || warm_start.elapsed() >= cfg.warm_up_time {
+            break ns as f64 / iters as f64;
+        }
+        iters = iters.saturating_mul(2);
+    };
+    // Aim each sample at measurement_time / sample_size.
+    let slice_ns = (cfg.measurement_time.as_nanos() as f64 / cfg.sample_size as f64).max(1.0);
+    let iters = ((slice_ns / per_iter_ns).ceil() as u64).max(1);
+    let mut samples: Vec<f64> = (0..cfg.sample_size)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    fmt_per_iter(median)
+}
+
+/// Group benchmark functions under a name, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit a `main` running the given groups, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        let mut ran = 0u64;
+        {
+            let mut group = c.benchmark_group("g");
+            group.throughput(Throughput::Elements(1));
+            group.bench_function("count", |b| b.iter(|| ran += 1));
+            group.finish();
+        }
+        assert!(ran > 0, "routine must have been exercised");
+    }
+
+    #[test]
+    fn units_format_sanely() {
+        assert!(fmt_per_iter(12.0).contains("ns/iter"));
+        assert!(fmt_per_iter(12_000.0).contains("µs/iter"));
+        assert!(fmt_per_iter(12_000_000.0).contains("ms/iter"));
+    }
+}

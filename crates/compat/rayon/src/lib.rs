@@ -1,0 +1,442 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The workspace's sweeps are embarrassingly parallel — a few hundred
+//! independent, multi-millisecond simulations — so the part of rayon they
+//! need is the *shape* (`par_iter().map(..).collect()`, thread pools with
+//! `install`), not work stealing. This shim executes indexed parallel
+//! iterators over `std::thread::scope` with an atomic work-claiming cursor:
+//! results land at their input index, so output order (and therefore every
+//! downstream figure) is identical to sequential execution.
+//!
+//! Supported surface: [`prelude`] (slice `par_iter`, `Vec`/`Range`
+//! `into_par_iter`, `map`, `collect` into `Vec`, `for_each`, `sum`),
+//! [`ThreadPoolBuilder`] with `num_threads` + `build`/`build_global`, scoped
+//! [`ThreadPool::install`], and [`current_num_threads`].
+
+#![deny(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global worker-count override installed by [`ThreadPoolBuilder::build_global`]
+/// (0 = use `std::thread::available_parallelism`).
+static GLOBAL_NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`].
+    static LOCAL_NUM_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads parallel iterators will use on this thread.
+pub fn current_num_threads() -> usize {
+    let local = LOCAL_NUM_THREADS.with(|n| n.get());
+    if local > 0 {
+        return local;
+    }
+    let global = GLOBAL_NUM_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Error type for pool construction (construction here cannot fail; the
+/// type exists so call sites can keep rayon's `Result` handling).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker count (0 = one per available core).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build a scoped pool handle.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.effective(),
+        })
+    }
+
+    /// Install this configuration as the process-global default.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_NUM_THREADS.store(self.effective(), Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn effective(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// A handle fixing the worker count for closures run via [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Worker count of this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` with this pool's worker count governing parallel iterators.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        LOCAL_NUM_THREADS.with(|n| {
+            let prev = n.get();
+            n.set(self.num_threads);
+            let out = op();
+            n.set(prev);
+            out
+        })
+    }
+}
+
+/// Run `f(0..len)` across worker threads. Items are claimed through an
+/// atomic cursor; each worker accumulates `(index, result)` pairs locally
+/// and results are re-sorted to input order at the end. Worker panics
+/// propagate on join.
+fn run_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = current_num_threads().clamp(1, len);
+    if workers == 1 {
+        return (0..len).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let cursor = &cursor;
+    let mut pairs: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// The traits users import; `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+/// An indexed source of parallel items (slice, vec, or range).
+pub trait ParallelIterator: Sized {
+    /// Item type produced.
+    type Item: Send;
+
+    /// Number of items.
+    fn par_len(&self) -> usize;
+
+    /// Produce the item at `i`. Called exactly once per index.
+    fn par_get(&self, i: usize) -> Self::Item;
+
+    /// Map each item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Apply `f` to every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+        Self: Sync,
+    {
+        run_indexed(self.par_len(), |i| f(self.par_get(i)));
+    }
+
+    /// Collect into a container, preserving input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+        Self: Sync,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sum the items in input order.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+        Self: Sync,
+    {
+        run_indexed(self.par_len(), |i| self.par_get(i))
+            .into_iter()
+            .sum()
+    }
+}
+
+/// Marker for iterators with known length/indexing (all of ours are).
+pub trait IndexedParallelIterator: ParallelIterator {}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion into a borrowing parallel iterator (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced (a reference).
+    type Item: Send;
+    /// Iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn par_get(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+impl<T: Sync> IndexedParallelIterator for SliceParIter<'_, T> {}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+    fn into_par_iter(self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+    fn into_par_iter(self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+/// Parallel iterator over an owned `Vec<T>` (items are cloned out by index;
+/// owning moves out of a shared source would need unsafe bookkeeping the
+/// sweeps don't warrant).
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone + Send + Sync> ParallelIterator for VecParIter<T> {
+    type Item = T;
+    fn par_len(&self) -> usize {
+        self.items.len()
+    }
+    fn par_get(&self, i: usize) -> T {
+        self.items[i].clone()
+    }
+}
+impl<T: Clone + Send + Sync> IndexedParallelIterator for VecParIter<T> {}
+
+impl<T: Clone + Send + Sync> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct RangeParIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeParIter {
+    type Item = usize;
+    fn par_len(&self) -> usize {
+        self.len
+    }
+    fn par_get(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+impl IndexedParallelIterator for RangeParIter {}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = RangeParIter;
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+/// Result of [`ParallelIterator::map`].
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync,
+{
+    type Item = R;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn par_get(&self, i: usize) -> R {
+        (self.f)(self.base.par_get(i))
+    }
+}
+impl<B, R, F> IndexedParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync,
+{
+}
+
+/// Containers constructible from a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    /// Build the container, preserving input order.
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: ParallelIterator<Item = T> + Sync;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: ParallelIterator<Item = T> + Sync,
+    {
+        run_indexed(iter.par_len(), |i| iter.par_get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_overrides_worker_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+    }
+
+    #[test]
+    fn range_and_owned_vec_sources() {
+        let squares: Vec<usize> = (0..64usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[63], 63 * 63);
+        let labels: Vec<String> = vec!["a".to_string(), "b".to_string()]
+            .into_par_iter()
+            .collect();
+        assert_eq!(labels, ["a", "b"]);
+    }
+
+    #[test]
+    fn sum_and_for_each() {
+        let xs: Vec<u64> = (1..=100).collect();
+        let total: u64 = xs.par_iter().map(|&x| x).sum();
+        assert_eq!(total, 5050);
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        xs.par_iter().for_each(|_| {
+            hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(hits.into_inner(), 100);
+    }
+
+    #[test]
+    fn single_item_and_empty() {
+        let one: Vec<i32> = [5].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(one, [6]);
+        let none: Vec<i32> = Vec::<i32>::new().par_iter().map(|&x| x).collect();
+        assert!(none.is_empty());
+    }
+}

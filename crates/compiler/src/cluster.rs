@@ -254,7 +254,7 @@ pub fn assign_clusters(machine: &MachineConfig, func: &IrFunction) -> ClusteredF
                     let start = res.earliest_free(c, class, est);
                     let load = res.load(c);
                     let open_cost = u32::from(used_clusters & (1 << c) == 0);
-                    if best.map_or(true, |(bs, bo, bl, _)| (start, open_cost, load) < (bs, bo, bl)) {
+                    if best.is_none_or(|(bs, bo, bl, _)| (start, open_cost, load) < (bs, bo, bl)) {
                         best = Some((start, open_cost, load, c));
                     }
                 }
@@ -439,7 +439,11 @@ mod tests {
             .collect();
         f.push_block(IrBlock::new(ops).with_term(Terminator::Return));
         let cf = assign_clusters(&m(), &f);
-        assert_eq!(cf.clusters_used().count_ones(), 4, "32 ops must use all 4 clusters");
+        assert_eq!(
+            cf.clusters_used().count_ones(),
+            4,
+            "32 ops must use all 4 clusters"
+        );
         assert_eq!(cf.n_copies(), 0);
     }
 
@@ -470,9 +474,15 @@ mod tests {
             for (op, &c) in b.ops.iter().zip(&b.clusters) {
                 if op.opcode == Opcode::Copy {
                     let src = op.srcs[0].unwrap();
-                    assert_eq!(cf.vreg_home[src.0 as usize], c, "copy runs on source cluster");
+                    assert_eq!(
+                        cf.vreg_home[src.0 as usize], c,
+                        "copy runs on source cluster"
+                    );
                     let dst = op.dst.unwrap();
-                    assert_ne!(cf.vreg_home[dst.0 as usize], c, "copy dest on another cluster");
+                    assert_ne!(
+                        cf.vreg_home[dst.0 as usize], c,
+                        "copy dest on another cluster"
+                    );
                 }
             }
         }
@@ -524,7 +534,10 @@ mod tests {
         f.push_block(IrBlock::new(vec![]).with_term(Terminator::Return));
         let cf = assign_clusters(&m(), &f);
         if let Terminator::CondBranch { pred: Some(p), .. } = cf.blocks[0].term {
-            assert_eq!(cf.vreg_home[p.0 as usize], 0, "predicate must live on cluster 0");
+            assert_eq!(
+                cf.vreg_home[p.0 as usize], 0,
+                "predicate must live on cluster 0"
+            );
         } else {
             panic!("terminator lost");
         }

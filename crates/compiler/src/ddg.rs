@@ -211,7 +211,14 @@ mod tests {
         };
         let g = Ddg::build(&m(), &block);
         assert_eq!(g.edges.len(), 1);
-        assert_eq!(g.edges[0], DepEdge { from: 0, to: 1, latency: 2 });
+        assert_eq!(
+            g.edges[0],
+            DepEdge {
+                from: 0,
+                to: 1,
+                latency: 2
+            }
+        );
         // Height: load = 2 (its latency) + 1 (add) = 3.
         assert_eq!(g.height[0], 3);
         assert_eq!(g.critical_path(), 3);

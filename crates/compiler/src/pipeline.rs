@@ -9,9 +9,7 @@ use crate::program::{Program, TermKind};
 use crate::regalloc::{allocate, RegAssignment};
 use crate::sched::{schedule_block, verify_schedule, BlockSchedule};
 use crate::unroll::unroll_self_loops;
-use vliw_isa::{
-    BranchInfo, InstrBuilder, MachineConfig, Opcode, Operation, VliwInstruction,
-};
+use vliw_isa::{BranchInfo, InstrBuilder, MachineConfig, Opcode, Operation, VliwInstruction};
 
 /// Knobs of the compilation pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,7 +76,8 @@ fn emit_block(
     ra: &RegAssignment,
 ) -> Result<Vec<VliwInstruction>, String> {
     let n_cycles = sched.n_cycles as usize;
-    let mut builders: Vec<InstrBuilder> = (0..n_cycles).map(|_| InstrBuilder::new(machine)).collect();
+    let mut builders: Vec<InstrBuilder> =
+        (0..n_cycles).map(|_| InstrBuilder::new(machine)).collect();
 
     for (i, op) in block.ops.iter().enumerate() {
         let p = sched.placements[i];
@@ -175,7 +174,15 @@ mod tests {
         }));
         f.push_block(IrBlock::new(vec![]).with_term(Terminator::Return));
 
-        let p = compile(&m, &f, CompileOptions { unroll: 1, verify: true }).unwrap();
+        let p = compile(
+            &m,
+            &f,
+            CompileOptions {
+                unroll: 1,
+                verify: true,
+            },
+        )
+        .unwrap();
         assert_eq!(p.blocks.len(), 2);
         // Ops: 5 body ops (+ possible copies) + 1 branch.
         let b0 = &p.blocks[0];
@@ -210,8 +217,24 @@ mod tests {
         }));
         f.push_block(IrBlock::new(vec![]).with_term(Terminator::Return));
 
-        let p1 = compile(&m, &f, CompileOptions { unroll: 1, verify: true }).unwrap();
-        let p8 = compile(&m, &f, CompileOptions { unroll: 8, verify: true }).unwrap();
+        let p1 = compile(
+            &m,
+            &f,
+            CompileOptions {
+                unroll: 1,
+                verify: true,
+            },
+        )
+        .unwrap();
+        let p8 = compile(
+            &m,
+            &f,
+            CompileOptions {
+                unroll: 8,
+                verify: true,
+            },
+        )
+        .unwrap();
         let d1 = p1.stats(&m).ops_per_instr;
         let d8 = p8.stats(&m).ops_per_instr;
         assert!(d8 > d1, "unrolled density {d8} must beat {d1}");

@@ -83,7 +83,11 @@ mod tests {
         // A long chain keeps everything on one cluster: 199 defs on a
         // 64-register file must wrap.
         let ops: Vec<IrOp> = (0..199)
-            .map(|i| IrOp::new(Opcode::Add).dst(VirtReg(i + 1)).srcs(&[VirtReg(i)]))
+            .map(|i| {
+                IrOp::new(Opcode::Add)
+                    .dst(VirtReg(i + 1))
+                    .srcs(&[VirtReg(i)])
+            })
             .collect();
         f.push_block(IrBlock::new(ops).with_term(Terminator::Return));
         let m = MachineConfig::paper_baseline();

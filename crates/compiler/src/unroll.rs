@@ -37,7 +37,10 @@ pub fn unroll_self_loops(func: &IrFunction, factor: u32) -> IrFunction {
         }
         // Cap the factor so the rescaled probability stays >= 0.
         let fail = 1000 - u32::from(permille); // per-iteration exit weight
-        let max_factor = if fail == 0 { factor } else { (1000 / fail).max(1) };
+        let max_factor = match 1000u32.checked_div(fail) {
+            None => factor,
+            Some(f) => f.max(1),
+        };
         let u = factor.min(max_factor);
         if u <= 1 {
             continue;
@@ -48,7 +51,7 @@ pub fn unroll_self_loops(func: &IrFunction, factor: u32) -> IrFunction {
         // rename[orig] = current name of the value (def from latest copy).
         let mut rename: HashMap<u32, VirtReg> = HashMap::new();
         let mut cur_pred = pred;
-        for copy in 0..u {
+        for _copy in 0..u {
             for op in &body {
                 let mut new_op = op.clone();
                 for s in new_op.srcs.iter_mut() {
@@ -59,21 +62,19 @@ pub fn unroll_self_loops(func: &IrFunction, factor: u32) -> IrFunction {
                     }
                 }
                 if let Some(d) = new_op.dst {
-                    if copy + 1 < u || true {
-                        // Fresh name for every def; the final copy's names
-                        // feed the next unrolled pass via the rename of the
-                        // loop-carried uses *within this pass* only — the
-                        // next pass reads the original names, which is
-                        // conservative (a loop-carried dependence into the
-                        // first copy) and keeps the IR valid without phi
-                        // nodes.
-                        let fresh = VirtReg(out.n_vregs);
-                        out.n_vregs += 1;
-                        rename.insert(d.0, fresh);
-                        new_op.dst = Some(fresh);
-                        if Some(d) == cur_pred {
-                            cur_pred = Some(fresh);
-                        }
+                    // Fresh name for every def; the final copy's names
+                    // feed the next unrolled pass via the rename of the
+                    // loop-carried uses *within this pass* only — the
+                    // next pass reads the original names, which is
+                    // conservative (a loop-carried dependence into the
+                    // first copy) and keeps the IR valid without phi
+                    // nodes.
+                    let fresh = VirtReg(out.n_vregs);
+                    out.n_vregs += 1;
+                    rename.insert(d.0, fresh);
+                    new_op.dst = Some(fresh);
+                    if Some(d) == cur_pred {
+                        cur_pred = Some(fresh);
                     }
                 }
                 ops.push(new_op);

@@ -7,8 +7,8 @@ use vliw_isa::{MachineConfig, OpClass, Opcode};
 
 #[derive(Debug, Clone)]
 struct GenOp {
-    kind: u8,    // 0 alu, 1 mul, 2 load, 3 store
-    src_a: u32,  // index into previously available vregs (mod)
+    kind: u8,   // 0 alu, 1 mul, 2 load, 3 store
+    src_a: u32, // index into previously available vregs (mod)
     src_b: u32,
     stream: u16,
 }
@@ -53,7 +53,10 @@ fn build_fn(gen: &[GenOp], loop_back: Option<u16>) -> IrFunction {
             2 => {
                 let d = f.fresh_vreg();
                 avail.push(d);
-                IrOp::new(Opcode::Ldw).dst(d).srcs(&[a]).mem(g.stream, false)
+                IrOp::new(Opcode::Ldw)
+                    .dst(d)
+                    .srcs(&[a])
+                    .mem(g.stream, false)
             }
             _ => IrOp::new(Opcode::Stw).srcs(&[a, b]).mem(g.stream, true),
         };

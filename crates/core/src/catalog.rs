@@ -110,22 +110,22 @@ pub fn balanced_tree(kind: MergeKind, n: u8) -> MergeScheme {
 /// 2SC, 3SSC, 3SCS, 3CSS, 2SS, 3SSS`.
 pub fn paper_schemes() -> Vec<MergeScheme> {
     vec![
-        csmt_parallel(4),                 // C4
-        csmt_serial(4),                   // 3CCC
-        tree4("2CC", Csmt, Csmt),         // 2CC
-        smt_cascade(2),                   // 1S
-        scheme_2sc3(),                    // 2SC3
+        csmt_parallel(4),         // C4
+        csmt_serial(4),           // 3CCC
+        tree4("2CC", Csmt, Csmt), // 2CC
+        smt_cascade(2),           // 1S
+        scheme_2sc3(),            // 2SC3
         cascade("3CSC", &[Csmt, Smt, Csmt]),
-        scheme_2c3s(),                    // 2C3S
+        scheme_2c3s(), // 2C3S
         cascade("3CCS", &[Csmt, Csmt, Smt]),
         cascade("3SCC", &[Smt, Csmt, Csmt]),
-        tree4("2CS", Csmt, Smt),          // 2CS
-        tree4("2SC", Smt, Csmt),          // 2SC
+        tree4("2CS", Csmt, Smt), // 2CS
+        tree4("2SC", Smt, Csmt), // 2SC
         cascade("3SSC", &[Smt, Smt, Csmt]),
         cascade("3SCS", &[Smt, Csmt, Smt]),
         cascade("3CSS", &[Csmt, Smt, Smt]),
-        tree4("2SS", Smt, Smt),           // 2SS
-        smt_cascade(4),                   // 3SSS
+        tree4("2SS", Smt, Smt), // 2SS
+        smt_cascade(4),         // 3SSS
     ]
 }
 
@@ -162,8 +162,8 @@ pub fn by_name(name: &str) -> Option<MergeScheme> {
 /// Names of every scheme in [`paper_schemes`], in the same order.
 pub fn paper_scheme_names() -> Vec<&'static str> {
     vec![
-        "C4", "3CCC", "2CC", "1S", "2SC3", "3CSC", "2C3S", "3CCS", "3SCC", "2CS", "2SC",
-        "3SSC", "3SCS", "3CSS", "2SS", "3SSS",
+        "C4", "3CCC", "2CC", "1S", "2SC3", "3CSC", "2C3S", "3CCS", "3SCC", "2CS", "2SC", "3SSC",
+        "3SCS", "3CSS", "2SS", "3SSS",
     ]
 }
 
@@ -244,10 +244,7 @@ mod tests {
 
     #[test]
     fn figure10_groups_cover_catalog() {
-        let mut covered: Vec<&str> = figure10_groups()
-            .into_iter()
-            .flat_map(|(_, v)| v)
-            .collect();
+        let mut covered: Vec<&str> = figure10_groups().into_iter().flat_map(|(_, v)| v).collect();
         covered.sort();
         let mut names = paper_scheme_names();
         names.sort();

@@ -249,7 +249,7 @@ impl MergeEvaluator {
         debug_assert_eq!(sp, 1);
         let final_sel = stack[0];
         if STATS {
-            if let Some(stats) = stats.as_deref_mut() {
+            if let Some(stats) = stats {
                 stats.record_packet(final_sel.members.count_ones(), final_sel.sig.n_ops);
             }
         }
@@ -385,16 +385,32 @@ mod tests {
         // Pair II (paper: SMT merges, CSMT does not):
         //   T0: add@c0, ld@c2, st@c3      T1: mov@c0, mpy@c2, add@c3, sub@c3...
         // Modelled: overlapping clusters but complementary slot classes.
-        let t0 = sig(&[(0, OpClass::Alu, 1), (2, OpClass::Mem, 1), (3, OpClass::Alu, 1)]);
-        let t1 = sig(&[(0, OpClass::Mul, 1), (2, OpClass::Alu, 1), (3, OpClass::Mul, 1)]);
+        let t0 = sig(&[
+            (0, OpClass::Alu, 1),
+            (2, OpClass::Mem, 1),
+            (3, OpClass::Alu, 1),
+        ]);
+        let t1 = sig(&[
+            (0, OpClass::Mul, 1),
+            (2, OpClass::Alu, 1),
+            (3, OpClass::Mul, 1),
+        ]);
         let out_smt = ev.evaluate(&smt, &[PortInput::ready(t0), PortInput::ready(t1)]);
         assert_eq!(out_smt.issued_ports, 0b11, "SMT merges pair II");
         let out_csmt = ev.evaluate(&csmt, &[PortInput::ready(t0), PortInput::ready(t1)]);
         assert_eq!(out_csmt.issued_ports, 0b01, "CSMT cannot merge pair II");
 
         // Pair III (both merge): T0 uses clusters 1,2 only; T1 uses 0,3.
-        let t0 = sig(&[(1, OpClass::Mem, 1), (1, OpClass::Alu, 1), (2, OpClass::Mem, 1)]);
-        let t1 = sig(&[(0, OpClass::Alu, 2), (3, OpClass::Alu, 1), (3, OpClass::Mul, 1)]);
+        let t0 = sig(&[
+            (1, OpClass::Mem, 1),
+            (1, OpClass::Alu, 1),
+            (2, OpClass::Mem, 1),
+        ]);
+        let t1 = sig(&[
+            (0, OpClass::Alu, 2),
+            (3, OpClass::Alu, 1),
+            (3, OpClass::Mul, 1),
+        ]);
         let out_smt = ev.evaluate(&smt, &[PortInput::ready(t0), PortInput::ready(t1)]);
         assert_eq!(out_smt.issued_ports, 0b11, "SMT merges pair III");
         let out_csmt = ev.evaluate(&csmt, &[PortInput::ready(t0), PortInput::ready(t1)]);

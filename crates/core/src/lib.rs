@@ -32,6 +32,8 @@
 //!   thread sits at which port each cycle.
 //! * [`MergeStats`] — per-node and packet-size statistics for analysis.
 
+#![deny(missing_docs)]
+
 pub mod catalog;
 pub mod eval;
 pub mod parser;

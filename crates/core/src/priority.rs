@@ -74,10 +74,18 @@ impl PriorityRotator {
             }
             PriorityPolicy::LeastRecentlyIssued => {
                 self.scratch.clear();
-                self.scratch
-                    .extend(self.order.iter().copied().filter(|t| issued_threads & (1 << t) == 0));
-                self.scratch
-                    .extend(self.order.iter().copied().filter(|t| issued_threads & (1 << t) != 0));
+                self.scratch.extend(
+                    self.order
+                        .iter()
+                        .copied()
+                        .filter(|t| issued_threads & (1 << t) == 0),
+                );
+                self.scratch.extend(
+                    self.order
+                        .iter()
+                        .copied()
+                        .filter(|t| issued_threads & (1 << t) != 0),
+                );
                 std::mem::swap(&mut self.order, &mut self.scratch);
             }
         }
@@ -131,7 +139,7 @@ mod tests {
     fn ports_to_threads_translates() {
         let mut r = PriorityRotator::new(PriorityPolicy::RoundRobin, 4);
         r.advance(0); // order = [1,2,3,0]
-        // Ports 0 and 3 issued -> threads 1 and 0.
+                      // Ports 0 and 3 issued -> threads 1 and 0.
         assert_eq!(r.ports_to_threads(0b1001), 0b0011);
     }
 

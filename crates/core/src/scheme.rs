@@ -72,9 +72,7 @@ impl SchemeNode {
     pub fn port_mask(&self) -> u8 {
         match self {
             SchemeNode::Port(p) => 1 << p,
-            SchemeNode::Merge { children, .. } => {
-                children.iter().fold(0, |m, c| m | c.port_mask())
-            }
+            SchemeNode::Merge { children, .. } => children.iter().fold(0, |m, c| m | c.port_mask()),
         }
     }
 
@@ -114,7 +112,10 @@ impl SchemeNode {
                 Ok(())
             }
             SchemeNode::Merge {
-                children, parallel, kind, ..
+                children,
+                parallel,
+                kind,
+                ..
             } => {
                 if children.len() < 2 {
                     return Err(SchemeError::DegenerateMerge(children.len()));
@@ -264,10 +265,7 @@ mod tests {
         let root = SchemeNode::merge(
             Csmt,
             vec![
-                SchemeNode::merge(
-                    Csmt,
-                    vec![SchemeNode::merge(Smt, vec![p(0), p(1)]), p(2)],
-                ),
+                SchemeNode::merge(Csmt, vec![SchemeNode::merge(Smt, vec![p(0), p(1)]), p(2)]),
                 p(3),
             ],
         );

@@ -13,9 +13,7 @@
 
 use proptest::prelude::*;
 use vliw_core::{catalog, routing, MergeEvaluator, PortInput};
-use vliw_isa::{
-    InstrBuilder, InstrSignature, MachineConfig, Opcode, Operation, ResourceCaps,
-};
+use vliw_isa::{InstrBuilder, InstrSignature, MachineConfig, Opcode, Operation, ResourceCaps};
 
 /// Random instruction on the paper machine: a bag of opcodes over clusters,
 /// built through the checked builder (overflowing ops are dropped).

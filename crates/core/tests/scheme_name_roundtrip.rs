@@ -1,0 +1,48 @@
+//! Round-trip property of the scheme naming grammar: every scheme the
+//! catalog ships parses from its own name, and the parsed scheme re-prints
+//! to exactly that name. This pins the parser and the `Display`/`name()`
+//! rendering to each other — a drift in either direction would silently
+//! relabel paper figures.
+
+use vliw_core::{catalog, parser};
+
+#[test]
+fn every_catalog_name_parses_and_reprints_to_itself() {
+    let schemes = catalog::paper_schemes();
+    assert!(!schemes.is_empty(), "catalog must not be empty");
+    for scheme in &schemes {
+        let name = scheme.name();
+        let parsed =
+            parser::parse(name).unwrap_or_else(|e| panic!("catalog name {name:?} must parse: {e}"));
+        assert_eq!(
+            parsed.name(),
+            name,
+            "{name:?} did not round-trip through parse -> name()"
+        );
+        assert_eq!(
+            parsed.to_string(),
+            name,
+            "{name:?} did not round-trip through parse -> Display"
+        );
+    }
+}
+
+#[test]
+fn round_tripped_schemes_are_structurally_identical() {
+    // Same name must mean the same merge tree: the parsed scheme has the
+    // same port count and compiles to a functionally equal network.
+    for scheme in catalog::paper_schemes() {
+        let parsed = parser::parse(scheme.name()).unwrap();
+        assert_eq!(parsed.n_ports(), scheme.n_ports(), "{}", scheme.name());
+    }
+}
+
+#[test]
+fn by_name_agrees_with_parser_on_catalog_names() {
+    for name in catalog::paper_scheme_names() {
+        let from_catalog = catalog::by_name(name)
+            .unwrap_or_else(|| panic!("catalog must resolve its own name {name:?}"));
+        let from_parser = parser::parse(name).unwrap();
+        assert_eq!(from_catalog.name(), from_parser.name(), "{name}");
+    }
+}

@@ -37,7 +37,12 @@ impl SelState {
 
     /// Arrival depth of the state (max over its signals).
     pub fn ready_depth(&self, net: &Netlist) -> u32 {
-        let u = self.usage.iter().map(|&n| net.depth_of(n)).max().unwrap_or(0);
+        let u = self
+            .usage
+            .iter()
+            .map(|&n| net.depth_of(n))
+            .max()
+            .unwrap_or(0);
         let c = self
             .counts
             .iter()
@@ -176,11 +181,8 @@ pub fn csmt_parallel(net: &mut Netlist, operands: &[SelState]) -> SelState {
                 .map(|t| {
                     // accept_t = OR of wins over subsets containing t —
                     // approximate with a log-depth OR over half the subsets.
-                    let subset_sample: Vec<NodeId> = wins
-                        .iter()
-                        .copied()
-                        .take((n_subsets / 2).max(1))
-                        .collect();
+                    let subset_sample: Vec<NodeId> =
+                        wins.iter().copied().take((n_subsets / 2).max(1)).collect();
                     let accept = net.or_tree(&subset_sample);
                     net.gate(Gate::And2, &[operands[t].usage[c], accept])
                 })
@@ -295,7 +297,11 @@ mod tests {
         let b = SelState::thread_input(&mut net, 4);
         let out = csmt_serial_stage(&mut net, &a, &b);
         assert!(net.transistors() < 200, "stage = {}", net.transistors());
-        assert!(out.ready_depth(&net) <= 6, "depth = {}", out.ready_depth(&net));
+        assert!(
+            out.ready_depth(&net) <= 6,
+            "depth = {}",
+            out.ready_depth(&net)
+        );
     }
 
     #[test]

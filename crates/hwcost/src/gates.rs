@@ -228,10 +228,7 @@ impl Netlist {
         // Cost model: one AND per minterm group + OR reduce; approximated
         // by an AND2 per bit followed by an OR tree (the exact minterm
         // count varies with the cap by at most a couple of gates).
-        let ands: Vec<NodeId> = bits
-            .windows(2)
-            .map(|w| self.gate(Gate::And2, w))
-            .collect();
+        let ands: Vec<NodeId> = bits.windows(2).map(|w| self.gate(Gate::And2, w)).collect();
         let all = if ands.is_empty() { bits.to_vec() } else { ands };
         self.or_tree(&all)
     }

@@ -48,13 +48,7 @@ pub fn scheme_cost(scheme: &MergeScheme, m_clusters: u8, issue_width: u8) -> Sch
     }
 }
 
-fn walk(
-    node: &SchemeNode,
-    net: &mut Netlist,
-    m: u8,
-    w: u8,
-    routing: &mut Vec<u32>,
-) -> SelState {
+fn walk(node: &SchemeNode, net: &mut Netlist, m: u8, w: u8, routing: &mut Vec<u32>) -> SelState {
     match node {
         SchemeNode::Port(_) => SelState::thread_input(net, m),
         SchemeNode::Merge {
@@ -102,8 +96,8 @@ mod tests {
     fn transistors_grow_with_smt_block_count() {
         // Paper §4.2: area is dominated by the number of SMT blocks.
         let zero = ["C4", "3CCC", "2CC"].map(|n| cost(n).transistors);
-        let one = ["1S", "2SC3", "3SCC", "3CSC", "3CCS", "2C3S", "2CS"]
-            .map(|n| cost(n).transistors);
+        let one =
+            ["1S", "2SC3", "3SCC", "3CSC", "3CCS", "2C3S", "2CS"].map(|n| cost(n).transistors);
         let two = ["2SC", "3SSC", "3SCS", "3CSS"].map(|n| cost(n).transistors);
         let three = ["2SS", "3SSS"].map(|n| cost(n).transistors);
         let max0 = zero.iter().max().unwrap();
@@ -118,7 +112,7 @@ mod tests {
     }
 
     #[test]
-    fn single_smt_schemes_cost_about_one_1s(){
+    fn single_smt_schemes_cost_about_one_1s() {
         // "There is little difference in the transistor requirement of a
         // 2-Thread SMT (1S) and the schemes that use only 1 SMT merge
         // control block" (paper §4.2).

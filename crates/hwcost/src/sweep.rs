@@ -121,7 +121,11 @@ mod tests {
             "2T CSMT control = {}",
             r.csmt_sl_transistors
         );
-        assert!((8..25).contains(&r.smt_delays), "SMT delay {}", r.smt_delays);
+        assert!(
+            (8..25).contains(&r.smt_delays),
+            "SMT delay {}",
+            r.smt_delays
+        );
         assert!((2..10).contains(&r.csmt_sl_delays));
     }
 }

@@ -26,7 +26,7 @@ pub fn encoded_size(instr: &VliwInstruction) -> u64 {
         if let Some(imm) = op.imm {
             // Short immediates fit in the syllable; long ones need an
             // extension syllable (ST200 `imml`/`immr` style).
-            if imm < -(1 << 8) || imm >= (1 << 8) {
+            if !(-(1 << 8)..(1 << 8)).contains(&imm) {
                 syllables += 1;
             }
         }

@@ -22,6 +22,8 @@
 //! Everything is plain, deterministic, cheap-to-copy data: the simulator
 //! touches these structures hundreds of millions of times per run.
 
+#![deny(missing_docs)]
+
 pub mod disasm;
 pub mod encode;
 pub mod instr;

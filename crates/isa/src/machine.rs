@@ -130,7 +130,11 @@ impl MachineConfig {
         // context's (virtual) branch cluster may land on any physical
         // cluster. The compiler still emits branches on virtual cluster 0
         // only, as VEX does.
-        let all = if n_clusters >= 8 { 0xFF } else { (1u8 << n_clusters) - 1 };
+        let all = if n_clusters >= 8 {
+            0xFF
+        } else {
+            (1u8 << n_clusters) - 1
+        };
         let (muls, mems, branch_clusters) = match issue {
             0 => (0, 0, 0),
             1 => (0, 0, 0),
@@ -182,9 +186,8 @@ impl MachineConfig {
             return Err(MachineError::BadIssueWidth(self.issue_per_cluster));
         }
         // Worst case fixed-unit pressure: a branch-owning cluster.
-        let fixed = self.muls_per_cluster
-            + self.mems_per_cluster
-            + u8::from(self.branch_clusters != 0);
+        let fixed =
+            self.muls_per_cluster + self.mems_per_cluster + u8::from(self.branch_clusters != 0);
         if fixed > self.issue_per_cluster {
             return Err(MachineError::FixedUnitsExceedIssue {
                 fixed,
@@ -295,7 +298,9 @@ mod tests {
         let p1 = m.slot_plan(1);
         assert_eq!(p1.branch_slot, 0b1000);
         // A cluster-0-only machine (no renaming) drops it elsewhere.
-        let m1 = MachineConfig::paper_baseline().with_branch_clusters(0b1).unwrap();
+        let m1 = MachineConfig::paper_baseline()
+            .with_branch_clusters(0b1)
+            .unwrap();
         assert_eq!(m1.slot_plan(1).branch_slot, 0);
     }
 
@@ -337,7 +342,9 @@ mod tests {
         assert_eq!(m.class_capacity(0, OpClass::Mem), 1);
         assert_eq!(m.class_capacity(0, OpClass::Branch), 1);
         assert_eq!(m.class_capacity(3, OpClass::Branch), 1);
-        let m1 = MachineConfig::paper_baseline().with_branch_clusters(0b1).unwrap();
+        let m1 = MachineConfig::paper_baseline()
+            .with_branch_clusters(0b1)
+            .unwrap();
         assert_eq!(m1.class_capacity(3, OpClass::Branch), 0);
     }
 

@@ -380,7 +380,9 @@ mod tests {
         assert!(!sig(&[(0, OpClass::Branch, 1)]).res.exceeds(&c));
         assert!(sig(&[(1, OpClass::Branch, 2)]).res.exceeds(&c));
         // A cluster-0-only branch machine rejects branches elsewhere.
-        let m1 = MachineConfig::paper_baseline().with_branch_clusters(0b1).unwrap();
+        let m1 = MachineConfig::paper_baseline()
+            .with_branch_clusters(0b1)
+            .unwrap();
         let c1 = ResourceCaps::of(&m1);
         assert!(sig(&[(1, OpClass::Branch, 1)]).res.exceeds(&c1));
         // Clusters beyond the machine have zero capacity.

@@ -3,9 +3,7 @@
 
 use crate::config::SimConfig;
 use crate::thread::SoftThread;
-use vliw_core::{
-    eval::CompiledScheme, MergeEvaluator, MergeStats, PortInput, PriorityRotator,
-};
+use vliw_core::{eval::CompiledScheme, MergeEvaluator, MergeStats, PortInput, PriorityRotator};
 use vliw_mem::MemSystem;
 
 /// Outcome of one cycle.
@@ -224,10 +222,7 @@ mod tests {
         smt.install(1, mk_thread("blowfish", 1));
         smt.run(30_000);
         let ipc_smt = smt.total_ops() as f64 / smt.cycle() as f64;
-        assert!(
-            ipc_smt > ipc_st * 1.3,
-            "SMT {ipc_smt:.2} vs ST {ipc_st:.2}"
-        );
+        assert!(ipc_smt > ipc_st * 1.3, "SMT {ipc_smt:.2} vs ST {ipc_st:.2}");
     }
 
     #[test]
@@ -276,7 +271,11 @@ mod tests {
             core.install(2, mk_thread("idct", 2));
             core.install(3, mk_thread("bzip2", 3));
             core.run(25_000);
-            (core.total_ops(), core.total_instrs(), core.vertical_waste_cycles())
+            (
+                core.total_ops(),
+                core.total_instrs(),
+                core.vertical_waste_cycles(),
+            )
         };
         assert_eq!(run(), run());
     }

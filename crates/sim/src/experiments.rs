@@ -8,7 +8,7 @@
 use crate::config::SimConfig;
 use crate::runner::{self, ImageCache, RunResult};
 use vliw_core::catalog;
-use vliw_workloads::{all_benchmarks, table2_mixes};
+use vliw_workloads::{all_benchmarks, table2_mixes, WorkloadMix};
 
 /// One row of Table 1.
 #[derive(Debug, Clone)]
@@ -102,7 +102,13 @@ pub fn fig4(scale: u64, parallelism: usize) -> Fig4Data {
     );
     let mixes: Vec<&'static str> = table2_mixes().iter().map(|m| m.name).collect();
     let ipc = (0..mixes.len())
-        .map(|i| [results[3 * i].ipc(), results[3 * i + 1].ipc(), results[3 * i + 2].ipc()])
+        .map(|i| {
+            [
+                results[3 * i].ipc(),
+                results[3 * i + 1].ipc(),
+                results[3 * i + 2].ipc(),
+            ]
+        })
         .collect();
     Fig4Data { mixes, ipc }
 }
@@ -186,25 +192,17 @@ impl Fig10Data {
 /// member of the catalog) across the 9 mixes.
 pub fn fig10(scale: u64, parallelism: usize) -> Fig10Data {
     let cache = ImageCache::new();
-    let scheme_names: Vec<String> = catalog::paper_schemes()
-        .iter()
-        .map(|s| s.name().to_string())
-        .collect();
-    let jobs: Vec<(usize, usize)> = (0..scheme_names.len())
-        .flat_map(|s| (0..table2_mixes().len()).map(move |m| (s, m)))
-        .collect();
-    let results: Vec<RunResult> = runner::run_jobs(
-        jobs,
-        |&(s, m)| {
-            let scheme = catalog::paper_schemes().remove(s);
-            let cfg = SimConfig::paper(scheme, scale);
-            runner::run_mix(&cache, &cfg, &table2_mixes()[m])
-        },
-        parallelism,
-    );
+    let schemes = catalog::paper_schemes();
+    let scheme_names: Vec<String> = schemes.iter().map(|s| s.name().to_string()).collect();
+    let mixes: Vec<&'static WorkloadMix> = table2_mixes().iter().collect();
+    let results: Vec<RunResult> = runner::run_sweep(&cache, &schemes, &mixes, scale, parallelism);
     let n_mixes = table2_mixes().len();
     let ipc = (0..scheme_names.len())
-        .map(|s| (0..n_mixes).map(|m| results[s * n_mixes + m].ipc()).collect())
+        .map(|s| {
+            (0..n_mixes)
+                .map(|m| results[s * n_mixes + m].ipc())
+                .collect()
+        })
         .collect();
     Fig10Data {
         schemes: scheme_names,
@@ -225,7 +223,11 @@ mod tests {
         let rows = table1(20_000, 4);
         assert_eq!(rows.len(), 12);
         for r in &rows {
-            assert!(r.ipcp >= r.ipcr * 0.95, "{}: perfect memory can't lose", r.name);
+            assert!(
+                r.ipcp >= r.ipcr * 0.95,
+                "{}: perfect memory can't lose",
+                r.name
+            );
             assert!(r.ipcr > 0.1 && r.ipcp < 16.0, "{}", r.name);
         }
     }

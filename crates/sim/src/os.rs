@@ -162,7 +162,8 @@ mod tests {
         // 4 software threads on 1 context: every thread must get cycles.
         let mut cfg = SimConfig::paper(catalog::by_name("ST").unwrap(), 2000);
         cfg.timeslice = 2_000;
-        let stats = Machine::new(&cfg, threads(&["mcf", "bzip2", "blowfish", "gsmencode"], 2)).run();
+        let stats =
+            Machine::new(&cfg, threads(&["mcf", "bzip2", "blowfish", "gsmencode"], 2)).run();
         assert!(stats.context_switches > 0);
         for t in &stats.threads {
             assert!(t.instrs > 0, "thread {} starved", t.name);

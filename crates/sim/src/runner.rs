@@ -5,6 +5,7 @@ use crate::os::Machine;
 use crate::stats::RunStats;
 use crate::thread::{ProgramMeta, SoftThread};
 use parking_lot::Mutex;
+use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
 use vliw_workloads::{build_named, BenchmarkImage, WorkloadMix};
@@ -27,11 +28,15 @@ impl RunResult {
     }
 }
 
+/// A compiled benchmark image with its precomputed program metadata, as
+/// shared between concurrent simulations.
+pub type CachedImage = Arc<(BenchmarkImage, Arc<ProgramMeta>)>;
+
 /// Cache of compiled benchmark images (compilation is deterministic, so
 /// sharing across runs and threads is sound).
 #[derive(Default)]
 pub struct ImageCache {
-    map: Mutex<HashMap<&'static str, Arc<(BenchmarkImage, Arc<ProgramMeta>)>>>,
+    map: Mutex<HashMap<&'static str, CachedImage>>,
 }
 
 impl ImageCache {
@@ -41,19 +46,20 @@ impl ImageCache {
     }
 
     /// Get or build the image + metadata for a benchmark.
-    pub fn get(
-        &self,
-        name: &'static str,
-        machine: &vliw_isa::MachineConfig,
-    ) -> Arc<(BenchmarkImage, Arc<ProgramMeta>)> {
-        let mut map = self.map.lock();
-        map.entry(name)
-            .or_insert_with(|| {
-                let img = build_named(name, machine);
-                let meta = Arc::new(ProgramMeta::of(&img));
-                Arc::new((img, meta))
-            })
-            .clone()
+    ///
+    /// The map lock is *not* held while compiling, so concurrent workers
+    /// warming different benchmarks compile in parallel. Two workers racing
+    /// on the same benchmark may both compile it (compilation is
+    /// deterministic, so the results are identical); the first insert wins
+    /// and the loser's copy is dropped.
+    pub fn get(&self, name: &'static str, machine: &vliw_isa::MachineConfig) -> CachedImage {
+        if let Some(hit) = self.map.lock().get(name) {
+            return hit.clone();
+        }
+        let img = build_named(name, machine);
+        let meta = Arc::new(ProgramMeta::of(&img));
+        let built: CachedImage = Arc::new((img, meta));
+        self.map.lock().entry(name).or_insert(built).clone()
     }
 }
 
@@ -95,39 +101,55 @@ pub fn run_mix(cache: &ImageCache, cfg: &SimConfig, mix: &WorkloadMix) -> RunRes
     }
 }
 
-/// Run a set of jobs in parallel across OS threads (simulations are
-/// independent and deterministic; results come back in job order).
+/// Run a set of jobs in parallel via rayon (simulations are independent
+/// and deterministic; results come back in job order regardless of the
+/// worker count, so every downstream figure is reproducible).
 pub fn run_jobs<J, F>(jobs: Vec<J>, worker: F, parallelism: usize) -> Vec<RunResult>
 where
     J: Sync,
     F: Fn(&J) -> RunResult + Sync,
 {
-    let n = jobs.len();
-    let results: Mutex<Vec<Option<RunResult>>> = Mutex::new((0..n).map(|_| None).collect());
-    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
-    let jobs_ref = &jobs;
-    let worker_ref = &worker;
-    let results_ref = &results;
-    let next_ref = &next;
-    let par = parallelism.max(1).min(n.max(1));
-    crossbeam::scope(|scope| {
-        for _ in 0..par {
-            scope.spawn(move |_| loop {
-                let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = worker_ref(&jobs_ref[i]);
-                results_ref.lock()[i] = Some(r);
-            });
-        }
-    })
-    .expect("simulation worker panicked");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("all jobs completed"))
-        .collect()
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(parallelism.clamp(1, jobs.len()))
+        .build()
+        .expect("simulation thread pool");
+    pool.install(|| jobs.par_iter().map(&worker).collect())
+}
+
+/// One (scheme, workload-mix) cell of a sweep grid.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepJob<'a> {
+    /// Index into the sweep's scheme list.
+    pub scheme_idx: usize,
+    /// The mix to run under that scheme.
+    pub mix: &'a WorkloadMix,
+}
+
+/// Run the full scheme × mix cross product in parallel, sharing one
+/// [`ImageCache`] across all workers (benchmark compilation happens once
+/// per benchmark, not once per run). Results come back in row-major order:
+/// `results[s * n_mixes + m]` is scheme `s` on mix `m`.
+pub fn run_sweep(
+    cache: &ImageCache,
+    schemes: &[vliw_core::MergeScheme],
+    mixes: &[&WorkloadMix],
+    scale: u64,
+    parallelism: usize,
+) -> Vec<RunResult> {
+    let jobs: Vec<SweepJob> = (0..schemes.len())
+        .flat_map(|scheme_idx| mixes.iter().map(move |&mix| SweepJob { scheme_idx, mix }))
+        .collect();
+    run_jobs(
+        jobs,
+        |job| {
+            let cfg = SimConfig::paper(schemes[job.scheme_idx].clone(), scale);
+            run_mix(cache, &cfg, job.mix)
+        },
+        parallelism,
+    )
 }
 
 /// Default sweep parallelism: physical cores minus one, at least 1.

@@ -200,13 +200,7 @@ impl SoftThread {
     /// Execute the head instruction at `cycle` (the merge network accepted
     /// it) and advance the program counter. `branch_penalty` is the taken-
     /// branch bubble length.
-    pub fn execute_head(
-        &mut self,
-        cycle: u64,
-        mem: &mut MemSystem,
-        ctx: u8,
-        branch_penalty: u8,
-    ) {
+    pub fn execute_head(&mut self, cycle: u64, mem: &mut MemSystem, ctx: u8, branch_penalty: u8) {
         let block = &self.meta.blocks[self.block as usize];
         let imeta = &block.instrs[self.idx as usize];
         self.instrs += 1;
@@ -277,12 +271,10 @@ mod tests {
         let (mut t, mut mem) = thread_pair();
         t.fetch_head(0, &mut mem, 0);
         let start_block = t.block;
-        let mut cycle = 0u64;
-        for _ in 0..1000 {
+        for cycle in 0..1000u64 {
             if t.ready(cycle) {
                 t.execute_head(cycle, &mut mem, 0, 2);
             }
-            cycle += 1;
         }
         assert!(t.instrs > 0);
         // Nearly every instruction carries ops (the ring-closure block is

@@ -61,27 +61,26 @@ pub fn generate(spec: &BenchmarkSpec) -> (IrFunction, Vec<StreamSpec>) {
         (spec.working_set / u64::from(streams_per_kernel) / u64::from(spec.n_kernels)).max(4096);
 
     let mut base = 0u64;
-    let mut mk_stream =
-        |f: &mut IrFunction, streams: &mut Vec<StreamSpec>, load: bool| -> u16 {
-            let id = f.fresh_stream();
-            let pattern = if load {
-                StreamPattern::Mixed {
-                    hot_set: HOT_SET,
-                    cold_set: cold_per_stream,
-                    cold_permille: spec.cold_permille,
-                    cold_stride: spec.stride,
-                }
-            } else {
-                StreamPattern::Strided {
-                    stride: 4,
-                    working_set: HOT_SET,
-                }
-            };
-            let spec_ = StreamSpec { pattern, base };
-            base += spec_.footprint().next_power_of_two().max(4096);
-            streams.push(spec_);
-            id
+    let mut mk_stream = |f: &mut IrFunction, streams: &mut Vec<StreamSpec>, load: bool| -> u16 {
+        let id = f.fresh_stream();
+        let pattern = if load {
+            StreamPattern::Mixed {
+                hot_set: HOT_SET,
+                cold_set: cold_per_stream,
+                cold_permille: spec.cold_permille,
+                cold_stride: spec.stride,
+            }
+        } else {
+            StreamPattern::Strided {
+                stride: 4,
+                working_set: HOT_SET,
+            }
         };
+        let spec_ = StreamSpec { pattern, base };
+        base += spec_.footprint().next_power_of_two().max(4096);
+        streams.push(spec_);
+        id
+    };
 
     for _kernel in 0..spec.n_kernels {
         // Per-kernel streams: loads rotate over the Mixed streams, stores
@@ -186,7 +185,8 @@ mod tests {
     fn generated_ir_is_valid_for_all_specs() {
         for spec in all_benchmarks() {
             let (f, streams) = generate(spec);
-            f.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            f.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
             assert_eq!(f.n_streams as usize, streams.len(), "{}", spec.name);
             assert_eq!(f.blocks.len() as u32, spec.n_kernels + 1);
         }

@@ -62,8 +62,9 @@ impl StreamSpec {
     /// Total footprint in bytes (for laying out disjoint streams).
     pub fn footprint(&self) -> u64 {
         match self.pattern {
-            StreamPattern::Strided { working_set, .. }
-            | StreamPattern::Random { working_set } => working_set,
+            StreamPattern::Strided { working_set, .. } | StreamPattern::Random { working_set } => {
+                working_set
+            }
             StreamPattern::Mixed {
                 hot_set, cold_set, ..
             } => hot_set + cold_set,
@@ -209,9 +210,7 @@ mod tests {
         };
         let mut s = StreamState::new(spec, 99);
         let n = 100_000;
-        let cold = (0..n)
-            .filter(|_| s.next_addr() >= (1 << 12))
-            .count();
+        let cold = (0..n).filter(|_| s.next_addr() >= (1 << 12)).count();
         let share = cold as f64 / n as f64;
         assert!(
             (share - 0.150).abs() < 0.01,

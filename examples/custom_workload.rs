@@ -4,6 +4,9 @@
 //! ```text
 //! cargo run --release --example custom_workload
 //! ```
+//!
+//! Paper exhibit: the Table-1 methodology — calibrated synthetic kernels
+//! with measured IPCr/IPCp, applied to a user-defined benchmark spec.
 
 use std::sync::Arc;
 use vliw_tms::core::catalog;

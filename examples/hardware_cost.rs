@@ -4,6 +4,9 @@
 //! ```text
 //! cargo run --release --example hardware_cost
 //! ```
+//!
+//! Paper exhibit: Figure 5 (merge-control cost vs thread count) and
+//! Figure 9 (per-scheme transistor/delay costs).
 
 use vliw_tms::core::{catalog, parser};
 use vliw_tms::hwcost::{fig5_sweep, scheme_cost};

@@ -7,6 +7,9 @@
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Paper exhibit: the headline result (§5.3, Figure 10) — scheme 2SC3 at
+//! ~97% of full SMT performance on the Table-2 mixes.
 
 use vliw_tms::core::catalog;
 use vliw_tms::sim::runner::{self, ImageCache};
@@ -34,9 +37,19 @@ fn main() {
     let result = runner::run_mix(&cache, &cfg, mix);
     let s = &result.stats;
     println!("cycles            : {}", s.cycles);
-    println!("IPC               : {:.2} (of {} issue slots)", s.ipc(), s.issue_width);
-    println!("vertical waste    : {:.1}% of cycles", s.vertical_waste() * 100.0);
-    println!("horizontal waste  : {:.1}% of slot bandwidth", s.horizontal_waste() * 100.0);
+    println!(
+        "IPC               : {:.2} (of {} issue slots)",
+        s.ipc(),
+        s.issue_width
+    );
+    println!(
+        "vertical waste    : {:.1}% of cycles",
+        s.vertical_waste() * 100.0
+    );
+    println!(
+        "horizontal waste  : {:.1}% of slot bandwidth",
+        s.horizontal_waste() * 100.0
+    );
     println!("utilization       : {:.1}%", s.utilization() * 100.0);
     println!("fairness (Jain)   : {:.3}", s.fairness());
     println!("D$ miss rate      : {:.2}%", s.dcache.miss_rate() * 100.0);

@@ -6,6 +6,9 @@
 //! cargo run --release --example scheme_explorer -- [MIX] [EXTRA_SCHEME...]
 //! cargo run --release --example scheme_explorer -- MMHH 3CSC 5SCCCC
 //! ```
+//!
+//! Paper exhibit: Figure 10 (per-scheme IPC across mixes) joined with
+//! Figure 9 (merge-control cost) — the performance/cost ranking of §5.3.
 
 use vliw_tms::core::{catalog, parser};
 use vliw_tms::hwcost::scheme_cost;
@@ -25,7 +28,10 @@ fn main() {
     for extra in args.iter().skip(1) {
         match parser::parse(extra) {
             Ok(s) if s.n_ports() <= 4 => schemes.push(s),
-            Ok(s) => eprintln!("skipping {extra}: {} ports > 4-thread workload", s.n_ports()),
+            Ok(s) => eprintln!(
+                "skipping {extra}: {} ports > 4-thread workload",
+                s.n_ports()
+            ),
             Err(e) => eprintln!("skipping {extra}: {e}"),
         }
     }
@@ -45,7 +51,13 @@ fn main() {
             let cost = scheme_cost(&scheme, 4, 4);
             let cfg = SimConfig::paper(scheme, 200);
             let ipc = runner::run_mix(&cache, &cfg, mix).ipc();
-            (cost.name, ipc, cost.transistors, cost.gate_delays, cost.smt_blocks)
+            (
+                cost.name,
+                ipc,
+                cost.transistors,
+                cost.gate_delays,
+                cost.smt_blocks,
+            )
         })
         .collect();
     rows.sort_by(|a, b| b.1.total_cmp(&a.1));

@@ -8,6 +8,9 @@
 //! ```text
 //! cargo run --release --example waste_analysis -- [MIX]
 //! ```
+//!
+//! Paper exhibit: the §1/§2 motivation — vertical vs horizontal waste
+//! decomposition behind Figure 4's multithreading gains.
 
 use vliw_tms::core::catalog;
 use vliw_tms::sim::runner::{self, ImageCache};
@@ -27,7 +30,10 @@ fn main() {
     });
     let cache = ImageCache::new();
 
-    println!("slot budget decomposition, workload {mix_name} {:?}\n", mix.members);
+    println!(
+        "slot budget decomposition, workload {mix_name} {:?}\n",
+        mix.members
+    );
     println!(
         "{:<6} {:>6}   {:<28} {:>8} {:>8} {:>8}",
         "scheme", "IPC", "utilization", "useful", "vert", "horiz"

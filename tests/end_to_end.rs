@@ -1,7 +1,7 @@
 //! Cross-crate integration: the full compile → simulate pipeline.
 
 use std::sync::Arc;
-use vliw_tms::compiler::{compile, CompileOptions, IrBlock, IrFunction, IrOp, Terminator, VirtReg};
+use vliw_tms::compiler::{compile, CompileOptions, IrBlock, IrFunction, IrOp, Terminator};
 use vliw_tms::core::catalog;
 use vliw_tms::isa::{MachineConfig, Opcode};
 use vliw_tms::sim::runner::{self, ImageCache};
@@ -29,7 +29,15 @@ fn hand_built_kernel_runs_cycle_accurately() {
         ])
         .with_term(Terminator::Return),
     );
-    let program = compile(&machine, &f, CompileOptions { unroll: 1, verify: true }).unwrap();
+    let program = compile(
+        &machine,
+        &f,
+        CompileOptions {
+            unroll: 1,
+            verify: true,
+        },
+    )
+    .unwrap();
     assert_eq!(program.blocks.len(), 1);
     let n_instrs = program.blocks[0].instrs.len() as u64;
     assert_eq!(n_instrs, 3, "3-op chain schedules into 3 instructions");
@@ -132,8 +140,7 @@ fn perfect_memory_dominates() {
             runner::run_single(&cache, &cfg, name).ipc()
         };
         let perfect = {
-            let cfg =
-                SimConfig::paper(catalog::by_name("ST").unwrap(), 2000).with_perfect_memory();
+            let cfg = SimConfig::paper(catalog::by_name("ST").unwrap(), 2000).with_perfect_memory();
             runner::run_single(&cache, &cfg, name).ipc()
         };
         assert!(

@@ -1,0 +1,55 @@
+//! Smoke test: every example listed in `examples/` must be registered in
+//! `Cargo.toml` and build. `cargo test` (and CI's `cargo build --examples`)
+//! compiles all example targets, so this test only needs to assert the
+//! registration is complete — a new `examples/*.rs` file that is never
+//! registered would otherwise silently stop compiling.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+#[test]
+fn every_example_file_is_registered_in_manifest() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let on_disk: BTreeSet<String> = std::fs::read_dir(root.join("examples"))
+        .expect("examples/ directory exists")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_string)
+        })
+        .collect();
+    assert!(!on_disk.is_empty(), "examples/ must not be empty");
+
+    let manifest = std::fs::read_to_string(root.join("Cargo.toml")).unwrap();
+    let registered: BTreeSet<String> = manifest
+        .lines()
+        .filter_map(|l| l.trim().strip_prefix("path = \"examples/"))
+        .filter_map(|l| l.strip_suffix(".rs\""))
+        .map(str::to_string)
+        .collect();
+
+    assert_eq!(
+        on_disk, registered,
+        "examples on disk and [[example]] entries in Cargo.toml must match"
+    );
+}
+
+#[test]
+fn every_example_declares_its_paper_exhibit() {
+    // Each example's doc header must say which paper figure/table it
+    // corresponds to (ISSUE: examples are living documentation of the
+    // reproduction, so the mapping is load-bearing).
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for entry in std::fs::read_dir(root.join("examples")).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let header: String = src.lines().take_while(|l| l.starts_with("//!")).collect();
+        assert!(
+            header.contains("Paper exhibit:"),
+            "{} must carry a `Paper exhibit:` doc header line",
+            path.display()
+        );
+    }
+}

@@ -73,7 +73,10 @@ fn fig10_scheme_ordering() {
             continue;
         }
         assert!(avg(name) >= avg("1S") * 0.98, "{name} below the 1S floor");
-        assert!(avg(name) <= avg("3SSS") * 1.02, "{name} above the 3SSS ceiling");
+        assert!(
+            avg(name) <= avg("3SSS") * 1.02,
+            "{name} above the 3SSS ceiling"
+        );
     }
     // Identical-by-construction groups (serial vs parallel CSMT).
     assert!((avg("3CCC") - avg("C4")).abs() < 1e-9);
@@ -119,7 +122,10 @@ fn table1_class_ordering() {
         xs.iter().sum::<f64>() / xs.len() as f64
     };
     let (l, m, h) = (class_avg('L'), class_avg('M'), class_avg('H'));
-    assert!(h > m && m > l, "ILP classes out of order: L={l:.2} M={m:.2} H={h:.2}");
+    assert!(
+        h > m && m > l,
+        "ILP classes out of order: L={l:.2} M={m:.2} H={h:.2}"
+    );
     for r in &rows {
         assert!(r.ipcp >= r.ipcr * 0.95, "{}: IPCp below IPCr", r.name);
         // Within a loose band of the paper's values (synthetic stand-ins).

@@ -70,7 +70,14 @@ fn rotation_policies_change_fairness() {
 fn eight_thread_extension_ranks() {
     let cache = ImageCache::new();
     let pool: [&'static str; 8] = [
-        "mcf", "bzip2", "blowfish", "gsmencode", "x264", "idct", "imgpipe", "colorspace",
+        "mcf",
+        "bzip2",
+        "blowfish",
+        "gsmencode",
+        "x264",
+        "idct",
+        "imgpipe",
+        "colorspace",
     ];
     let run = |name: &str| {
         let scheme = parser::parse(name).unwrap();
@@ -81,7 +88,13 @@ fn eight_thread_extension_ranks() {
     let smt = run("7SSSSSSS");
     let hybrid = run("7SCCCCCC");
     let csmt = run("7CCCCCCC");
-    assert!(smt >= hybrid * 0.98, "8T SMT {smt:.2} vs hybrid {hybrid:.2}");
-    assert!(hybrid >= csmt * 0.98, "hybrid {hybrid:.2} vs CSMT {csmt:.2}");
+    assert!(
+        smt >= hybrid * 0.98,
+        "8T SMT {smt:.2} vs hybrid {hybrid:.2}"
+    );
+    assert!(
+        hybrid >= csmt * 0.98,
+        "hybrid {hybrid:.2} vs CSMT {csmt:.2}"
+    );
     assert!(smt > 2.0, "8-thread SMT should keep the machine busy");
 }
