@@ -4,17 +4,19 @@
 //! * loop unrolling (the trace-scheduling stand-in) on vs off;
 //! * thread-count extension: 6- and 8-thread hybrid schemes (the paper
 //!   stops at 4 "for space reasons").
+//!
+//! Each study is one declarative [`Plan`] per configuration; the mix list
+//! and all specs are resolved when the plan is built, before the rayon
+//! fan-out.
 
-use vliw_core::{catalog, parser, PriorityPolicy};
-use vliw_sim::runner::{self, ImageCache};
-use vliw_sim::SimConfig;
-use vliw_workloads::mixes;
+use vliw_core::{parser, PriorityPolicy};
+use vliw_sim::plan::{MemoryModel, Plan, Session, WorkloadRef};
+use vliw_workloads::table2_mixes;
 
 const SCALE: u64 = 400;
 
 fn main() {
-    let par = runner::default_parallelism();
-    let cache = ImageCache::new();
+    let session = Session::new();
     let t0 = std::time::Instant::now();
 
     println!("== Ablation: priority rotation policy (scheme 2SC3, all mixes) ==");
@@ -24,42 +26,47 @@ fn main() {
         ("round-robin", PriorityPolicy::RoundRobin),
         ("least-recently-issued", PriorityPolicy::LeastRecentlyIssued),
     ] {
-        let jobs: Vec<usize> = (0..mixes::table2_mixes().len()).collect();
-        let results = runner::run_jobs(
-            jobs,
-            |&m| {
-                let mut cfg = SimConfig::paper(catalog::by_name("2SC3").unwrap(), SCALE);
-                cfg.priority = policy;
-                runner::run_mix(&cache, &cfg, &mixes::table2_mixes()[m])
-            },
-            par,
-        );
-        let ipc: f64 = results.iter().map(|r| r.ipc()).sum::<f64>() / results.len() as f64;
-        let fair: f64 =
-            results.iter().map(|r| r.stats.fairness()).sum::<f64>() / results.len() as f64;
+        let set = Plan::new()
+            .scheme("2SC3")
+            .workloads(table2_mixes())
+            .priority(policy)
+            .scale(SCALE)
+            .run(&session);
+        let n = set.len() as f64;
+        let ipc = set.results().iter().map(|r| r.ipc()).sum::<f64>() / n;
+        let fair = set
+            .results()
+            .iter()
+            .map(|r| r.stats.fairness())
+            .sum::<f64>()
+            / n;
         println!("{name:<22} {ipc:>8.2} {fair:>10.3}");
     }
 
     println!("\n== Ablation: ILP exposure (unrolling) — single-thread IPCp ==");
     println!("{:<12} {:>10} {:>12}", "benchmark", "unrolled", "no-unroll");
     for name in ["idct", "colorspace", "imgpipe"] {
-        let cfg = SimConfig::paper(catalog::by_name("ST").unwrap(), SCALE).with_perfect_memory();
-        let with = runner::run_single(&cache, &cfg, name).ipc();
-        // Rebuild without unrolling.
-        let mut spec = vliw_workloads::benchmark(name).unwrap().clone();
-        spec.unroll = 1;
-        let machine = vliw_isa::MachineConfig::paper_baseline();
-        let img = vliw_workloads::build(&spec, &machine);
-        let meta = std::sync::Arc::new(vliw_sim::thread::ProgramMeta::of(&img));
-        let thread = vliw_sim::SoftThread::new(&img, meta, 0, cfg.seed);
-        let stats = vliw_sim::os::Machine::new(&cfg, vec![thread]).run();
-        println!("{name:<12} {with:>10.2} {:>12.2}", stats.ipc());
+        // The no-unroll variant is the same spec under a computed name
+        // (distinct names = distinct compilation-cache entries).
+        let mut variant = vliw_workloads::benchmark(name).unwrap().clone();
+        variant.unroll = 1;
+        variant.name = format!("{name}-nounroll").into();
+        let set = Plan::new()
+            .scheme("ST")
+            .workload(name)
+            .workload(&variant)
+            .axis(MemoryModel::Perfect)
+            .scale(SCALE)
+            .run(&session);
+        let with = set.ipc("ST", name, MemoryModel::Perfect).unwrap();
+        let without = set.ipc("ST", &variant.name, MemoryModel::Perfect).unwrap();
+        println!("{name:<12} {with:>10.2} {without:>12.2}");
     }
 
     println!("\n== Extension: thread counts beyond the paper (HHHH + LLLL pool) ==");
     println!("{:<12} {:>8} {:>8}", "scheme", "threads", "IPC");
     // 6- and 8-thread pools reuse the Table-1 suite.
-    let pool8: [&'static str; 8] = [
+    let pool8 = [
         "mcf",
         "bzip2",
         "blowfish",
@@ -72,10 +79,13 @@ fn main() {
     for scheme_name in ["5SCCCC", "7CCCCCCC", "C8", "7SSSSSSS"] {
         let scheme = parser::parse(scheme_name).expect("extension scheme parses");
         let n = scheme.n_ports() as usize;
-        let cfg = SimConfig::paper(scheme, SCALE);
-        let threads = runner::make_threads(&cache, &cfg, &pool8[..n.min(8)]);
-        let stats = vliw_sim::os::Machine::new(&cfg, threads).run();
-        println!("{scheme_name:<12} {n:>8} {:>8.2}", stats.ipc());
+        let workload = WorkloadRef::members(&format!("pool{n}"), &pool8[..n.min(8)]);
+        let set = Plan::new()
+            .scheme(scheme)
+            .workload(workload)
+            .scale(SCALE)
+            .run(&session);
+        println!("{scheme_name:<12} {n:>8} {:>8.2}", set.results()[0].ipc());
     }
 
     println!("\nablations done in {:.1}s", t0.elapsed().as_secs_f64());

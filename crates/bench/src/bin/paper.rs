@@ -3,7 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! paper [EXHIBIT...] [--scale N] [--full] [--threads N] [--filter S] [--out DIR]
+//! paper [EXHIBIT...] [--scale N] [--full] [--threads N] [--filter S]
+//!       [--out DIR] [--json PATH] [--csv PATH]
 //!
 //! EXHIBIT: table1 table2 fig4 fig5 fig6 fig9 fig10 fig11 fig12 headline all
 //!          (default: all)
@@ -12,13 +13,23 @@
 //! --threads N  rayon worker threads for simulation sweeps (default: cores-1;
 //!              --par is accepted as an alias)
 //! --filter S   keep only exhibits whose name contains the substring S
-//! --out DIR    CSV output directory (default: results/)
+//! --out DIR    CSV output directory for rendered exhibits (default: results/)
+//! --json PATH  also write the raw simulation result sets as one JSON file
+//! --csv PATH   also write the raw simulation result sets as one CSV file
 //! ```
+//!
+//! The `--json`/`--csv` exports cover the simulated exhibits (table1, fig4,
+//! fig6, and the shared fig10 sweep behind fig10/fig11/fig12/headline);
+//! static exhibits (table2, fig5, fig9) have no simulation results. Both
+//! exports are byte-identical across `--threads` values: the sweep grid is
+//! deterministic and ordered.
 
+use std::fmt::Write as _;
 use std::path::PathBuf;
 use vliw_bench::figures;
 use vliw_bench::Exhibit;
-use vliw_sim::experiments::{self, Fig10Data};
+use vliw_sim::experiments;
+use vliw_sim::plan::{ResultSet, Session};
 
 fn main() {
     let mut scale: u64 = 20;
@@ -26,6 +37,8 @@ fn main() {
     let mut out = PathBuf::from("results");
     let mut wanted: Vec<String> = Vec::new();
     let mut filter: Option<String> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut csv_path: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -53,6 +66,16 @@ fn main() {
             "--out" => {
                 out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
             }
+            "--json" => {
+                json_path = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| die("--json needs a path")),
+                ));
+            }
+            "--csv" => {
+                csv_path = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| die("--csv needs a path")),
+                ));
+            }
             "--help" | "-h" => {
                 println!("{}", HELP);
                 return;
@@ -76,39 +99,68 @@ fn main() {
             die(&format!("--filter {f:?} matches no exhibit"));
         }
     }
+    // First occurrence wins: repeated names would re-simulate the sweep and
+    // duplicate ids in the --json/--csv exports.
+    let mut seen = std::collections::HashSet::new();
+    wanted.retain(|w| seen.insert(w.clone()));
 
     println!(
         "vliw-tms paper harness — scale 1/{scale} of the paper's run length, {par} rayon workers\n"
     );
     let t0 = std::time::Instant::now();
-    // The Figure-10 sweep (all schemes x all mixes) also feeds figs 11/12
-    // and the headline claims; simulate it at most once per invocation.
-    let mut fig10_data: Option<Fig10Data> = None;
-    fn fig10_once(data: &mut Option<Fig10Data>, scale: u64, par: usize) -> &Fig10Data {
-        data.get_or_insert_with(|| experiments::fig10(scale, par))
-    }
+    let session = Session::with_parallelism(par);
+    // Result sets are kept for the --json/--csv exports only; without an
+    // export flag each set is dropped after rendering. The Figure-10 sweep
+    // (all schemes x all mixes) feeds figs 10/11/12 and the headline
+    // claims; simulate it and project its data at most once per invocation.
+    let export = json_path.is_some() || csv_path.is_some();
+    let mut captured: Vec<(&'static str, ResultSet)> = Vec::new();
+    let mut fig10: Option<experiments::Fig10Data> = None;
     for name in &wanted {
         let exhibits: Vec<Exhibit> = match name.as_str() {
-            "table1" => vec![figures::table1(scale, par)],
+            "table1" => {
+                let set = experiments::table1_plan(scale).run(&session);
+                let ex = figures::table1_from(&experiments::table1_rows(&set));
+                if export {
+                    captured.push(("table1", set));
+                }
+                vec![ex]
+            }
             "table2" => vec![figures::table2()],
-            "fig4" => vec![figures::fig4(scale, par)],
+            "fig4" => {
+                let set = experiments::fig4_plan(scale).run(&session);
+                let ex = figures::fig4_from(&experiments::fig4_data(&set));
+                if export {
+                    captured.push(("fig4", set));
+                }
+                vec![ex]
+            }
             "fig5" => vec![figures::fig5()],
-            "fig6" => vec![figures::fig6(scale, par)],
+            "fig6" => {
+                let set = experiments::fig6_plan(scale).run(&session);
+                let ex = figures::fig6_from(&experiments::fig6_data(&set));
+                if export {
+                    captured.push(("fig6", set));
+                }
+                vec![ex]
+            }
             "fig9" => vec![figures::fig9()],
-            "fig10" => vec![figures::fig10_from(fig10_once(&mut fig10_data, scale, par))],
-            "fig11" | "fig12" => {
-                let (a, b) = figures::fig11_12_from(fig10_once(&mut fig10_data, scale, par));
-                if name == "fig11" {
-                    vec![a]
-                } else {
-                    vec![b]
+            "fig10" | "fig11" | "fig12" | "headline" => {
+                let d = fig10.get_or_insert_with(|| {
+                    let set = experiments::fig10_plan(scale).run(&session);
+                    let d = experiments::fig10_data(&set);
+                    if export {
+                        captured.push(("fig10", set));
+                    }
+                    d
+                });
+                match name.as_str() {
+                    "fig10" => vec![figures::fig10_from(d)],
+                    "fig11" => vec![figures::fig11_12_from(d).0],
+                    "fig12" => vec![figures::fig11_12_from(d).1],
+                    _ => vec![figures::headline_from(d)],
                 }
             }
-            "headline" => vec![figures::headline_from(fig10_once(
-                &mut fig10_data,
-                scale,
-                par,
-            ))],
             other => die(&format!("unknown exhibit {other}")),
         };
         for e in exhibits {
@@ -118,6 +170,35 @@ fn main() {
             }
         }
     }
+
+    if let Some(path) = &json_path {
+        let mut s = String::new();
+        let _ = write!(s, "{{\"scale\":{scale},\"exhibits\":[");
+        for (i, (id, set)) in captured.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{{\"id\":\"{id}\",\"set\":{}}}", set.to_json());
+        }
+        s.push_str("]}");
+        if let Err(err) = std::fs::write(path, s) {
+            eprintln!("warning: could not write {}: {err}", path.display());
+        } else {
+            println!("raw result sets (JSON) written to {}", path.display());
+        }
+    }
+    if let Some(path) = &csv_path {
+        let mut s = format!("exhibit,{}\n", ResultSet::CSV_HEADER);
+        for (id, set) in &captured {
+            s.push_str(&set.csv_rows(Some(id)));
+        }
+        if let Err(err) = std::fs::write(path, s) {
+            eprintln!("warning: could not write {}: {err}", path.display());
+        } else {
+            println!("raw result sets (CSV) written to {}", path.display());
+        }
+    }
+
     println!(
         "done in {:.1}s; CSVs in {}",
         t0.elapsed().as_secs_f64(),
@@ -130,6 +211,6 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-const HELP: &str =
-    "usage: paper [EXHIBIT...] [--scale N] [--full] [--threads N] [--filter S] [--out DIR]
+const HELP: &str = "usage: paper [EXHIBIT...] [--scale N] [--full] [--threads N] [--filter S] \
+[--out DIR] [--json PATH] [--csv PATH]
 exhibits: table1 table2 fig4 fig5 fig6 fig9 fig10 fig11 fig12 headline all";

@@ -7,7 +7,13 @@ use vliw_workloads::{all_benchmarks, table2_mixes};
 
 /// Table 1: benchmark suite with measured vs paper IPCr/IPCp.
 pub fn table1(scale: u64, par: usize) -> Exhibit {
-    let rows = experiments::table1(scale, par);
+    table1_from(&experiments::table1(scale, par))
+}
+
+/// Render Table 1 from precomputed rows (as the `paper` binary does after
+/// running [`experiments::table1_plan`] once for both text and
+/// serialization).
+pub fn table1_from(rows: &[experiments::Table1Row]) -> Exhibit {
     let mut t = TextTable::new(&[
         "benchmark",
         "ILP",
@@ -16,7 +22,7 @@ pub fn table1(scale: u64, par: usize) -> Exhibit {
         "paper IPCr",
         "paper IPCp",
     ]);
-    for r in &rows {
+    for r in rows {
         t.row(vec![
             r.name.to_string(),
             r.ilp.to_string(),
@@ -52,7 +58,11 @@ pub fn table2() -> Exhibit {
 
 /// Figure 4: SMT IPC vs hardware thread count.
 pub fn fig4(scale: u64, par: usize) -> Exhibit {
-    let d = experiments::fig4(scale, par);
+    fig4_from(&experiments::fig4(scale, par))
+}
+
+/// Render Figure 4 from precomputed sweep data.
+pub fn fig4_from(d: &experiments::Fig4Data) -> Exhibit {
     let mut t = TextTable::new(&["workload", "single-thread", "2-thread SMT", "4-thread SMT"]);
     for (m, row) in d.mixes.iter().zip(&d.ipc) {
         t.row(vec![m.to_string(), f2(row[0]), f2(row[1]), f2(row[2])]);
@@ -107,7 +117,11 @@ pub fn fig5() -> Exhibit {
 
 /// Figure 6: SMT advantage over CSMT, per mix.
 pub fn fig6(scale: u64, par: usize) -> Exhibit {
-    let d = experiments::fig6(scale, par);
+    fig6_from(&experiments::fig6(scale, par))
+}
+
+/// Render Figure 6 from precomputed sweep data.
+pub fn fig6_from(d: &experiments::Fig6Data) -> Exhibit {
     let mut t = TextTable::new(&["workload", "4T SMT IPC", "4T CSMT IPC", "SMT advantage"]);
     for (m, smt, csmt, adv) in &d.rows {
         t.row(vec![m.to_string(), f2(*smt), f2(*csmt), pct(*adv)]);

@@ -31,6 +31,13 @@ impl SimConfig {
     /// The paper's configuration for a given scheme, scaled down by
     /// `scale` (1 = the paper's full 100M-instruction runs; 100 = 1M
     /// instructions with a 10k-cycle quantum — the default for tests).
+    ///
+    /// Scale bounds: `scale` is clamped to ≥ 1, and both derived run
+    /// lengths have floors so extreme divisors still produce meaningful
+    /// runs — `timeslice` never drops below 1 000 cycles (pinned from
+    /// scale 1 000 up) and `instr_budget` never drops below 1 000 retired
+    /// instructions (pinned from scale 100 000 up). Beyond scale 100 000
+    /// further increases therefore do not shorten the run.
     pub fn paper(scheme: MergeScheme, scale: u64) -> Self {
         let scale = scale.max(1);
         SimConfig {
@@ -39,7 +46,7 @@ impl SimConfig {
             scheme,
             priority: PriorityPolicy::RoundRobin,
             timeslice: (1_000_000 / scale).max(1_000),
-            instr_budget: 100_000_000 / scale,
+            instr_budget: (100_000_000 / scale).max(1_000),
             max_cycles: u64::MAX,
             seed: 0xC0FFEE,
         }
@@ -72,6 +79,15 @@ mod tests {
         assert_eq!(full.instr_budget, 100_000_000);
         assert_eq!(full.timeslice, 1_000_000);
         assert_eq!(full.n_contexts(), 2);
+    }
+
+    #[test]
+    fn extreme_scales_hit_both_floors() {
+        let c = SimConfig::paper(catalog::smt_cascade(4), 10_000_000);
+        assert_eq!(c.timeslice, 1_000, "timeslice floor");
+        assert_eq!(c.instr_budget, 1_000, "instr budget floor");
+        let c0 = SimConfig::paper(catalog::smt_cascade(4), 0);
+        assert_eq!(c0.instr_budget, 100_000_000, "scale clamps to 1");
     }
 
     #[test]

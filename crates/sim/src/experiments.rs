@@ -1,20 +1,26 @@
 //! Figure/table-level experiment drivers.
 //!
-//! Every public function here regenerates the *data* behind one of the
-//! paper's exhibits; `vliw-bench`'s `paper` binary formats them. All
-//! functions take a `scale` divisor (1 = the paper's full 100M-instruction
-//! runs) and return plain structs.
+//! Every exhibit is expressed the same way now: a `*_plan` function builds
+//! the declarative [`Plan`] (which schemes × workloads × memory models at
+//! which scale), a `*_data`/`*_rows` function projects the executed
+//! [`ResultSet`] into the exhibit's shape by *keyed lookup* (no positional
+//! index arithmetic), and a convenience wrapper runs both. `vliw-bench`'s
+//! `paper` binary formats the shapes and can serialize the raw result sets
+//! via [`ResultSet::to_json`]/[`ResultSet::to_csv`].
+//!
+//! All drivers take a `scale` divisor (1 = the paper's full
+//! 100M-instruction runs).
 
-use crate::config::SimConfig;
-use crate::runner::{self, ImageCache, RunResult};
+use crate::plan::{MemoryModel, Plan, ResultSet, Session};
+use std::sync::Arc;
 use vliw_core::catalog;
-use vliw_workloads::{all_benchmarks, table2_mixes, WorkloadMix};
+use vliw_workloads::{all_benchmarks, table2_mixes};
 
 /// One row of Table 1.
 #[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Benchmark name.
-    pub name: &'static str,
+    pub name: Arc<str>,
     /// ILP class letter.
     pub ilp: char,
     /// Measured IPC with real memory.
@@ -27,37 +33,39 @@ pub struct Table1Row {
     pub paper_ipcp: f64,
 }
 
-/// Regenerate Table 1: single-thread IPC of every benchmark with real and
-/// perfect memory.
-pub fn table1(scale: u64, parallelism: usize) -> Vec<Table1Row> {
-    let cache = ImageCache::new();
-    let jobs: Vec<(&'static str, bool)> = all_benchmarks()
-        .iter()
-        .flat_map(|b| [(b.name, false), (b.name, true)])
-        .collect();
-    let results = runner::run_jobs(
-        jobs.clone(),
-        |&(name, perfect)| {
-            let mut cfg = SimConfig::paper(catalog::by_name("ST").unwrap(), scale);
-            if perfect {
-                cfg = cfg.with_perfect_memory();
-            }
-            runner::run_single(&cache, &cfg, name)
-        },
-        parallelism,
-    );
+/// The Table-1 sweep: every benchmark alone on the single-thread machine,
+/// under both memory models.
+pub fn table1_plan(scale: u64) -> Plan {
+    Plan::new()
+        .scheme("ST")
+        .workloads(all_benchmarks())
+        .axes([MemoryModel::Real, MemoryModel::Perfect])
+        .scale(scale)
+}
+
+/// Project an executed [`table1_plan`] sweep into Table-1 rows.
+pub fn table1_rows(set: &ResultSet) -> Vec<Table1Row> {
     all_benchmarks()
         .iter()
-        .enumerate()
-        .map(|(i, b)| Table1Row {
-            name: b.name,
+        .map(|b| Table1Row {
+            name: b.name.clone(),
             ilp: b.ilp.letter(),
-            ipcr: results[2 * i].ipc(),
-            ipcp: results[2 * i + 1].ipc(),
+            ipcr: set
+                .ipc("ST", &b.name, MemoryModel::Real)
+                .expect("table1 grid covers every benchmark"),
+            ipcp: set
+                .ipc("ST", &b.name, MemoryModel::Perfect)
+                .expect("table1 grid covers every benchmark"),
             paper_ipcr: b.paper_ipcr,
             paper_ipcp: b.paper_ipcp,
         })
         .collect()
+}
+
+/// Regenerate Table 1: single-thread IPC of every benchmark with real and
+/// perfect memory.
+pub fn table1(scale: u64, parallelism: usize) -> Vec<Table1Row> {
+    table1_rows(&table1_plan(scale).run(&Session::with_parallelism(parallelism)))
 }
 
 /// Figure 4 data: per-mix and average IPC of SMT with 1, 2 and 4 hardware
@@ -83,34 +91,35 @@ impl Fig4Data {
     }
 }
 
-/// Regenerate Figure 4.
-pub fn fig4(scale: u64, parallelism: usize) -> Fig4Data {
-    let cache = ImageCache::new();
-    let schemes = ["ST", "1S", "3SSS"];
-    let jobs: Vec<(usize, &'static str)> = table2_mixes()
-        .iter()
-        .enumerate()
-        .flat_map(|(i, _)| schemes.iter().map(move |&s| (i, s)))
-        .collect();
-    let results = runner::run_jobs(
-        jobs,
-        |&(mix_idx, scheme)| {
-            let cfg = SimConfig::paper(catalog::by_name(scheme).unwrap(), scale);
-            runner::run_mix(&cache, &cfg, &table2_mixes()[mix_idx])
-        },
-        parallelism,
-    );
+/// Schemes of the Figure-4 sweep, in column order.
+const FIG4_SCHEMES: [&str; 3] = ["ST", "1S", "3SSS"];
+
+/// The Figure-4 sweep: 1/2/4-thread SMT over every Table-2 mix.
+pub fn fig4_plan(scale: u64) -> Plan {
+    Plan::new()
+        .schemes(FIG4_SCHEMES)
+        .workloads(table2_mixes())
+        .scale(scale)
+}
+
+/// Project an executed [`fig4_plan`] sweep into Figure-4 shape.
+pub fn fig4_data(set: &ResultSet) -> Fig4Data {
     let mixes: Vec<&'static str> = table2_mixes().iter().map(|m| m.name).collect();
-    let ipc = (0..mixes.len())
-        .map(|i| {
-            [
-                results[3 * i].ipc(),
-                results[3 * i + 1].ipc(),
-                results[3 * i + 2].ipc(),
-            ]
+    let ipc = mixes
+        .iter()
+        .map(|mix| {
+            FIG4_SCHEMES.map(|s| {
+                set.ipc(s, mix, MemoryModel::Real)
+                    .expect("fig4 grid covers every scheme x mix")
+            })
         })
         .collect();
     Fig4Data { mixes, ipc }
+}
+
+/// Regenerate Figure 4.
+pub fn fig4(scale: u64, parallelism: usize) -> Fig4Data {
+    fig4_data(&fig4_plan(scale).run(&Session::with_parallelism(parallelism)))
 }
 
 /// Figure 6 data: SMT's advantage over CSMT per mix, in percent.
@@ -127,32 +136,34 @@ impl Fig6Data {
     }
 }
 
-/// Regenerate Figure 6 (4-thread SMT vs 4-thread CSMT).
-pub fn fig6(scale: u64, parallelism: usize) -> Fig6Data {
-    let cache = ImageCache::new();
-    let jobs: Vec<(usize, &'static str)> = table2_mixes()
-        .iter()
-        .enumerate()
-        .flat_map(|(i, _)| ["3SSS", "3CCC"].iter().map(move |&s| (i, s)))
-        .collect();
-    let results = runner::run_jobs(
-        jobs,
-        |&(mix_idx, scheme)| {
-            let cfg = SimConfig::paper(catalog::by_name(scheme).unwrap(), scale);
-            runner::run_mix(&cache, &cfg, &table2_mixes()[mix_idx])
-        },
-        parallelism,
-    );
+/// The Figure-6 sweep: 4-thread SMT vs 4-thread CSMT over every mix.
+pub fn fig6_plan(scale: u64) -> Plan {
+    Plan::new()
+        .schemes(["3SSS", "3CCC"])
+        .workloads(table2_mixes())
+        .scale(scale)
+}
+
+/// Project an executed [`fig6_plan`] sweep into Figure-6 shape.
+pub fn fig6_data(set: &ResultSet) -> Fig6Data {
     let rows = table2_mixes()
         .iter()
-        .enumerate()
-        .map(|(i, m)| {
-            let smt = results[2 * i].ipc();
-            let csmt = results[2 * i + 1].ipc();
+        .map(|m| {
+            let smt = set
+                .ipc("3SSS", m.name, MemoryModel::Real)
+                .expect("fig6 grid covers every mix");
+            let csmt = set
+                .ipc("3CCC", m.name, MemoryModel::Real)
+                .expect("fig6 grid covers every mix");
             (m.name, smt, csmt, (smt / csmt - 1.0) * 100.0)
         })
         .collect();
     Fig6Data { rows }
+}
+
+/// Regenerate Figure 6 (4-thread SMT vs 4-thread CSMT).
+pub fn fig6(scale: u64, parallelism: usize) -> Fig6Data {
+    fig6_data(&fig6_plan(scale).run(&Session::with_parallelism(parallelism)))
 }
 
 /// Figure 10 data: IPC of every scheme on every mix.
@@ -188,27 +199,42 @@ impl Fig10Data {
     }
 }
 
-/// Regenerate Figure 10: all 16 catalog schemes (plus the implicit 1S
-/// member of the catalog) across the 9 mixes.
-pub fn fig10(scale: u64, parallelism: usize) -> Fig10Data {
-    let cache = ImageCache::new();
-    let schemes = catalog::paper_schemes();
-    let scheme_names: Vec<String> = schemes.iter().map(|s| s.name().to_string()).collect();
-    let mixes: Vec<&'static WorkloadMix> = table2_mixes().iter().collect();
-    let results: Vec<RunResult> = runner::run_sweep(&cache, &schemes, &mixes, scale, parallelism);
-    let n_mixes = table2_mixes().len();
-    let ipc = (0..scheme_names.len())
+/// The Figure-10 sweep: all 16 catalog schemes (plus the implicit 1S
+/// member of the catalog) across the 9 mixes. Also feeds Figures 11/12 and
+/// the §5.2 headline claims.
+pub fn fig10_plan(scale: u64) -> Plan {
+    Plan::new()
+        .schemes(catalog::paper_schemes())
+        .workloads(table2_mixes())
+        .scale(scale)
+}
+
+/// Project an executed [`fig10_plan`] sweep into Figure-10 shape.
+pub fn fig10_data(set: &ResultSet) -> Fig10Data {
+    let schemes: Vec<String> = set.schemes().iter().map(|s| s.name().to_string()).collect();
+    let mixes: Vec<&'static str> = table2_mixes().iter().map(|m| m.name).collect();
+    let ipc = schemes
+        .iter()
         .map(|s| {
-            (0..n_mixes)
-                .map(|m| results[s * n_mixes + m].ipc())
+            mixes
+                .iter()
+                .map(|m| {
+                    set.ipc(s, m, MemoryModel::Real)
+                        .expect("fig10 grid covers every scheme x mix")
+                })
                 .collect()
         })
         .collect();
     Fig10Data {
-        schemes: scheme_names,
-        mixes: table2_mixes().iter().map(|m| m.name).collect(),
+        schemes,
+        mixes,
         ipc,
     }
+}
+
+/// Regenerate Figure 10.
+pub fn fig10(scale: u64, parallelism: usize) -> Fig10Data {
+    fig10_data(&fig10_plan(scale).run(&Session::with_parallelism(parallelism)))
 }
 
 #[cfg(test)]
@@ -244,5 +270,20 @@ mod tests {
     fn fig6_smoke_smt_wins() {
         let d = fig6(20_000, 4);
         assert!(d.average() > 0.0, "SMT must beat CSMT on average");
+    }
+
+    #[test]
+    fn data_projections_agree_with_keyed_lookup() {
+        let set = fig4_plan(50_000).run(&Session::with_parallelism(2));
+        let d = fig4_data(&set);
+        for (i, mix) in d.mixes.iter().enumerate() {
+            for (k, scheme) in FIG4_SCHEMES.iter().enumerate() {
+                assert_eq!(
+                    d.ipc[i][k],
+                    set.ipc(scheme, mix, MemoryModel::Real).unwrap(),
+                    "{scheme}/{mix}"
+                );
+            }
+        }
     }
 }

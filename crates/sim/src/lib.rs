@@ -25,20 +25,24 @@
 //!   thread per cycle at most.
 //!
 //! Entry points: [`Core`] for a bare multithreaded core, [`os::Machine`]
-//! for the timesliced multiprogramming layer, [`runner`] for the
-//! experiment-level API (single runs and parallel sweeps), and
-//! [`experiments`] for the paper's figure-level drivers.
+//! for the timesliced multiprogramming layer, [`runner`] for the low-level
+//! experiment API (single runs and parallel fan-out), [`plan`] for the
+//! declarative sweep surface ([`Plan`] → [`ResultSet`] with keyed lookup
+//! and JSON/CSV exhibits), and [`experiments`] for the paper's figure-level
+//! drivers built on it.
 
 pub mod config;
 pub mod core;
 pub mod experiments;
 pub mod os;
+pub mod plan;
 pub mod runner;
 pub mod stats;
 pub mod thread;
 
 pub use crate::core::Core;
 pub use config::SimConfig;
+pub use plan::{MemoryModel, Plan, ResultSet, SchemeRef, Session, WorkloadRef};
 pub use runner::{run_mix, run_single, RunResult};
 pub use stats::RunStats;
 pub use thread::SoftThread;

@@ -100,7 +100,7 @@ impl Machine {
             .pool
             .iter()
             .map(|t| ThreadStats {
-                name: t.name,
+                name: t.name.clone(),
                 tid: t.tid,
                 instrs: t.instrs,
                 ops: t.ops,

@@ -1,0 +1,1065 @@
+//! Declarative experiment plans: typed sweeps, keyed result sets, exhibits.
+//!
+//! The paper's exhibits are all shaped the same way: a grid of
+//! *scheme* × *workload* × *memory-model* simulations. This module expresses
+//! that grid declaratively —
+//!
+//! ```
+//! use vliw_sim::plan::{MemoryModel, Plan, Session};
+//!
+//! let set = Plan::new()
+//!     .schemes(["ST", "2SC3"])
+//!     .workload("LLHH")
+//!     .axis(MemoryModel::Real)
+//!     .scale(100_000)
+//!     .run(&Session::with_parallelism(2));
+//! let ipc = set.ipc("2SC3", "LLHH", MemoryModel::Real).unwrap();
+//! assert!(ipc > 0.0);
+//! ```
+//!
+//! — and lets the runtime place the work: a [`Plan`] expands to a
+//! deterministic job list, [`Plan::run`] fans it out over rayon, and the
+//! returned [`ResultSet`] offers keyed lookup, aggregation helpers, and
+//! hand-rolled JSON/CSV serialization whose bytes are independent of the
+//! worker count.
+//!
+//! Keys are typed: [`SchemeRef`] and [`WorkloadRef`] carry owned
+//! (`Arc<str>`) names, so custom merge schemes and generated workloads
+//! participate exactly like the paper's catalog and Table-2 mixes.
+
+use crate::config::SimConfig;
+use crate::os::Machine;
+use crate::runner::{self, ImageCache, RunResult};
+use crate::stats::ThreadStats;
+use crate::thread::SoftThread;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use vliw_core::{catalog, MergeScheme, PriorityPolicy};
+use vliw_workloads::{benchmark, mixes, BenchmarkSpec, WorkloadMix};
+
+/// The memory-model axis of a sweep: the paper's IPCr (real caches) vs
+/// IPCp (perfect memory) measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryModel {
+    /// The paper's cache hierarchy (IPCr).
+    Real,
+    /// Every access hits (IPCp).
+    Perfect,
+}
+
+impl MemoryModel {
+    /// Stable lowercase label used in serialized exhibits.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemoryModel::Real => "real",
+            MemoryModel::Perfect => "perfect",
+        }
+    }
+}
+
+impl std::fmt::Display for MemoryModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Typed key naming one merge scheme of a plan.
+///
+/// Carries the scheme itself, so job workers never consult the catalog, and
+/// custom (non-catalog) schemes sweep like paper ones. Equality and lookup
+/// go by name.
+#[derive(Debug, Clone)]
+pub struct SchemeRef {
+    name: Arc<str>,
+    scheme: MergeScheme,
+}
+
+impl SchemeRef {
+    /// Resolve a catalog scheme by paper name (`"ST"`, `"2SC3"`, ...).
+    ///
+    /// Panics on unknown names — plans fail at build time, not mid-sweep.
+    pub fn named(name: &str) -> Self {
+        Self::try_named(name).unwrap_or_else(|| panic!("unknown scheme {name:?} (not in catalog)"))
+    }
+
+    /// Resolve a catalog scheme by paper name, or `None`.
+    pub fn try_named(name: &str) -> Option<Self> {
+        catalog::by_name(name).map(Self::custom)
+    }
+
+    /// Wrap an arbitrary (possibly non-catalog) scheme.
+    pub fn custom(scheme: MergeScheme) -> Self {
+        SchemeRef {
+            name: scheme.name().into(),
+            scheme,
+        }
+    }
+
+    /// The scheme's name (the lookup key).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying merge scheme.
+    pub fn scheme(&self) -> &MergeScheme {
+        &self.scheme
+    }
+}
+
+impl From<&str> for SchemeRef {
+    fn from(name: &str) -> Self {
+        SchemeRef::named(name)
+    }
+}
+
+impl From<MergeScheme> for SchemeRef {
+    fn from(scheme: MergeScheme) -> Self {
+        SchemeRef::custom(scheme)
+    }
+}
+
+impl From<&MergeScheme> for SchemeRef {
+    fn from(scheme: &MergeScheme) -> Self {
+        SchemeRef::custom(scheme.clone())
+    }
+}
+
+/// One member thread of a workload: a Table-1 benchmark by name, or an
+/// owned custom spec.
+#[derive(Debug, Clone)]
+enum Member {
+    Named(Arc<str>),
+    Custom(Arc<BenchmarkSpec>),
+}
+
+impl Member {
+    fn name(&self) -> &str {
+        match self {
+            Member::Named(n) => n,
+            Member::Custom(s) => &s.name,
+        }
+    }
+}
+
+/// Typed key naming one workload of a plan: a single benchmark or a
+/// multiprogrammed mix, of Table-1 members and/or custom specs.
+///
+/// Names are owned (`Arc<str>`), so generated workloads with computed names
+/// are first-class. Equality and lookup go by name.
+#[derive(Debug, Clone)]
+pub struct WorkloadRef {
+    name: Arc<str>,
+    members: Arc<[Member]>,
+}
+
+impl WorkloadRef {
+    /// A single Table-1 benchmark, run alone (the Table-1 setup).
+    ///
+    /// Panics on unknown benchmark names — plans fail at build time.
+    pub fn benchmark(name: &str) -> Self {
+        assert!(
+            benchmark(name).is_some(),
+            "unknown benchmark {name:?} (not in Table 1)"
+        );
+        WorkloadRef {
+            name: name.into(),
+            members: Arc::from(vec![Member::Named(name.into())]),
+        }
+    }
+
+    /// A multiprogrammed workload of Table-1 benchmarks under `name`.
+    ///
+    /// Panics when any member is not a Table-1 benchmark.
+    pub fn members(name: &str, members: &[&str]) -> Self {
+        assert!(!members.is_empty(), "workload {name:?} needs members");
+        let members: Vec<Member> = members
+            .iter()
+            .map(|m| {
+                assert!(
+                    benchmark(m).is_some(),
+                    "workload {name:?}: unknown benchmark {m:?}"
+                );
+                Member::Named((*m).into())
+            })
+            .collect();
+        WorkloadRef {
+            name: name.into(),
+            members: members.into(),
+        }
+    }
+
+    /// A workload of custom benchmark specs (threads in `specs` order).
+    /// Spec names are the compilation-cache identity — give distinct
+    /// programs distinct names. Panics when a spec reuses a Table-1 name
+    /// with different knobs (it would silently alias the catalog image in
+    /// any shared [`Session`]).
+    pub fn custom(name: &str, specs: Vec<BenchmarkSpec>) -> Self {
+        assert!(!specs.is_empty(), "workload {name:?} needs members");
+        let members: Vec<Member> = specs
+            .into_iter()
+            .map(|s| {
+                if let Some(table1) = benchmark(&s.name) {
+                    assert!(
+                        table1 == &s,
+                        "workload {name:?}: custom spec {:?} shadows a Table-1 benchmark \
+                         with different knobs; rename the variant (names are the \
+                         compilation-cache identity)",
+                        s.name
+                    );
+                }
+                Member::Custom(s.into())
+            })
+            .collect();
+        WorkloadRef {
+            name: name.into(),
+            members: members.into(),
+        }
+    }
+
+    /// The workload's name (the lookup key).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of software threads this workload admits.
+    pub fn n_threads(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Member benchmark names, thread order.
+    pub fn member_names(&self) -> Vec<&str> {
+        self.members.iter().map(|m| m.name()).collect()
+    }
+
+    /// Instantiate the software threads (worker-side; compile results come
+    /// from the shared cache).
+    fn threads(&self, cache: &ImageCache, cfg: &SimConfig) -> Vec<SoftThread> {
+        self.members
+            .iter()
+            .enumerate()
+            .map(|(tid, m)| {
+                let entry = match m {
+                    Member::Named(n) => cache.get(n, &cfg.machine),
+                    Member::Custom(s) => cache.get_spec(s, &cfg.machine),
+                };
+                SoftThread::new(&entry.0, entry.1.clone(), tid as u64, cfg.seed)
+            })
+            .collect()
+    }
+}
+
+impl From<&WorkloadMix> for WorkloadRef {
+    fn from(mix: &WorkloadMix) -> Self {
+        WorkloadRef::members(mix.name, &mix.members)
+    }
+}
+
+impl From<&BenchmarkSpec> for WorkloadRef {
+    fn from(spec: &BenchmarkSpec) -> Self {
+        match benchmark(&spec.name) {
+            Some(table1) if table1 == spec => WorkloadRef::benchmark(&spec.name),
+            // Anything else goes through `custom`, whose shadow check
+            // rejects modified specs still carrying a Table-1 name.
+            _ => WorkloadRef::custom(&spec.name, vec![spec.clone()]),
+        }
+    }
+}
+
+impl From<&str> for WorkloadRef {
+    /// Resolve a name as a Table-2 mix first, then as a Table-1 benchmark.
+    fn from(name: &str) -> Self {
+        if let Some(mix) = mixes::mix(name) {
+            return WorkloadRef::from(mix);
+        }
+        assert!(
+            benchmark(name).is_some(),
+            "unknown workload {name:?} (neither a Table-2 mix nor a Table-1 benchmark)"
+        );
+        WorkloadRef::benchmark(name)
+    }
+}
+
+/// One cell of the expanded job grid.
+#[derive(Debug, Clone)]
+pub struct JobKey {
+    /// The merge scheme under test.
+    pub scheme: SchemeRef,
+    /// The workload run on it.
+    pub workload: WorkloadRef,
+    /// The memory model used.
+    pub memory: MemoryModel,
+}
+
+/// Shared run context for executing plans: the compiled-image cache and the
+/// rayon worker count. Reuse one session across plans to compile each
+/// benchmark once.
+pub struct Session {
+    cache: ImageCache,
+    parallelism: usize,
+}
+
+impl Session {
+    /// A session with the default parallelism (cores − 1).
+    pub fn new() -> Self {
+        Self::with_parallelism(runner::default_parallelism())
+    }
+
+    /// A session with an explicit rayon worker count (≥ 1).
+    pub fn with_parallelism(parallelism: usize) -> Self {
+        Session {
+            cache: ImageCache::new(),
+            parallelism: parallelism.max(1),
+        }
+    }
+
+    /// The session's image cache (shared across all plans it runs).
+    pub fn cache(&self) -> &ImageCache {
+        &self.cache
+    }
+
+    /// The session's rayon worker count.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A declarative experiment plan: the scheme × workload × memory-model grid
+/// of one exhibit, plus run-length and policy knobs.
+///
+/// Build with the fluent methods, then [`Plan::run`]. The grid expands in a
+/// deterministic row-major order (schemes outermost, memory models
+/// innermost) that the returned [`ResultSet`] preserves.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    schemes: Vec<SchemeRef>,
+    workloads: Vec<WorkloadRef>,
+    axes: Vec<MemoryModel>,
+    scale: u64,
+    priority: PriorityPolicy,
+    seed: Option<u64>,
+}
+
+impl Plan {
+    /// An empty plan: no schemes/workloads yet, real memory, scale 20
+    /// (1/20 of the paper's 100M-instruction runs), round-robin priority.
+    pub fn new() -> Self {
+        Plan {
+            schemes: Vec::new(),
+            workloads: Vec::new(),
+            axes: Vec::new(),
+            scale: 20,
+            priority: PriorityPolicy::RoundRobin,
+            seed: None,
+        }
+    }
+
+    /// Add one scheme (name, `MergeScheme`, or `SchemeRef`).
+    pub fn scheme(mut self, scheme: impl Into<SchemeRef>) -> Self {
+        self.schemes.push(scheme.into());
+        self
+    }
+
+    /// Add many schemes.
+    pub fn schemes<I, S>(mut self, schemes: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<SchemeRef>,
+    {
+        self.schemes.extend(schemes.into_iter().map(Into::into));
+        self
+    }
+
+    /// Add one workload (mix/benchmark name, `&WorkloadMix`, spec, or
+    /// `WorkloadRef`).
+    pub fn workload(mut self, workload: impl Into<WorkloadRef>) -> Self {
+        self.workloads.push(workload.into());
+        self
+    }
+
+    /// Add many workloads.
+    pub fn workloads<I, W>(mut self, workloads: I) -> Self
+    where
+        I: IntoIterator<Item = W>,
+        W: Into<WorkloadRef>,
+    {
+        self.workloads.extend(workloads.into_iter().map(Into::into));
+        self
+    }
+
+    /// Add a memory-model axis (duplicates are ignored). A plan with no
+    /// explicit axis runs with real memory only.
+    pub fn axis(mut self, axis: MemoryModel) -> Self {
+        if !self.axes.contains(&axis) {
+            self.axes.push(axis);
+        }
+        self
+    }
+
+    /// Add several memory-model axes.
+    pub fn axes<I: IntoIterator<Item = MemoryModel>>(mut self, axes: I) -> Self {
+        for a in axes {
+            self = self.axis(a);
+        }
+        self
+    }
+
+    /// Run-length divisor: 1 = the paper's full 100M-instruction runs (see
+    /// [`SimConfig::paper`] for the floors at extreme scales).
+    pub fn scale(mut self, scale: u64) -> Self {
+        self.scale = scale.max(1);
+        self
+    }
+
+    /// Thread→port rotation policy (default: the paper's round-robin).
+    pub fn priority(mut self, priority: PriorityPolicy) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Override the simulation seed (default: [`SimConfig::paper`]'s).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// The memory axes this plan actually sweeps.
+    fn effective_axes(&self) -> Vec<MemoryModel> {
+        if self.axes.is_empty() {
+            vec![MemoryModel::Real]
+        } else {
+            self.axes.clone()
+        }
+    }
+
+    /// Expand the plan into its deterministic job grid, row-major: schemes
+    /// outermost, then workloads, memory models innermost.
+    pub fn jobs(&self) -> Vec<JobKey> {
+        let axes = self.effective_axes();
+        let mut out = Vec::with_capacity(self.schemes.len() * self.workloads.len() * axes.len());
+        for scheme in &self.schemes {
+            for workload in &self.workloads {
+                for &memory in &axes {
+                    out.push(JobKey {
+                        scheme: scheme.clone(),
+                        workload: workload.clone(),
+                        memory,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The simulation configuration of one job.
+    fn config_for(&self, key: &JobKey) -> SimConfig {
+        let mut cfg = SimConfig::paper(key.scheme.scheme().clone(), self.scale);
+        cfg.priority = self.priority;
+        if let Some(seed) = self.seed {
+            cfg.seed = seed;
+        }
+        if key.memory == MemoryModel::Perfect {
+            cfg = cfg.with_perfect_memory();
+        }
+        cfg
+    }
+
+    /// Run the whole grid in a session (shared image cache, rayon fan-out).
+    ///
+    /// Results are deterministic and ordered by the grid regardless of the
+    /// session's worker count.
+    pub fn run(&self, session: &Session) -> ResultSet {
+        self.run_with(session.cache(), session.parallelism())
+    }
+
+    /// Run the grid against an explicit cache and worker count (the
+    /// lower-level form [`runner::run_sweep`] also uses).
+    pub fn run_with(&self, cache: &ImageCache, parallelism: usize) -> ResultSet {
+        assert!(!self.schemes.is_empty(), "plan has no schemes");
+        assert!(!self.workloads.is_empty(), "plan has no workloads");
+        // Names are the lookup keys: a duplicate would make its later grid
+        // cells unreachable by key and double-count in the aggregations.
+        assert_unique("scheme", self.schemes.iter().map(SchemeRef::name));
+        assert_unique("workload", self.workloads.iter().map(WorkloadRef::name));
+        // Custom specs sharing a name across workloads must be identical:
+        // the image cache is keyed by name, so differing knobs would make a
+        // cell's result depend on which rayon worker compiles first.
+        let mut custom: std::collections::HashMap<&str, &BenchmarkSpec> =
+            std::collections::HashMap::new();
+        for w in &self.workloads {
+            for m in w.members.iter() {
+                if let Member::Custom(s) = m {
+                    if let Some(prev) = custom.insert(&s.name, s) {
+                        assert!(
+                            prev == &**s,
+                            "plan uses two different custom specs named {:?}; names are the \
+                             compilation-cache identity, so rename one variant",
+                            s.name
+                        );
+                    }
+                }
+            }
+        }
+        let jobs = self.jobs();
+        let results = runner::run_jobs(
+            jobs,
+            |key| {
+                let cfg = self.config_for(key);
+                let threads = key.workload.threads(cache, &cfg);
+                let stats = Machine::new(&cfg, threads).run();
+                RunResult {
+                    scheme: key.scheme.name().to_string(),
+                    workload: key.workload.name().to_string(),
+                    stats,
+                }
+            },
+            parallelism,
+        );
+        ResultSet {
+            schemes: self.schemes.clone(),
+            workloads: self.workloads.clone(),
+            axes: self.effective_axes(),
+            scale: self.scale,
+            priority: self.priority,
+            seed: self.seed,
+            results,
+        }
+    }
+}
+
+impl Default for Plan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The keyed results of one executed [`Plan`].
+///
+/// Storage is row-major over the plan's grid — schemes outermost, workloads
+/// next, memory axes innermost — the same guarantee
+/// [`runner::run_sweep`] documents, so positional consumers and keyed
+/// lookups always agree.
+#[derive(Debug, Clone)]
+pub struct ResultSet {
+    schemes: Vec<SchemeRef>,
+    workloads: Vec<WorkloadRef>,
+    axes: Vec<MemoryModel>,
+    scale: u64,
+    priority: PriorityPolicy,
+    seed: Option<u64>,
+    results: Vec<RunResult>,
+}
+
+impl ResultSet {
+    /// Header shared by [`ResultSet::to_csv`] and the `paper` binary's
+    /// combined `--csv` export.
+    pub const CSV_HEADER: &'static str = "scheme,workload,memory,ipc,cycles,instrs,ops";
+
+    /// Schemes of the grid, in plan order.
+    pub fn schemes(&self) -> &[SchemeRef] {
+        &self.schemes
+    }
+
+    /// Workloads of the grid, in plan order.
+    pub fn workloads(&self) -> &[WorkloadRef] {
+        &self.workloads
+    }
+
+    /// Memory axes of the grid, in plan order.
+    pub fn axes(&self) -> &[MemoryModel] {
+        &self.axes
+    }
+
+    /// The plan's run-length divisor.
+    pub fn scale(&self) -> u64 {
+        self.scale
+    }
+
+    /// The rotation policy the plan ran with.
+    pub fn priority(&self) -> PriorityPolicy {
+        self.priority
+    }
+
+    /// The plan's seed override, if any (`None` = [`SimConfig::paper`]'s
+    /// default seed).
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
+    }
+
+    /// Number of cells in the grid.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    fn position(&self, scheme: &str, workload: &str, memory: MemoryModel) -> Option<usize> {
+        let s = self.schemes.iter().position(|x| x.name() == scheme)?;
+        let w = self.workloads.iter().position(|x| x.name() == workload)?;
+        let a = self.axes.iter().position(|&x| x == memory)?;
+        Some((s * self.workloads.len() + w) * self.axes.len() + a)
+    }
+
+    /// Keyed lookup of one cell.
+    pub fn get(&self, scheme: &str, workload: &str, memory: MemoryModel) -> Option<&RunResult> {
+        self.results.get(self.position(scheme, workload, memory)?)
+    }
+
+    /// IPC of one cell.
+    pub fn ipc(&self, scheme: &str, workload: &str, memory: MemoryModel) -> Option<f64> {
+        self.get(scheme, workload, memory).map(RunResult::ipc)
+    }
+
+    /// Per-thread breakdown of one cell (from [`crate::stats::RunStats`]).
+    pub fn threads(
+        &self,
+        scheme: &str,
+        workload: &str,
+        memory: MemoryModel,
+    ) -> Option<&[ThreadStats]> {
+        self.get(scheme, workload, memory)
+            .map(|r| r.stats.threads.as_slice())
+    }
+
+    /// All results in row-major grid order (schemes outermost, memory axes
+    /// innermost) — the [`runner::run_sweep`] layout.
+    pub fn results(&self) -> &[RunResult] {
+        &self.results
+    }
+
+    /// Consume the set into its row-major result vector.
+    pub fn into_results(self) -> Vec<RunResult> {
+        self.results
+    }
+
+    /// Iterate `(key, result)` pairs in row-major grid order.
+    pub fn iter(&self) -> impl Iterator<Item = (JobKey, &RunResult)> + '_ {
+        let na = self.axes.len();
+        let nw = self.workloads.len();
+        self.results.iter().enumerate().map(move |(i, r)| {
+            let a = i % na;
+            let w = (i / na) % nw;
+            let s = i / (na * nw);
+            (
+                JobKey {
+                    scheme: self.schemes[s].clone(),
+                    workload: self.workloads[w].clone(),
+                    memory: self.axes[a],
+                },
+                r,
+            )
+        })
+    }
+
+    /// Mean IPC of one scheme across all workloads on one memory axis.
+    pub fn mean_ipc(&self, scheme: &str, memory: MemoryModel) -> Option<f64> {
+        self.schemes.iter().find(|s| s.name() == scheme)?;
+        self.axes.iter().find(|&&a| a == memory)?;
+        let xs: Vec<f64> = self
+            .workloads
+            .iter()
+            .filter_map(|w| self.ipc(scheme, w.name(), memory))
+            .collect();
+        if xs.is_empty() {
+            return None;
+        }
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+
+    /// Mean IPC of every scheme (plan order) on one memory axis.
+    pub fn scheme_means(&self, memory: MemoryModel) -> Vec<(Arc<str>, f64)> {
+        self.schemes
+            .iter()
+            .filter_map(|s| self.mean_ipc(s.name(), memory).map(|m| (s.name.clone(), m)))
+            .collect()
+    }
+
+    /// Mean-IPC ratio of `scheme` over `baseline` on one memory axis
+    /// (1.0 = parity; the paper's "+14%" style claims are `ratio - 1`).
+    pub fn speedup(&self, scheme: &str, baseline: &str, memory: MemoryModel) -> Option<f64> {
+        let s = self.mean_ipc(scheme, memory)?;
+        let b = self.mean_ipc(baseline, memory)?;
+        if b == 0.0 {
+            None
+        } else {
+            Some(s / b)
+        }
+    }
+
+    /// Serialize as a self-contained JSON object (hand-rolled, no external
+    /// deps, byte-deterministic: independent of worker count or platform).
+    ///
+    /// Floats use Rust's shortest round-trip `Display`, so parsing a value
+    /// back yields the exact `f64`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + 256 * self.results.len());
+        s.push_str("{\"scale\":");
+        let _ = write!(s, "{}", self.scale);
+        s.push_str(",\"priority\":");
+        json_string(&mut s, priority_label(self.priority));
+        s.push_str(",\"seed\":");
+        match self.seed {
+            Some(seed) => {
+                let _ = write!(s, "{seed}");
+            }
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"schemes\":[");
+        for (i, sc) in self.schemes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json_string(&mut s, sc.name());
+        }
+        s.push_str("],\"workloads\":[");
+        for (i, w) in self.workloads.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json_string(&mut s, w.name());
+        }
+        s.push_str("],\"axes\":[");
+        for (i, a) in self.axes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json_string(&mut s, a.label());
+        }
+        s.push_str("],\"results\":[");
+        for (i, (key, r)) in self.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"scheme\":");
+            json_string(&mut s, key.scheme.name());
+            s.push_str(",\"workload\":");
+            json_string(&mut s, key.workload.name());
+            s.push_str(",\"memory\":");
+            json_string(&mut s, key.memory.label());
+            let _ = write!(
+                s,
+                ",\"ipc\":{},\"cycles\":{},\"instrs\":{},\"ops\":{},\"vertical_waste\":{},\"horizontal_waste\":{},\"context_switches\":{}",
+                r.ipc(),
+                r.stats.cycles,
+                r.stats.total_instrs,
+                r.stats.total_ops,
+                r.stats.vertical_waste(),
+                r.stats.horizontal_waste(),
+                r.stats.context_switches,
+            );
+            s.push_str(",\"threads\":[");
+            for (j, t) in r.stats.threads.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str("{\"name\":");
+                json_string(&mut s, &t.name);
+                let _ = write!(
+                    s,
+                    ",\"tid\":{},\"instrs\":{},\"ops\":{},\"dstall\":{},\"istall\":{},\"branch_stall\":{},\"taken_branches\":{}}}",
+                    t.tid,
+                    t.instrs,
+                    t.ops,
+                    t.dstall_cycles,
+                    t.istall_cycles,
+                    t.branch_stall_cycles,
+                    t.taken_branches,
+                );
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Serialize as CSV with header [`ResultSet::CSV_HEADER`], one row per
+    /// grid cell in row-major order. Byte-deterministic like
+    /// [`ResultSet::to_json`].
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from(Self::CSV_HEADER);
+        s.push('\n');
+        s.push_str(&self.csv_rows(None));
+        s
+    }
+
+    /// The CSV data rows alone; with `exhibit` set, each row is prefixed
+    /// with that id (for combined multi-exhibit exports — prepend
+    /// `"exhibit,"` to [`ResultSet::CSV_HEADER`]). Names are CSV-quoted
+    /// when needed, since computed scheme/workload names may contain
+    /// delimiters.
+    pub fn csv_rows(&self, exhibit: Option<&str>) -> String {
+        let mut s = String::new();
+        for (key, r) in self.iter() {
+            if let Some(id) = exhibit {
+                s.push_str(&csv_field(id));
+                s.push(',');
+            }
+            let _ = writeln!(
+                s,
+                "{},{},{},{},{},{},{}",
+                csv_field(key.scheme.name()),
+                csv_field(key.workload.name()),
+                key.memory.label(),
+                r.ipc(),
+                r.stats.cycles,
+                r.stats.total_instrs,
+                r.stats.total_ops,
+            );
+        }
+        s
+    }
+}
+
+/// Quote a CSV field when it contains a delimiter, quote or newline
+/// (RFC-4180 style: wrap in quotes, double internal quotes).
+fn csv_field(value: &str) -> String {
+    if value.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_string()
+    }
+}
+
+/// Panic when an axis of the plan grid repeats a name (keys must be
+/// unique for keyed lookup and aggregation to be meaningful).
+fn assert_unique<'a>(kind: &str, names: impl Iterator<Item = &'a str>) {
+    let mut seen = std::collections::HashSet::new();
+    for name in names {
+        assert!(
+            seen.insert(name),
+            "plan lists {kind} {name:?} more than once; names are lookup keys and must be unique"
+        );
+    }
+}
+
+/// Stable lowercase label of a rotation policy for serialized exhibits.
+fn priority_label(policy: PriorityPolicy) -> &'static str {
+    match policy {
+        PriorityPolicy::Fixed => "fixed",
+        PriorityPolicy::RoundRobin => "round-robin",
+        PriorityPolicy::LeastRecentlyIssued => "least-recently-issued",
+    }
+}
+
+/// Append `value` as a JSON string literal (quotes + escapes).
+fn json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_expands_row_major() {
+        let plan = Plan::new()
+            .schemes(["ST", "1S"])
+            .workloads(["idct", "mcf", "LLHH"])
+            .axes([MemoryModel::Real, MemoryModel::Perfect]);
+        let jobs = plan.jobs();
+        assert_eq!(jobs.len(), 2 * 3 * 2);
+        // Schemes outermost, axes innermost.
+        assert_eq!(jobs[0].scheme.name(), "ST");
+        assert_eq!(jobs[0].workload.name(), "idct");
+        assert_eq!(jobs[0].memory, MemoryModel::Real);
+        assert_eq!(jobs[1].memory, MemoryModel::Perfect);
+        assert_eq!(jobs[2].workload.name(), "mcf");
+        assert_eq!(jobs[6].scheme.name(), "1S");
+    }
+
+    #[test]
+    fn axis_deduplicates() {
+        let plan = Plan::new()
+            .axis(MemoryModel::Real)
+            .axis(MemoryModel::Real)
+            .axis(MemoryModel::Perfect);
+        assert_eq!(plan.effective_axes().len(), 2);
+    }
+
+    #[test]
+    fn workload_ref_resolves_mixes_and_benchmarks() {
+        let mix = WorkloadRef::from("LLHH");
+        assert_eq!(mix.n_threads(), 4);
+        assert_eq!(mix.member_names()[0], "mcf");
+        let single = WorkloadRef::from("idct");
+        assert_eq!(single.n_threads(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_workload_panics_at_build_time() {
+        let _ = WorkloadRef::from("QUAKE");
+    }
+
+    #[test]
+    #[should_panic(expected = "shadows a Table-1 benchmark")]
+    fn modified_spec_under_table1_name_is_rejected() {
+        let mut spec = benchmark("idct").unwrap().clone();
+        spec.unroll = 1; // changed knobs, unchanged name: must not alias
+        let _ = WorkloadRef::from(&spec);
+    }
+
+    #[test]
+    fn unmodified_table1_spec_converts_to_named_workload() {
+        let wl = WorkloadRef::from(benchmark("idct").unwrap());
+        assert_eq!(wl.name(), "idct");
+        assert_eq!(wl.n_threads(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than once")]
+    fn duplicate_keys_are_rejected_at_run_time() {
+        let _ = Plan::new()
+            .schemes(["ST", "ST"])
+            .workload("idct")
+            .run(&Session::with_parallelism(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "two different custom specs named")]
+    fn conflicting_custom_specs_across_workloads_are_rejected() {
+        let mut a = benchmark("idct").unwrap().clone();
+        a.name = "gen".into();
+        let mut b = a.clone();
+        b.unroll += 1; // same name, different program
+        let _ = Plan::new()
+            .scheme("ST")
+            .workload(WorkloadRef::custom("wa", vec![a]))
+            .workload(WorkloadRef::custom("wb", vec![b]))
+            .scale(100_000)
+            .run(&Session::with_parallelism(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "shadows a Table-1 benchmark")]
+    fn custom_workload_rejects_shadowed_table1_names() {
+        let mut spec = benchmark("idct").unwrap().clone();
+        spec.unroll = 1; // changed knobs, unchanged name: must not alias
+        let _ = WorkloadRef::custom("mix", vec![spec]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scheme")]
+    fn unknown_scheme_panics_at_build_time() {
+        let _ = SchemeRef::from("9ZZZ");
+    }
+
+    #[test]
+    fn keyed_lookup_matches_row_major_results() {
+        let session = Session::with_parallelism(2);
+        let set = Plan::new()
+            .schemes(["ST", "1S"])
+            .workloads(["idct", "LLHH"])
+            .axes([MemoryModel::Real, MemoryModel::Perfect])
+            .scale(100_000)
+            .run(&session);
+        assert_eq!(set.len(), 8);
+        for (i, (key, r)) in set.iter().enumerate() {
+            let by_key = set
+                .get(key.scheme.name(), key.workload.name(), key.memory)
+                .unwrap();
+            assert_eq!(by_key.stats.cycles, r.stats.cycles, "cell {i}");
+            assert!(std::ptr::eq(by_key, &set.results()[i]), "cell {i}");
+        }
+        // Aggregations agree with manual recomputation.
+        let mean = set.mean_ipc("1S", MemoryModel::Real).unwrap();
+        let manual = (set.ipc("1S", "idct", MemoryModel::Real).unwrap()
+            + set.ipc("1S", "LLHH", MemoryModel::Real).unwrap())
+            / 2.0;
+        assert!((mean - manual).abs() < 1e-12);
+        let speedup = set.speedup("1S", "ST", MemoryModel::Real).unwrap();
+        assert!(speedup > 1.0, "1S must beat ST on average");
+        // Perfect memory dominates on every cell.
+        for s in ["ST", "1S"] {
+            for w in ["idct", "LLHH"] {
+                let r = set.ipc(s, w, MemoryModel::Real).unwrap();
+                let p = set.ipc(s, w, MemoryModel::Perfect).unwrap();
+                assert!(p >= r * 0.95, "{s}/{w}: perfect {p:.2} vs real {r:.2}");
+            }
+        }
+    }
+
+    #[test]
+    fn custom_workloads_with_computed_names_run() {
+        // A generated spec whose name exists only at runtime: the shape the
+        // old `&'static str` plumbing could not express.
+        let mut spec = benchmark("idct").unwrap().clone();
+        let variant = 3u32;
+        spec.name = format!("idct-gen-{variant}").into();
+        let wl = WorkloadRef::custom(&format!("gen-mix-{variant}"), vec![spec; 2]);
+        let set = Plan::new()
+            .scheme("1S")
+            .workload(wl)
+            .scale(100_000)
+            .run(&Session::with_parallelism(1));
+        let r = set.get("1S", "gen-mix-3", MemoryModel::Real).unwrap();
+        assert_eq!(r.stats.threads.len(), 2);
+        assert_eq!(&*r.stats.threads[0].name, "idct-gen-3");
+        assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn json_and_csv_are_wellformed() {
+        let set = Plan::new()
+            .scheme("ST")
+            .workload("idct")
+            .scale(100_000)
+            .run(&Session::with_parallelism(1));
+        let json = set.to_json();
+        assert!(json.starts_with("{\"scale\":100000,\"priority\":\"round-robin\",\"seed\":null,"));
+        assert!(json.contains("\"scheme\":\"ST\""));
+        assert!(json.ends_with("]}"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        let csv = set.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some(ResultSet::CSV_HEADER));
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("ST,idct,real,"));
+    }
+
+    #[test]
+    fn json_escapes_control_and_quote_characters() {
+        let mut s = String::new();
+        json_string(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "\"a\\\"b\\\\c\\u000ad\"");
+    }
+
+    #[test]
+    fn csv_quotes_computed_names_with_delimiters() {
+        assert_eq!(csv_field("LLHH"), "LLHH");
+        assert_eq!(csv_field("fir,taps=4"), "\"fir,taps=4\"");
+        assert_eq!(csv_field("a\"b"), "\"a\"\"b\"");
+        let mut spec = benchmark("idct").unwrap().clone();
+        spec.name = "gen,v1".into();
+        let set = Plan::new()
+            .scheme("ST")
+            .workload(WorkloadRef::custom("w,1", vec![spec]))
+            .scale(500_000)
+            .run(&Session::with_parallelism(1));
+        let row = set.to_csv().lines().nth(1).unwrap().to_string();
+        assert!(row.starts_with("ST,\"w,1\",real,"), "row: {row}");
+    }
+}

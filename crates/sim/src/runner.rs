@@ -1,4 +1,9 @@
 //! Experiment-level API: build workloads, run them, sweep in parallel.
+//!
+//! This is the low-level layer: an [`ImageCache`] of compiled benchmarks,
+//! single-run helpers ([`run_single`], [`run_mix`]) and the deterministic
+//! parallel fan-out [`run_jobs`]. The declarative sweep surface on top of
+//! it — plans, keyed result sets, serialization — lives in [`crate::plan`].
 
 use crate::config::SimConfig;
 use crate::os::Machine;
@@ -8,7 +13,7 @@ use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
-use vliw_workloads::{build_named, BenchmarkImage, WorkloadMix};
+use vliw_workloads::{benchmark, build, BenchmarkImage, BenchmarkSpec, WorkloadMix};
 
 /// Result of one run: what was run, with which scheme, and the stats.
 #[derive(Debug, Clone)]
@@ -34,9 +39,14 @@ pub type CachedImage = Arc<(BenchmarkImage, Arc<ProgramMeta>)>;
 
 /// Cache of compiled benchmark images (compilation is deterministic, so
 /// sharing across runs and threads is sound).
+///
+/// Keys are owned benchmark names, so custom/generated specs with computed
+/// names cache exactly like the Table-1 suite. The name is the identity: two
+/// different specs sharing a name would alias, so give custom specs unique
+/// names.
 #[derive(Default)]
 pub struct ImageCache {
-    map: Mutex<HashMap<&'static str, CachedImage>>,
+    map: Mutex<HashMap<Arc<str>, CachedImage>>,
 }
 
 impl ImageCache {
@@ -45,30 +55,56 @@ impl ImageCache {
         Self::default()
     }
 
-    /// Get or build the image + metadata for a benchmark.
+    /// Get or build the image + metadata for a Table-1 benchmark by name.
+    ///
+    /// Panics when `name` is not in the Table-1 suite; custom specs go
+    /// through [`ImageCache::get_spec`].
+    pub fn get(&self, name: &str, machine: &vliw_isa::MachineConfig) -> CachedImage {
+        let spec = benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+        self.get_spec(spec, machine)
+    }
+
+    /// Get or build the image + metadata for an arbitrary benchmark spec
+    /// (keyed by `spec.name`).
     ///
     /// The map lock is *not* held while compiling, so concurrent workers
     /// warming different benchmarks compile in parallel. Two workers racing
     /// on the same benchmark may both compile it (compilation is
     /// deterministic, so the results are identical); the first insert wins
     /// and the loser's copy is dropped.
-    pub fn get(&self, name: &'static str, machine: &vliw_isa::MachineConfig) -> CachedImage {
-        if let Some(hit) = self.map.lock().get(name) {
+    pub fn get_spec(&self, spec: &BenchmarkSpec, machine: &vliw_isa::MachineConfig) -> CachedImage {
+        if let Some(hit) = self.map.lock().get(&*spec.name) {
+            Self::check_identity(&hit.0.spec, spec);
             return hit.clone();
         }
-        let img = build_named(name, machine);
+        let img = build(spec, machine);
         let meta = Arc::new(ProgramMeta::of(&img));
         let built: CachedImage = Arc::new((img, meta));
-        self.map.lock().entry(name).or_insert(built).clone()
+        let cached = self
+            .map
+            .lock()
+            .entry(spec.name.clone())
+            .or_insert(built)
+            .clone();
+        // Two workers racing on the same *name* must have been building the
+        // same *spec*, or the loser would silently run the winner's image.
+        Self::check_identity(&cached.0.spec, spec);
+        cached
+    }
+
+    fn check_identity(cached: &BenchmarkSpec, requested: &BenchmarkSpec) {
+        assert!(
+            cached == requested,
+            "image cache already holds a different spec named {:?}; names are the cache \
+             identity, so rename the variant",
+            requested.name
+        );
     }
 }
 
-/// Instantiate the software threads of a benchmark list.
-pub fn make_threads(
-    cache: &ImageCache,
-    cfg: &SimConfig,
-    names: &[&'static str],
-) -> Vec<SoftThread> {
+/// Instantiate the software threads of a benchmark list (Table-1 names,
+/// `'static` or not).
+pub fn make_threads(cache: &ImageCache, cfg: &SimConfig, names: &[&str]) -> Vec<SoftThread> {
     names
         .iter()
         .enumerate()
@@ -80,7 +116,7 @@ pub fn make_threads(
 }
 
 /// Run one benchmark alone (the paper's Table-1 single-thread setup).
-pub fn run_single(cache: &ImageCache, cfg: &SimConfig, name: &'static str) -> RunResult {
+pub fn run_single(cache: &ImageCache, cfg: &SimConfig, name: &str) -> RunResult {
     let threads = make_threads(cache, cfg, &[name]);
     let stats = Machine::new(cfg, threads).run();
     RunResult {
@@ -119,19 +155,15 @@ where
     pool.install(|| jobs.par_iter().map(&worker).collect())
 }
 
-/// One (scheme, workload-mix) cell of a sweep grid.
-#[derive(Debug, Clone, Copy)]
-pub struct SweepJob<'a> {
-    /// Index into the sweep's scheme list.
-    pub scheme_idx: usize,
-    /// The mix to run under that scheme.
-    pub mix: &'a WorkloadMix,
-}
-
 /// Run the full scheme × mix cross product in parallel, sharing one
 /// [`ImageCache`] across all workers (benchmark compilation happens once
 /// per benchmark, not once per run). Results come back in row-major order:
 /// `results[s * n_mixes + m]` is scheme `s` on mix `m`.
+///
+/// This is the positional, keep-it-simple contract: empty inputs return an
+/// empty vector and duplicate names are allowed (rows are addressed by
+/// index). For keyed lookup, aggregation and serialization on the same
+/// grid — at the price of unique names — use [`crate::plan::Plan`].
 pub fn run_sweep(
     cache: &ImageCache,
     schemes: &[vliw_core::MergeScheme],
@@ -139,14 +171,14 @@ pub fn run_sweep(
     scale: u64,
     parallelism: usize,
 ) -> Vec<RunResult> {
-    let jobs: Vec<SweepJob> = (0..schemes.len())
-        .flat_map(|scheme_idx| mixes.iter().map(move |&mix| SweepJob { scheme_idx, mix }))
+    let jobs: Vec<(usize, &WorkloadMix)> = (0..schemes.len())
+        .flat_map(|s| mixes.iter().map(move |&mix| (s, mix)))
         .collect();
     run_jobs(
         jobs,
-        |job| {
-            let cfg = SimConfig::paper(schemes[job.scheme_idx].clone(), scale);
-            run_mix(cache, &cfg, job.mix)
+        |&(s, mix)| {
+            let cfg = SimConfig::paper(schemes[s].clone(), scale);
+            run_mix(cache, &cfg, mix)
         },
         parallelism,
     )
@@ -202,5 +234,41 @@ mod tests {
         }
         // Same benchmark, same config -> identical results.
         assert_eq!(a[0].stats.total_ops, a[3].stats.total_ops);
+    }
+
+    #[test]
+    fn run_sweep_accepts_empty_and_duplicate_inputs() {
+        // The positional contract: no keyed lookup, so neither case is an
+        // error (unlike `Plan`, which requires unique names).
+        let cache = ImageCache::new();
+        assert!(run_sweep(&cache, &[], &[], 1000, 2).is_empty());
+        let s = catalog::by_name("1S").unwrap();
+        let mix = mixes::mix("LLHH").unwrap();
+        let out = run_sweep(&cache, &[s.clone(), s], &[mix], 100_000, 2);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].stats.cycles, out[1].stats.cycles);
+    }
+
+    #[test]
+    fn cache_accepts_non_static_names() {
+        let cache = ImageCache::new();
+        let cfg = SimConfig::paper(catalog::by_name("ST").unwrap(), 50_000);
+        // A name computed at runtime: the old `&'static str` keys rejected
+        // this shape at compile time.
+        let dynamic = String::from("id") + "ct";
+        let r = run_single(&cache, &cfg, &dynamic);
+        assert_eq!(r.workload, "idct");
+        assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn cache_shares_custom_specs_by_name() {
+        let cache = ImageCache::new();
+        let machine = vliw_isa::MachineConfig::paper_baseline();
+        let mut spec = vliw_workloads::benchmark("idct").unwrap().clone();
+        spec.name = format!("idct-variant-{}", 1).into();
+        let a = cache.get_spec(&spec, &machine);
+        let b = cache.get_spec(&spec, &machine);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
     }
 }

@@ -1,13 +1,14 @@
 //! Run statistics: IPC, waste decomposition, stall attribution.
 
+use std::sync::Arc;
 use vliw_core::MergeStats;
 use vliw_mem::CacheStats;
 
 /// Per-software-thread results.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThreadStats {
-    /// Benchmark name.
-    pub name: &'static str,
+    /// Benchmark name (owned: custom workloads may use computed names).
+    pub name: Arc<str>,
     /// Software thread id.
     pub tid: u32,
     /// Retired VLIW instructions.
@@ -158,7 +159,7 @@ mod tests {
         let mut s = stats(1, 1, 16);
         s.threads = vec![
             ThreadStats {
-                name: "a",
+                name: "a".into(),
                 tid: 0,
                 instrs: 100,
                 ops: 0,
@@ -168,7 +169,7 @@ mod tests {
                 taken_branches: 0,
             },
             ThreadStats {
-                name: "b",
+                name: "b".into(),
                 tid: 1,
                 instrs: 100,
                 ops: 0,

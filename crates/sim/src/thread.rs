@@ -77,8 +77,9 @@ impl ProgramMeta {
 pub struct SoftThread {
     /// Software thread id (index in the workload).
     pub tid: u32,
-    /// Benchmark name (for reports).
-    pub name: &'static str,
+    /// Benchmark name (for reports). Shared with the image's spec, so
+    /// dynamically named custom workloads carry their names through stats.
+    pub name: Arc<str>,
     /// Executable metadata (shared between runs).
     pub meta: Arc<ProgramMeta>,
     /// Current block.
@@ -133,7 +134,7 @@ impl SoftThread {
             .collect();
         SoftThread {
             tid: tid as u32,
-            name: image.spec.name,
+            name: image.spec.name.clone(),
             block: meta.entry,
             meta,
             idx: 0,

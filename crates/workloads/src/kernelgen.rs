@@ -46,7 +46,7 @@ const MUL_PALETTE: &[Opcode] = &[
 /// Generate the IR function and stream table for a benchmark spec.
 pub fn generate(spec: &BenchmarkSpec) -> (IrFunction, Vec<StreamSpec>) {
     let mut rng = SmallRng::seed_from_u64(spec.seed);
-    let mut f = IrFunction::new(spec.name);
+    let mut f = IrFunction::new(spec.name.as_ref());
     let mut streams: Vec<StreamSpec> = Vec::new();
 
     // Load streams use the Mixed locality model: most accesses walk a

@@ -16,6 +16,7 @@
 //!   uniform-random accesses within the working set (pointer chasing).
 
 use crate::streams::StreamPattern;
+use std::sync::{Arc, OnceLock};
 
 /// The paper's low/medium/high IPC classification (Table 1, "ILP Degree").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -43,8 +44,10 @@ impl IlpDegree {
 /// A synthetic benchmark description (one Table-1 row).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchmarkSpec {
-    /// Benchmark name (paper Table 1).
-    pub name: &'static str,
+    /// Benchmark name. Owned (`Arc<str>`) so generated/custom workloads can
+    /// carry computed names; the Table-1 entries use their paper names.
+    /// Names are the identity under which images are compiled and cached.
+    pub name: Arc<str>,
     /// What the original program is.
     pub description: &'static str,
     /// ILP class.
@@ -108,264 +111,267 @@ impl BenchmarkSpec {
 /// (cache-limited) on the 16-issue 4-cluster machine; measured values are
 /// recorded in EXPERIMENTS.md.
 pub fn all_benchmarks() -> &'static [BenchmarkSpec] {
-    &TABLE1
+    static TABLE1: OnceLock<Vec<BenchmarkSpec>> = OnceLock::new();
+    TABLE1.get_or_init(build_table1).as_slice()
 }
 
 /// Look up a benchmark by name.
 pub fn benchmark(name: &str) -> Option<&'static BenchmarkSpec> {
-    TABLE1.iter().find(|b| b.name == name)
+    all_benchmarks().iter().find(|b| &*b.name == name)
 }
 
 /// Benchmarks of one ILP class, in Table-1 order.
 pub fn by_class(class: IlpDegree) -> Vec<&'static BenchmarkSpec> {
-    TABLE1.iter().filter(|b| b.ilp == class).collect()
+    all_benchmarks().iter().filter(|b| b.ilp == class).collect()
 }
 
-static TABLE1: [BenchmarkSpec; 12] = [
-    // ---- Low ILP ----------------------------------------------------
-    BenchmarkSpec {
-        name: "mcf",
-        description: "Minimum Cost Flow (pointer-chasing graph code)",
-        ilp: IlpDegree::L,
-        dag_width: 2,
-        chain_len: 7,
-        mul_permille: 20,
-        mem_permille: 320,
-        store_permille: 250,
-        unroll: 1,
-        loop_permille: 900,
-        n_kernels: 3,
-        working_set: 8 << 20, // far beyond 64KB: heavy miss traffic
-        stride: 0,            // random: pointer chasing
-        carried_permille: 950,
-        cold_permille: 55,
-        seed: 0x6d63_6601,
-        paper_ipcr: 0.96,
-        paper_ipcp: 1.34,
-    },
-    BenchmarkSpec {
-        name: "bzip2",
-        description: "bzip2 compression (serial bit twiddling)",
-        ilp: IlpDegree::L,
-        dag_width: 1,
-        chain_len: 10,
-        mul_permille: 10,
-        mem_permille: 500,
-        store_permille: 300,
-        unroll: 1,
-        loop_permille: 650,
-        n_kernels: 4,
-        working_set: 48 << 10, // mostly cache-resident
-        stride: 4,
-        carried_permille: 1000,
-        cold_permille: 4,
-        seed: 0x627a_6902,
-        paper_ipcr: 0.81,
-        paper_ipcp: 0.83,
-    },
-    BenchmarkSpec {
-        name: "blowfish",
-        description: "Blowfish encryption (S-box lookups, xor chains)",
-        ilp: IlpDegree::L,
-        dag_width: 2,
-        chain_len: 8,
-        mul_permille: 0,
-        mem_permille: 280,
-        store_permille: 120,
-        unroll: 2,
-        loop_permille: 920,
-        n_kernels: 2,
-        working_set: 160 << 10, // S-boxes + text: some misses
-        stride: 0,
-        carried_permille: 900,
-        cold_permille: 75,
-        seed: 0x626c_6f03,
-        paper_ipcr: 1.11,
-        paper_ipcp: 1.47,
-    },
-    BenchmarkSpec {
-        name: "gsmencode",
-        description: "GSM 06.10 speech encoder",
-        ilp: IlpDegree::L,
-        dag_width: 2,
-        chain_len: 13,
-        mul_permille: 180,
-        mem_permille: 300,
-        store_permille: 200,
-        unroll: 1,
-        loop_permille: 880,
-        n_kernels: 3,
-        working_set: 24 << 10, // fits: IPCr == IPCp in the paper
-        stride: 4,
-        carried_permille: 900,
-        cold_permille: 0,
-        seed: 0x6773_6d04,
-        paper_ipcr: 1.07,
-        paper_ipcp: 1.07,
-    },
-    // ---- Medium ILP -------------------------------------------------
-    BenchmarkSpec {
-        name: "g721encode",
-        description: "G.721 ADPCM encoder",
-        ilp: IlpDegree::M,
-        dag_width: 3,
-        chain_len: 5,
-        mul_permille: 150,
-        mem_permille: 240,
-        store_permille: 200,
-        unroll: 2,
-        loop_permille: 930,
-        n_kernels: 3,
-        working_set: 32 << 10,
-        stride: 4,
-        carried_permille: 500,
-        cold_permille: 2,
-        seed: 0x6737_3205,
-        paper_ipcr: 1.75,
-        paper_ipcp: 1.76,
-    },
-    BenchmarkSpec {
-        name: "g721decode",
-        description: "G.721 ADPCM decoder",
-        ilp: IlpDegree::M,
-        dag_width: 3,
-        chain_len: 7,
-        mul_permille: 140,
-        mem_permille: 320,
-        store_permille: 220,
-        unroll: 2,
-        loop_permille: 930,
-        n_kernels: 3,
-        working_set: 32 << 10,
-        stride: 4,
-        carried_permille: 500,
-        cold_permille: 2,
-        seed: 0x6737_3206,
-        paper_ipcr: 1.75,
-        paper_ipcp: 1.76,
-    },
-    BenchmarkSpec {
-        name: "cjpeg",
-        description: "JPEG encoder (DCT + entropy coding)",
-        ilp: IlpDegree::M,
-        dag_width: 4,
-        chain_len: 5,
-        mul_permille: 200,
-        mem_permille: 260,
-        store_permille: 250,
-        unroll: 1,
-        loop_permille: 940,
-        n_kernels: 4,
-        working_set: 1536 << 10, // image planes: miss-heavy (IPCr 1.12 vs 1.66)
-        stride: 0,
-        carried_permille: 400,
-        cold_permille: 55,
-        seed: 0x636a_7007,
-        paper_ipcr: 1.12,
-        paper_ipcp: 1.66,
-    },
-    BenchmarkSpec {
-        name: "djpeg",
-        description: "JPEG decoder",
-        ilp: IlpDegree::M,
-        dag_width: 4,
-        chain_len: 5,
-        mul_permille: 190,
-        mem_permille: 140,
-        store_permille: 280,
-        unroll: 1,
-        loop_permille: 945,
-        n_kernels: 3,
-        working_set: 40 << 10, // decodes into cache-resident tiles
-        stride: 4,
-        carried_permille: 400,
-        cold_permille: 2,
-        seed: 0x646a_7008,
-        paper_ipcr: 1.76,
-        paper_ipcp: 1.77,
-    },
-    // ---- High ILP ---------------------------------------------------
-    BenchmarkSpec {
-        name: "imgpipe",
-        description: "Imaging pipeline used in high-performance printers",
-        ilp: IlpDegree::H,
-        dag_width: 6,
-        chain_len: 5,
-        mul_permille: 180,
-        mem_permille: 230,
-        store_permille: 300,
-        unroll: 2,
-        loop_permille: 985,
-        n_kernels: 2,
-        working_set: 512 << 10, // streaming image rows
-        stride: 4,
-        carried_permille: 180,
-        cold_permille: 50,
-        seed: 0x696d_6709,
-        paper_ipcr: 3.81,
-        paper_ipcp: 4.05,
-    },
-    BenchmarkSpec {
-        name: "x264",
-        description: "H.264 encoder (motion estimation SADs)",
-        ilp: IlpDegree::H,
-        dag_width: 10,
-        chain_len: 4,
-        mul_permille: 450,
-        mem_permille: 200,
-        store_permille: 150,
-        unroll: 1,
-        loop_permille: 960,
-        n_kernels: 2,
-        working_set: 384 << 10,
-        stride: 4,
-        carried_permille: 300,
-        cold_permille: 15,
-        seed: 0x7832_360a,
-        paper_ipcr: 3.89,
-        paper_ipcp: 4.04,
-    },
-    BenchmarkSpec {
-        name: "idct",
-        description: "Inverse discrete cosine transform (ffmpeg)",
-        ilp: IlpDegree::H,
-        dag_width: 9,
-        chain_len: 3,
-        mul_permille: 300,
-        mem_permille: 200,
-        store_permille: 350,
-        unroll: 6,
-        loop_permille: 985,
-        n_kernels: 2,
-        working_set: 256 << 10,
-        stride: 4,
-        carried_permille: 100,
-        cold_permille: 70,
-        seed: 0x6964_630b,
-        paper_ipcr: 4.79,
-        paper_ipcp: 5.27,
-    },
-    BenchmarkSpec {
-        name: "colorspace",
-        description: "Production colour-space conversion (printer pipeline)",
-        ilp: IlpDegree::H,
-        dag_width: 12,
-        chain_len: 3,
-        mul_permille: 250,
-        mem_permille: 400,
-        store_permille: 400,
-        unroll: 10,
-        loop_permille: 992,
-        n_kernels: 1,
-        working_set: 2 << 20, // streams whole planes: IPCr 5.47 vs IPCp 8.88
-        stride: 4,
-        carried_permille: 60,
-        cold_permille: 130,
-        seed: 0x636f_6c0c,
-        paper_ipcr: 5.47,
-        paper_ipcp: 8.88,
-    },
-];
+fn build_table1() -> Vec<BenchmarkSpec> {
+    vec![
+        // ---- Low ILP ----------------------------------------------------
+        BenchmarkSpec {
+            name: "mcf".into(),
+            description: "Minimum Cost Flow (pointer-chasing graph code)",
+            ilp: IlpDegree::L,
+            dag_width: 2,
+            chain_len: 7,
+            mul_permille: 20,
+            mem_permille: 320,
+            store_permille: 250,
+            unroll: 1,
+            loop_permille: 900,
+            n_kernels: 3,
+            working_set: 8 << 20, // far beyond 64KB: heavy miss traffic
+            stride: 0,            // random: pointer chasing
+            carried_permille: 950,
+            cold_permille: 55,
+            seed: 0x6d63_6601,
+            paper_ipcr: 0.96,
+            paper_ipcp: 1.34,
+        },
+        BenchmarkSpec {
+            name: "bzip2".into(),
+            description: "bzip2 compression (serial bit twiddling)",
+            ilp: IlpDegree::L,
+            dag_width: 1,
+            chain_len: 10,
+            mul_permille: 10,
+            mem_permille: 500,
+            store_permille: 300,
+            unroll: 1,
+            loop_permille: 650,
+            n_kernels: 4,
+            working_set: 48 << 10, // mostly cache-resident
+            stride: 4,
+            carried_permille: 1000,
+            cold_permille: 4,
+            seed: 0x627a_6902,
+            paper_ipcr: 0.81,
+            paper_ipcp: 0.83,
+        },
+        BenchmarkSpec {
+            name: "blowfish".into(),
+            description: "Blowfish encryption (S-box lookups, xor chains)",
+            ilp: IlpDegree::L,
+            dag_width: 2,
+            chain_len: 8,
+            mul_permille: 0,
+            mem_permille: 280,
+            store_permille: 120,
+            unroll: 2,
+            loop_permille: 920,
+            n_kernels: 2,
+            working_set: 160 << 10, // S-boxes + text: some misses
+            stride: 0,
+            carried_permille: 900,
+            cold_permille: 75,
+            seed: 0x626c_6f03,
+            paper_ipcr: 1.11,
+            paper_ipcp: 1.47,
+        },
+        BenchmarkSpec {
+            name: "gsmencode".into(),
+            description: "GSM 06.10 speech encoder",
+            ilp: IlpDegree::L,
+            dag_width: 2,
+            chain_len: 13,
+            mul_permille: 180,
+            mem_permille: 300,
+            store_permille: 200,
+            unroll: 1,
+            loop_permille: 880,
+            n_kernels: 3,
+            working_set: 24 << 10, // fits: IPCr == IPCp in the paper
+            stride: 4,
+            carried_permille: 900,
+            cold_permille: 0,
+            seed: 0x6773_6d04,
+            paper_ipcr: 1.07,
+            paper_ipcp: 1.07,
+        },
+        // ---- Medium ILP -------------------------------------------------
+        BenchmarkSpec {
+            name: "g721encode".into(),
+            description: "G.721 ADPCM encoder",
+            ilp: IlpDegree::M,
+            dag_width: 3,
+            chain_len: 5,
+            mul_permille: 150,
+            mem_permille: 240,
+            store_permille: 200,
+            unroll: 2,
+            loop_permille: 930,
+            n_kernels: 3,
+            working_set: 32 << 10,
+            stride: 4,
+            carried_permille: 500,
+            cold_permille: 2,
+            seed: 0x6737_3205,
+            paper_ipcr: 1.75,
+            paper_ipcp: 1.76,
+        },
+        BenchmarkSpec {
+            name: "g721decode".into(),
+            description: "G.721 ADPCM decoder",
+            ilp: IlpDegree::M,
+            dag_width: 3,
+            chain_len: 7,
+            mul_permille: 140,
+            mem_permille: 320,
+            store_permille: 220,
+            unroll: 2,
+            loop_permille: 930,
+            n_kernels: 3,
+            working_set: 32 << 10,
+            stride: 4,
+            carried_permille: 500,
+            cold_permille: 2,
+            seed: 0x6737_3206,
+            paper_ipcr: 1.75,
+            paper_ipcp: 1.76,
+        },
+        BenchmarkSpec {
+            name: "cjpeg".into(),
+            description: "JPEG encoder (DCT + entropy coding)",
+            ilp: IlpDegree::M,
+            dag_width: 4,
+            chain_len: 5,
+            mul_permille: 200,
+            mem_permille: 260,
+            store_permille: 250,
+            unroll: 1,
+            loop_permille: 940,
+            n_kernels: 4,
+            working_set: 1536 << 10, // image planes: miss-heavy (IPCr 1.12 vs 1.66)
+            stride: 0,
+            carried_permille: 400,
+            cold_permille: 55,
+            seed: 0x636a_7007,
+            paper_ipcr: 1.12,
+            paper_ipcp: 1.66,
+        },
+        BenchmarkSpec {
+            name: "djpeg".into(),
+            description: "JPEG decoder",
+            ilp: IlpDegree::M,
+            dag_width: 4,
+            chain_len: 5,
+            mul_permille: 190,
+            mem_permille: 140,
+            store_permille: 280,
+            unroll: 1,
+            loop_permille: 945,
+            n_kernels: 3,
+            working_set: 40 << 10, // decodes into cache-resident tiles
+            stride: 4,
+            carried_permille: 400,
+            cold_permille: 2,
+            seed: 0x646a_7008,
+            paper_ipcr: 1.76,
+            paper_ipcp: 1.77,
+        },
+        // ---- High ILP ---------------------------------------------------
+        BenchmarkSpec {
+            name: "imgpipe".into(),
+            description: "Imaging pipeline used in high-performance printers",
+            ilp: IlpDegree::H,
+            dag_width: 6,
+            chain_len: 5,
+            mul_permille: 180,
+            mem_permille: 230,
+            store_permille: 300,
+            unroll: 2,
+            loop_permille: 985,
+            n_kernels: 2,
+            working_set: 512 << 10, // streaming image rows
+            stride: 4,
+            carried_permille: 180,
+            cold_permille: 50,
+            seed: 0x696d_6709,
+            paper_ipcr: 3.81,
+            paper_ipcp: 4.05,
+        },
+        BenchmarkSpec {
+            name: "x264".into(),
+            description: "H.264 encoder (motion estimation SADs)",
+            ilp: IlpDegree::H,
+            dag_width: 10,
+            chain_len: 4,
+            mul_permille: 450,
+            mem_permille: 200,
+            store_permille: 150,
+            unroll: 1,
+            loop_permille: 960,
+            n_kernels: 2,
+            working_set: 384 << 10,
+            stride: 4,
+            carried_permille: 300,
+            cold_permille: 15,
+            seed: 0x7832_360a,
+            paper_ipcr: 3.89,
+            paper_ipcp: 4.04,
+        },
+        BenchmarkSpec {
+            name: "idct".into(),
+            description: "Inverse discrete cosine transform (ffmpeg)",
+            ilp: IlpDegree::H,
+            dag_width: 9,
+            chain_len: 3,
+            mul_permille: 300,
+            mem_permille: 200,
+            store_permille: 350,
+            unroll: 6,
+            loop_permille: 985,
+            n_kernels: 2,
+            working_set: 256 << 10,
+            stride: 4,
+            carried_permille: 100,
+            cold_permille: 70,
+            seed: 0x6964_630b,
+            paper_ipcr: 4.79,
+            paper_ipcp: 5.27,
+        },
+        BenchmarkSpec {
+            name: "colorspace".into(),
+            description: "Production colour-space conversion (printer pipeline)",
+            ilp: IlpDegree::H,
+            dag_width: 12,
+            chain_len: 3,
+            mul_permille: 250,
+            mem_permille: 400,
+            store_permille: 400,
+            unroll: 10,
+            loop_permille: 992,
+            n_kernels: 1,
+            working_set: 2 << 20, // streams whole planes: IPCr 5.47 vs IPCp 8.88
+            stride: 4,
+            carried_permille: 60,
+            cold_permille: 130,
+            seed: 0x636f_6c0c,
+            paper_ipcr: 5.47,
+            paper_ipcp: 8.88,
+        },
+    ]
+}
 
 #[cfg(test)]
 mod tests {
@@ -381,7 +387,7 @@ mod tests {
 
     #[test]
     fn names_unique_and_resolvable() {
-        let mut names: Vec<&str> = all_benchmarks().iter().map(|b| b.name).collect();
+        let mut names: Vec<&str> = all_benchmarks().iter().map(|b| &*b.name).collect();
         names.sort_unstable();
         let mut dedup = names.clone();
         dedup.dedup();

@@ -1,6 +1,10 @@
 //! Custom workloads: define your own benchmark spec, inspect the compiled
 //! code, and measure how much multithreading recovers.
 //!
+//! Benchmark names are owned (`Arc<str>`), so specs — and whole workloads —
+//! can be generated at runtime with computed names and swept through the
+//! same [`Plan`] API as the paper's Table-1 suite.
+//!
 //! ```text
 //! cargo run --release --example custom_workload
 //! ```
@@ -8,21 +12,18 @@
 //! Paper exhibit: the Table-1 methodology — calibrated synthetic kernels
 //! with measured IPCr/IPCp, applied to a user-defined benchmark spec.
 
-use std::sync::Arc;
-use vliw_tms::core::catalog;
 use vliw_tms::isa::{disasm, MachineConfig};
-use vliw_tms::sim::thread::ProgramMeta;
-use vliw_tms::sim::{os, SimConfig, SoftThread};
+use vliw_tms::sim::plan::{MemoryModel, Plan, Session, WorkloadRef};
 use vliw_tms::workloads::{build, BenchmarkSpec, IlpDegree};
 
 /// A hand-written "fir filter"-ish kernel: medium ILP, streaming loads,
 /// multiplies on the critical path.
-fn my_benchmark() -> BenchmarkSpec {
+fn my_benchmark(taps: u32) -> BenchmarkSpec {
     BenchmarkSpec {
-        name: "fir",
+        name: format!("fir{taps}").into(), // computed name: not a paper benchmark
         description: "synthetic FIR filter",
         ilp: IlpDegree::M,
-        dag_width: 4,
+        dag_width: taps,
         chain_len: 4,
         mul_permille: 300,
         mem_permille: 250,
@@ -35,14 +36,14 @@ fn my_benchmark() -> BenchmarkSpec {
         carried_permille: 250,
         cold_permille: 40,
         seed: 0xF1B,
-        paper_ipcr: 0.0, // not a paper benchmark
+        paper_ipcr: 0.0,
         paper_ipcp: 0.0,
     }
 }
 
 fn main() {
     let machine = MachineConfig::paper_baseline();
-    let spec = my_benchmark();
+    let spec = my_benchmark(4);
     let image = build(&spec, &machine);
     let stats = image.program.stats(&machine);
     println!(
@@ -56,22 +57,25 @@ fn main() {
         disasm::render_block(&machine, &block.instrs[..block.instrs.len().min(6)])
     );
 
-    // Run four copies under single-thread, CSMT and SMT processors.
-    for scheme_name in ["ST", "3CCC", "2SC3", "3SSS"] {
-        let scheme = catalog::by_name(scheme_name).unwrap();
-        let cfg = SimConfig::paper(scheme, 200);
-        let threads: Vec<SoftThread> = (0..4)
-            .map(|tid| {
-                let meta = Arc::new(ProgramMeta::of(&image));
-                SoftThread::new(&image, meta, tid, cfg.seed)
-            })
-            .collect();
-        let stats = os::Machine::new(&cfg, threads).run();
+    // Run four copies under single-thread, CSMT, hybrid and SMT processors
+    // — one declarative plan over a generated workload.
+    let workload = WorkloadRef::custom(&format!("{}-x4", spec.name), vec![spec; 4]);
+    let schemes = ["ST", "3CCC", "2SC3", "3SSS"];
+    let set = Plan::new()
+        .schemes(schemes)
+        .workload(workload.clone())
+        .scale(200)
+        .run(&Session::new());
+    for name in schemes {
+        let s = &set
+            .get(name, workload.name(), MemoryModel::Real)
+            .unwrap()
+            .stats;
         println!(
-            "\n{scheme_name:<5} IPC {:>5.2}  vertical waste {:>5.1}%  horizontal {:>5.1}%",
-            stats.ipc(),
-            stats.vertical_waste() * 100.0,
-            stats.horizontal_waste() * 100.0
+            "\n{name:<5} IPC {:>5.2}  vertical waste {:>5.1}%  horizontal {:>5.1}%",
+            s.ipc(),
+            s.vertical_waste() * 100.0,
+            s.horizontal_waste() * 100.0
         );
     }
 }

@@ -1,8 +1,10 @@
 //! Quickstart: simulate the paper's headline configuration.
 //!
-//! Builds the 16-issue 4-cluster machine, compiles the LLHH workload
-//! (mcf + blowfish + x264 + idct) and runs it under the paper's recommended
-//! scheme `2SC3`, printing IPC, waste decomposition and merge statistics.
+//! Declares a one-line experiment plan — the LLHH workload
+//! (mcf + blowfish + x264 + idct) under single-thread, CSMT, the paper's
+//! recommended scheme 2SC3, and full SMT — runs it, and reads the results
+//! back by key: IPC ranking, waste decomposition, merge statistics and the
+//! per-thread breakdown of 2SC3.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -11,46 +13,41 @@
 //! Paper exhibit: the headline result (§5.3, Figure 10) — scheme 2SC3 at
 //! ~97% of full SMT performance on the Table-2 mixes.
 
-use vliw_tms::core::catalog;
-use vliw_tms::sim::runner::{self, ImageCache};
-use vliw_tms::sim::SimConfig;
-use vliw_tms::workloads::mixes;
+use vliw_tms::sim::plan::{MemoryModel, Plan, Session};
 
 fn main() {
-    // 1/100 of the paper's 100M-instruction run — a couple of seconds.
-    let scheme = catalog::by_name("2SC3").expect("2SC3 is in the catalog");
+    // 1/100 of the paper's 100M-instruction runs — a couple of seconds.
+    let schemes = ["ST", "3CCC", "2SC3", "3SSS"];
+    let set = Plan::new()
+        .schemes(schemes)
+        .workload("LLHH")
+        .scale(100)
+        .run(&Session::new());
+
+    println!("workload LLHH under {} schemes:\n", schemes.len());
     println!(
-        "scheme 2SC3: {} SMT block(s), {} CSMT block(s), {} cascade level(s)",
-        scheme.smt_blocks(),
-        scheme.csmt_blocks(),
-        scheme.levels()
+        "{:<6} {:>6} {:>8} {:>8} {:>8}",
+        "scheme", "IPC", "vert%", "horiz%", "util%"
+    );
+    for scheme in schemes {
+        let s = &set.get(scheme, "LLHH", MemoryModel::Real).unwrap().stats;
+        println!(
+            "{scheme:<6} {:>6.2} {:>8.1} {:>8.1} {:>8.1}",
+            s.ipc(),
+            s.vertical_waste() * 100.0,
+            s.horizontal_waste() * 100.0,
+            s.utilization() * 100.0
+        );
+    }
+    let speedup = set.speedup("2SC3", "3SSS", MemoryModel::Real).unwrap();
+    println!(
+        "\n2SC3 delivers {:.0}% of full-SMT (3SSS) performance (paper: ~97%)",
+        speedup * 100.0
     );
 
-    let cfg = SimConfig::paper(scheme, 100);
-    let cache = ImageCache::new();
-    let mix = mixes::mix("LLHH").expect("LLHH is in Table 2");
-    println!(
-        "workload LLHH: {:?}\nrunning {} instructions per thread...\n",
-        mix.members, cfg.instr_budget
-    );
-
-    let result = runner::run_mix(&cache, &cfg, mix);
-    let s = &result.stats;
+    let s = &set.get("2SC3", "LLHH", MemoryModel::Real).unwrap().stats;
+    println!("\n2SC3 in detail:");
     println!("cycles            : {}", s.cycles);
-    println!(
-        "IPC               : {:.2} (of {} issue slots)",
-        s.ipc(),
-        s.issue_width
-    );
-    println!(
-        "vertical waste    : {:.1}% of cycles",
-        s.vertical_waste() * 100.0
-    );
-    println!(
-        "horizontal waste  : {:.1}% of slot bandwidth",
-        s.horizontal_waste() * 100.0
-    );
-    println!("utilization       : {:.1}%", s.utilization() * 100.0);
     println!("fairness (Jain)   : {:.3}", s.fairness());
     println!("D$ miss rate      : {:.2}%", s.dcache.miss_rate() * 100.0);
 
@@ -61,7 +58,7 @@ fn main() {
     }
 
     println!("\nper-thread progress:");
-    for t in &s.threads {
+    for t in set.threads("2SC3", "LLHH", MemoryModel::Real).unwrap() {
         println!(
             "  {:<10} instrs={:<9} ops={:<9} d-stall={} br-stall={}",
             t.name, t.instrs, t.ops, t.dstall_cycles, t.branch_stall_cycles

@@ -12,8 +12,7 @@
 
 use vliw_tms::core::{catalog, parser};
 use vliw_tms::hwcost::scheme_cost;
-use vliw_tms::sim::runner::{self, ImageCache};
-use vliw_tms::sim::SimConfig;
+use vliw_tms::sim::plan::{MemoryModel, Plan, Session};
 use vliw_tms::workloads::mixes;
 
 fn main() {
@@ -24,9 +23,14 @@ fn main() {
         std::process::exit(2);
     });
 
+    // The whole catalog plus any parsed extras, declared as one plan:
+    // custom schemes sweep exactly like paper ones.
     let mut schemes = catalog::paper_schemes();
     for extra in args.iter().skip(1) {
         match parser::parse(extra) {
+            Ok(s) if schemes.iter().any(|have| have.name() == s.name()) => {
+                eprintln!("skipping {extra}: already in the catalog sweep")
+            }
             Ok(s) if s.n_ports() <= 4 => schemes.push(s),
             Ok(s) => eprintln!(
                 "skipping {extra}: {} ports > 4-thread workload",
@@ -35,22 +39,22 @@ fn main() {
             Err(e) => eprintln!("skipping {extra}: {e}"),
         }
     }
+    let set = Plan::new()
+        .schemes(schemes.iter().cloned())
+        .workload(mix)
+        .scale(200)
+        .run(&Session::new());
 
-    let cache = ImageCache::new();
     println!(
         "{:<6} {:>6} {:>8} {:>12} {:>11} {:>10}",
         "scheme", "IPC", "IPC/1S", "transistors", "gate delays", "SMT blocks"
     );
-    let baseline = {
-        let cfg = SimConfig::paper(catalog::by_name("1S").unwrap(), 200);
-        runner::run_mix(&cache, &cfg, mix).ipc()
-    };
+    let baseline = set.ipc("1S", mix_name, MemoryModel::Real).unwrap();
     let mut rows: Vec<(String, f64, u64, u32, usize)> = schemes
-        .into_iter()
+        .iter()
         .map(|scheme| {
-            let cost = scheme_cost(&scheme, 4, 4);
-            let cfg = SimConfig::paper(scheme, 200);
-            let ipc = runner::run_mix(&cache, &cfg, mix).ipc();
+            let cost = scheme_cost(scheme, 4, 4);
+            let ipc = set.ipc(scheme.name(), mix_name, MemoryModel::Real).unwrap();
             (
                 cost.name,
                 ipc,

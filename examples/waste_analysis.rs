@@ -3,7 +3,7 @@
 //! Decomposes execution into useful issue, vertical waste (empty cycles)
 //! and horizontal waste (partially-filled cycles) for each processor
 //! configuration — the lens the paper's introduction uses to motivate
-//! multithreading.
+//! multithreading. One declarative plan sweeps every configuration.
 //!
 //! ```text
 //! cargo run --release --example waste_analysis -- [MIX]
@@ -12,9 +12,7 @@
 //! Paper exhibit: the §1/§2 motivation — vertical vs horizontal waste
 //! decomposition behind Figure 4's multithreading gains.
 
-use vliw_tms::core::catalog;
-use vliw_tms::sim::runner::{self, ImageCache};
-use vliw_tms::sim::SimConfig;
+use vliw_tms::sim::plan::{MemoryModel, Plan, Session};
 use vliw_tms::workloads::mixes;
 
 fn bar(frac: f64, width: usize) -> String {
@@ -28,7 +26,12 @@ fn main() {
         eprintln!("unknown mix {mix_name}");
         std::process::exit(2);
     });
-    let cache = ImageCache::new();
+    let schemes = ["ST", "1S", "3CCC", "2CC", "2SC3", "2SS", "3SSS"];
+    let set = Plan::new()
+        .schemes(schemes)
+        .workload(mix)
+        .scale(200)
+        .run(&Session::new());
 
     println!(
         "slot budget decomposition, workload {mix_name} {:?}\n",
@@ -38,10 +41,8 @@ fn main() {
         "{:<6} {:>6}   {:<28} {:>8} {:>8} {:>8}",
         "scheme", "IPC", "utilization", "useful", "vert", "horiz"
     );
-    for name in ["ST", "1S", "3CCC", "2CC", "2SC3", "2SS", "3SSS"] {
-        let cfg = SimConfig::paper(catalog::by_name(name).unwrap(), 200);
-        let r = runner::run_mix(&cache, &cfg, mix);
-        let s = &r.stats;
+    for name in schemes {
+        let s = &set.get(name, &mix_name, MemoryModel::Real).unwrap().stats;
         let useful = s.utilization();
         // Vertical waste in slot terms: empty cycles burn the whole width.
         let vert = s.vertical_waste();

@@ -18,16 +18,20 @@
 //!
 //! ## Quickstart
 //!
-//! ```
-//! use vliw_tms::{core, sim, workloads};
+//! Experiments are declared as typed plans — which schemes × workloads ×
+//! memory models at which scale — and read back by key:
 //!
-//! // The paper's 16-issue machine and its headline scheme, 2SC3.
-//! let scheme = core::catalog::by_name("2SC3").unwrap();
-//! let cfg = sim::SimConfig::paper(scheme, 50_000); // heavily scaled down
-//! let cache = sim::runner::ImageCache::new();
-//! let mix = workloads::mixes::mix("LLHH").unwrap();
-//! let result = sim::runner::run_mix(&cache, &cfg, mix);
-//! assert!(result.ipc() > 1.0 && result.ipc() <= 16.0);
+//! ```
+//! use vliw_tms::sim::plan::{MemoryModel, Plan, Session};
+//!
+//! // The paper's headline scheme 2SC3 vs full SMT on the LLHH mix.
+//! let set = Plan::new()
+//!     .schemes(["2SC3", "3SSS"])
+//!     .workload("LLHH")
+//!     .scale(50_000) // heavily scaled down
+//!     .run(&Session::new());
+//! let ipc = set.ipc("2SC3", "LLHH", MemoryModel::Real).unwrap();
+//! assert!(ipc > 1.0 && ipc <= 16.0);
 //! ```
 
 pub use vliw_compiler as compiler;

@@ -45,10 +45,18 @@ fn every_example_declares_its_paper_exhibit() {
             continue;
         }
         let src = std::fs::read_to_string(&path).unwrap();
-        let header: String = src.lines().take_while(|l| l.starts_with("//!")).collect();
+        let marker = "Paper exhibit:";
+        let marker_line = src
+            .lines()
+            .take_while(|l| l.starts_with("//!"))
+            .find_map(|l| l.split_once(marker))
+            .unwrap_or_else(|| panic!("{} must carry a `{marker}` doc header line", path.display()))
+            .1;
+        // The marker's own line must actually name something, not be bare —
+        // new example code inherits this check automatically.
         assert!(
-            header.contains("Paper exhibit:"),
-            "{} must carry a `Paper exhibit:` doc header line",
+            !marker_line.trim().is_empty(),
+            "{}: `{marker}` header must name the exhibit it reproduces on the marker line",
             path.display()
         );
     }

@@ -1,0 +1,131 @@
+//! Integration coverage for the typed experiment-plan API: keyed lookup vs
+//! row-major order across worker counts, serialization round-trips, and
+//! byte-stability of the exhibits.
+
+use vliw_tms::sim::plan::{MemoryModel, Plan, ResultSet, Session};
+
+fn test_plan() -> Plan {
+    Plan::new()
+        .schemes(["ST", "1S", "3SSS"])
+        .workloads(["idct", "LLHH"])
+        .axes([MemoryModel::Real, MemoryModel::Perfect])
+        .scale(50_000)
+}
+
+/// Keyed lookup agrees with the documented row-major layout (schemes
+/// outermost, memory axes innermost) under 1, 2 and 4 workers, and the
+/// results themselves are worker-count independent.
+#[test]
+fn keyed_lookup_matches_row_major_across_worker_counts() {
+    let sets: Vec<ResultSet> = [1usize, 2, 4]
+        .iter()
+        .map(|&par| test_plan().run(&Session::with_parallelism(par)))
+        .collect();
+    for set in &sets {
+        assert_eq!(set.len(), 3 * 2 * 2);
+        let mut idx = 0;
+        for scheme in set.schemes() {
+            for workload in set.workloads() {
+                for &memory in set.axes() {
+                    let keyed = set
+                        .get(scheme.name(), workload.name(), memory)
+                        .unwrap_or_else(|| {
+                            panic!("missing {}/{}/{}", scheme.name(), workload.name(), memory)
+                        });
+                    assert!(
+                        std::ptr::eq(keyed, &set.results()[idx]),
+                        "cell {idx}: keyed lookup must hit the row-major slot"
+                    );
+                    idx += 1;
+                }
+            }
+        }
+        // iter() walks the same order with the same keys.
+        for (i, (key, r)) in set.iter().enumerate() {
+            assert!(std::ptr::eq(r, &set.results()[i]));
+            assert_eq!(
+                set.get(key.scheme.name(), key.workload.name(), key.memory)
+                    .unwrap()
+                    .stats
+                    .cycles,
+                r.stats.cycles
+            );
+        }
+    }
+    // Simulations are deterministic: worker count never changes a cell.
+    for set in &sets[1..] {
+        for (a, b) in sets[0].results().iter().zip(set.results()) {
+            assert_eq!(a.scheme, b.scheme);
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.stats.cycles, b.stats.cycles);
+            assert_eq!(a.stats.total_ops, b.stats.total_ops);
+        }
+    }
+}
+
+/// JSON/CSV bytes are identical across worker counts (the acceptance
+/// criterion behind `paper --json/--csv`).
+#[test]
+fn serialization_is_byte_identical_across_worker_counts() {
+    let a = test_plan().run(&Session::with_parallelism(1));
+    let b = test_plan().run(&Session::with_parallelism(4));
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.to_csv(), b.to_csv());
+}
+
+/// Every `"ipc":<x>` value in the emitted JSON parses back to the exact
+/// IPC of the corresponding row-major cell (floats are serialized with
+/// shortest round-trip formatting).
+#[test]
+fn json_round_trips_ipc_values() {
+    let set = test_plan().run(&Session::with_parallelism(2));
+    let json = set.to_json();
+    let parsed: Vec<f64> = json
+        .split("\"ipc\":")
+        .skip(1)
+        .map(|rest| {
+            let end = rest
+                .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest[..end].parse().expect("ipc field parses as f64")
+        })
+        .collect();
+    assert_eq!(parsed.len(), set.len());
+    for ((_, r), x) in set.iter().zip(&parsed) {
+        assert_eq!(r.ipc(), *x, "JSON ipc must round-trip bit-exactly");
+        assert!(*x > 0.0);
+    }
+}
+
+/// CSV rows carry the grid keys and the same round-trip IPC values.
+#[test]
+fn csv_round_trips_keys_and_ipc_values() {
+    let set = test_plan().run(&Session::with_parallelism(2));
+    let csv = set.to_csv();
+    let mut lines = csv.lines();
+    assert_eq!(lines.next(), Some(ResultSet::CSV_HEADER));
+    let rows: Vec<&str> = lines.collect();
+    assert_eq!(rows.len(), set.len());
+    for ((key, r), row) in set.iter().zip(&rows) {
+        let cols: Vec<&str> = row.split(',').collect();
+        assert_eq!(cols[0], key.scheme.name());
+        assert_eq!(cols[1], key.workload.name());
+        assert_eq!(cols[2], key.memory.label());
+        let ipc: f64 = cols[3].parse().expect("ipc column parses");
+        assert_eq!(ipc, r.ipc(), "CSV ipc must round-trip bit-exactly");
+        let cycles: u64 = cols[4].parse().expect("cycles column parses");
+        assert_eq!(cycles, r.stats.cycles);
+    }
+}
+
+/// The per-thread breakdown helper exposes `RunStats::threads` keyed by
+/// the grid, including owned (non-`'static`) benchmark names.
+#[test]
+fn thread_breakdowns_are_keyed() {
+    let set = test_plan().run(&Session::with_parallelism(2));
+    let threads = set.threads("3SSS", "LLHH", MemoryModel::Real).unwrap();
+    assert_eq!(threads.len(), 4);
+    let names: Vec<&str> = threads.iter().map(|t| &*t.name).collect();
+    assert_eq!(names, ["mcf", "blowfish", "x264", "idct"]);
+    assert!(set.threads("3SSS", "nope", MemoryModel::Real).is_none());
+}
