@@ -4,32 +4,47 @@
 //!
 //! ```text
 //! paper [EXHIBIT...] [--scale N] [--full] [--threads N] [--filter S]
-//!       [--out DIR] [--json PATH] [--csv PATH]
+//!       [--scheduler NAME] [--out DIR] [--json PATH] [--csv PATH]
 //!
 //! EXHIBIT: table1 table2 fig4 fig5 fig6 fig9 fig10 fig11 fig12 headline all
 //!          (default: all)
-//! --scale N    divide the paper's 100M-instruction budget by N (default 20)
-//! --full       the paper's full run lengths (scale 1); slow
-//! --threads N  rayon worker threads for simulation sweeps (default: cores-1;
-//!              --par is accepted as an alias)
-//! --filter S   keep only exhibits whose name contains the substring S
-//! --out DIR    CSV output directory for rendered exhibits (default: results/)
-//! --json PATH  also write the raw simulation result sets as one JSON file
-//! --csv PATH   also write the raw simulation result sets as one CSV file
+//! --scale N        divide the paper's 100M-instruction budget by N (default 20)
+//! --full           the paper's full run lengths (scale 1); slow
+//! --threads N      rayon worker threads for simulation sweeps (default:
+//!                  cores-1; --par is accepted as an alias)
+//! --filter S       keep only exhibits whose name contains the substring S
+//! --scheduler NAME run the simulated exhibits under this OS scheduling
+//!                  policy instead of the paper's random one (paper-random,
+//!                  round-robin, icount, cluster-affinity)
+//! --out DIR        CSV output directory for rendered exhibits (default: results/)
+//! --json PATH      also write the raw simulation result sets as one JSON file
+//! --csv PATH       also write the raw simulation result sets as one CSV file
 //! ```
+//!
+//! Exhibit names, `--filter`, and `--scheduler` are validated up front —
+//! before any simulation runs — and an unknown name prints the list of
+//! valid ones instead of panicking mid-sweep.
 //!
 //! The `--json`/`--csv` exports cover the simulated exhibits (table1, fig4,
 //! fig6, and the shared fig10 sweep behind fig10/fig11/fig12/headline);
 //! static exhibits (table2, fig5, fig9) have no simulation results. Both
 //! exports are byte-identical across `--threads` values: the sweep grid is
-//! deterministic and ordered.
+//! deterministic and ordered. Without `--scheduler` the export bytes equal
+//! the historical (pre-scheduler-axis) format; with it, a `scheduler`
+//! column/field is added.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use vliw_bench::figures;
 use vliw_bench::Exhibit;
 use vliw_sim::experiments;
-use vliw_sim::plan::{ResultSet, Session};
+use vliw_sim::plan::{Plan, ResultSet, Session};
+use vliw_sim::sched::SchedulerSpec;
+
+/// Every exhibit name the harness understands, in render order.
+const EXHIBITS: [&str; 10] = [
+    "table1", "table2", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "fig12", "headline",
+];
 
 fn main() {
     let mut scale: u64 = 20;
@@ -37,6 +52,7 @@ fn main() {
     let mut out = PathBuf::from("results");
     let mut wanted: Vec<String> = Vec::new();
     let mut filter: Option<String> = None;
+    let mut scheduler: Option<SchedulerSpec> = None;
     let mut json_path: Option<PathBuf> = None;
     let mut csv_path: Option<PathBuf> = None;
 
@@ -63,6 +79,15 @@ fn main() {
                         .unwrap_or_else(|| die("--filter needs a substring")),
                 );
             }
+            "--scheduler" => {
+                let name = args
+                    .next()
+                    .unwrap_or_else(|| die("--scheduler needs a policy name"));
+                scheduler = Some(
+                    name.parse()
+                        .unwrap_or_else(|e: vliw_sim::SimError| die(&e.to_string())),
+                );
+            }
             "--out" => {
                 out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
             }
@@ -84,19 +109,26 @@ fn main() {
             other => die(&format!("unknown flag {other}")),
         }
     }
+    // Validate every requested name before simulating anything: a typo on
+    // the last exhibit must not cost the first nine sweeps.
+    for w in &wanted {
+        if w != "all" && !EXHIBITS.contains(&w.as_str()) {
+            die(&format!(
+                "unknown exhibit {w:?}; valid exhibits: {}",
+                EXHIBITS.join(" ")
+            ));
+        }
+    }
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
-        wanted = vec![
-            "table1", "table2", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "fig12",
-            "headline",
-        ]
-        .into_iter()
-        .map(String::from)
-        .collect();
+        wanted = EXHIBITS.iter().map(|s| s.to_string()).collect();
     }
     if let Some(f) = &filter {
         wanted.retain(|w| w.contains(f.as_str()));
         if wanted.is_empty() {
-            die(&format!("--filter {f:?} matches no exhibit"));
+            die(&format!(
+                "--filter {f:?} matches no exhibit; valid exhibits: {}",
+                EXHIBITS.join(" ")
+            ));
         }
     }
     // First occurrence wins: repeated names would re-simulate the sweep and
@@ -104,8 +136,19 @@ fn main() {
     let mut seen = std::collections::HashSet::new();
     wanted.retain(|w| seen.insert(w.clone()));
 
+    // Apply --scheduler to a simulated exhibit's plan (None = the paper's
+    // default policy and the historical export byte format).
+    let with_sched = |plan: Plan| match scheduler {
+        Some(spec) => plan.scheduler(spec),
+        None => plan,
+    };
+
     println!(
-        "vliw-tms paper harness — scale 1/{scale} of the paper's run length, {par} rayon workers\n"
+        "vliw-tms paper harness — scale 1/{scale} of the paper's run length, {par} rayon workers{}\n",
+        match scheduler {
+            Some(s) => format!(", {s} scheduler"),
+            None => String::new(),
+        }
     );
     let t0 = std::time::Instant::now();
     let session = Session::with_parallelism(par);
@@ -119,7 +162,7 @@ fn main() {
     for name in &wanted {
         let exhibits: Vec<Exhibit> = match name.as_str() {
             "table1" => {
-                let set = experiments::table1_plan(scale).run(&session);
+                let set = with_sched(experiments::table1_plan(scale)).run(&session);
                 let ex = figures::table1_from(&experiments::table1_rows(&set));
                 if export {
                     captured.push(("table1", set));
@@ -128,7 +171,7 @@ fn main() {
             }
             "table2" => vec![figures::table2()],
             "fig4" => {
-                let set = experiments::fig4_plan(scale).run(&session);
+                let set = with_sched(experiments::fig4_plan(scale)).run(&session);
                 let ex = figures::fig4_from(&experiments::fig4_data(&set));
                 if export {
                     captured.push(("fig4", set));
@@ -137,7 +180,7 @@ fn main() {
             }
             "fig5" => vec![figures::fig5()],
             "fig6" => {
-                let set = experiments::fig6_plan(scale).run(&session);
+                let set = with_sched(experiments::fig6_plan(scale)).run(&session);
                 let ex = figures::fig6_from(&experiments::fig6_data(&set));
                 if export {
                     captured.push(("fig6", set));
@@ -147,7 +190,7 @@ fn main() {
             "fig9" => vec![figures::fig9()],
             "fig10" | "fig11" | "fig12" | "headline" => {
                 let d = fig10.get_or_insert_with(|| {
-                    let set = experiments::fig10_plan(scale).run(&session);
+                    let set = with_sched(experiments::fig10_plan(scale)).run(&session);
                     let d = experiments::fig10_data(&set);
                     if export {
                         captured.push(("fig10", set));
@@ -161,7 +204,10 @@ fn main() {
                     _ => vec![figures::headline_from(d)],
                 }
             }
-            other => die(&format!("unknown exhibit {other}")),
+            other => die(&format!(
+                "unknown exhibit {other}; valid exhibits: {}",
+                EXHIBITS.join(" ")
+            )),
         };
         for e in exhibits {
             println!("{}", e.text);
@@ -188,7 +234,18 @@ fn main() {
         }
     }
     if let Some(path) = &csv_path {
-        let mut s = format!("exhibit,{}\n", ResultSet::CSV_HEADER);
+        // With no simulated exhibit captured, fall back to the header the
+        // flags imply, so the column layout only depends on --scheduler.
+        let header =
+            captured
+                .first()
+                .map(|(_, set)| set.csv_header())
+                .unwrap_or(if scheduler.is_some() {
+                    ResultSet::CSV_HEADER_SCHED
+                } else {
+                    ResultSet::CSV_HEADER
+                });
+        let mut s = format!("exhibit,{header}\n");
         for (id, set) in &captured {
             s.push_str(&set.csv_rows(Some(id)));
         }
@@ -212,5 +269,6 @@ fn die(msg: &str) -> ! {
 }
 
 const HELP: &str = "usage: paper [EXHIBIT...] [--scale N] [--full] [--threads N] [--filter S] \
-[--out DIR] [--json PATH] [--csv PATH]
-exhibits: table1 table2 fig4 fig5 fig6 fig9 fig10 fig11 fig12 headline all";
+[--scheduler NAME] [--out DIR] [--json PATH] [--csv PATH]
+exhibits: table1 table2 fig4 fig5 fig6 fig9 fig10 fig11 fig12 headline all
+schedulers: paper-random round-robin icount cluster-affinity";

@@ -279,7 +279,7 @@ impl<T: Arbitrary> Strategy for Any<T> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specification for [`vec`]: an exact `usize` or a half-open range.
+    /// Length specification for [`vec()`](crate::collection::vec): an exact `usize` or a half-open range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

@@ -50,7 +50,7 @@ pub trait Rng: RngCore {
         x < p
     }
 
-    /// Sample a value of a [`Standard`]-distributed type.
+    /// Sample a value of a [`StandardDist`]-distributed type.
     fn gen<T: StandardDist>(&mut self) -> T {
         T::sample(self)
     }

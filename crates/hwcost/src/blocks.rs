@@ -83,7 +83,7 @@ impl SelState {
 
 /// One serial CSMT stage: merge the accumulated state with one candidate.
 ///
-/// Logic (paper §2.2 / [7]): per-cluster conflict ANDs, an OR-reduction to
+/// Logic (paper §2.2 / \[7\]): per-cluster conflict ANDs, an OR-reduction to
 /// the stage conflict signal, an inverter for the accept line, and one
 /// AOI-style update per cluster usage bit.
 pub fn csmt_serial_stage(net: &mut Netlist, acc: &SelState, cand: &SelState) -> SelState {

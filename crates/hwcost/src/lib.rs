@@ -4,7 +4,7 @@
 //! merge control* — the only part of the merging hardware that differs
 //! between SMT and CSMT (the routing muxes/blocks are needed by any
 //! multithreading scheme, §2.2) — in transistors and gate delays, following
-//! the methodology of the authors' DSD'07 paper [7]. [7] is not publicly
+//! the methodology of the authors' DSD'07 paper \[7\]. \[7\] is not publicly
 //! reproducible, so this crate *rebuilds the logic the papers describe* as
 //! explicit gate netlists and counts:
 //!
@@ -15,7 +15,7 @@
 //!   (cluster-usage conflict cascade), the parallel CSMT block (subset
 //!   enumeration), and the SMT stage (per-cluster per-class population
 //!   adders + capacity comparators + routing-signal generation).
-//! * [`scheme_cost`] — composes block netlists along a
+//! * [`scheme_cost`](crate::scheme_cost()) — composes block netlists along a
 //!   [`vliw_core::MergeScheme`] tree, implementing the paper's timing
 //!   observation that routing-signal generation of early SMT blocks runs
 //!   in parallel with downstream CSMT decision logic (why `3SCC`/`2SC3`

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::sched::SchedulerSpec;
 use vliw_core::{MergeScheme, PriorityPolicy};
 use vliw_isa::MachineConfig;
 use vliw_mem::MemConfig;
@@ -18,6 +19,10 @@ pub struct SimConfig {
     pub priority: PriorityPolicy,
     /// OS scheduling quantum in cycles (paper: 1M).
     pub timeslice: u64,
+    /// OS context-management policy (paper: random refill with full
+    /// eviction, i.e. [`SchedulerSpec::PaperRandom`]). See
+    /// [`crate::sched`] for the policy catalog.
+    pub scheduler: SchedulerSpec,
     /// Retired-VLIW-instruction budget: the run ends when any software
     /// thread retires this many instructions (paper: 100M).
     pub instr_budget: u64,
@@ -45,6 +50,7 @@ impl SimConfig {
             mem: MemConfig::paper_baseline(),
             scheme,
             priority: PriorityPolicy::RoundRobin,
+            scheduler: SchedulerSpec::PaperRandom,
             timeslice: (1_000_000 / scale).max(1_000),
             instr_budget: (100_000_000 / scale).max(1_000),
             max_cycles: u64::MAX,
@@ -55,6 +61,12 @@ impl SimConfig {
     /// Same configuration with perfect memory (IPCp measurements).
     pub fn with_perfect_memory(mut self) -> Self {
         self.mem.perfect = true;
+        self
+    }
+
+    /// Same configuration under a different OS scheduling policy.
+    pub fn with_scheduler(mut self, scheduler: SchedulerSpec) -> Self {
+        self.scheduler = scheduler;
         self
     }
 
@@ -94,5 +106,13 @@ mod tests {
     fn perfect_memory_flag() {
         let c = SimConfig::paper(catalog::csmt_serial(4), 100).with_perfect_memory();
         assert!(c.mem.perfect);
+    }
+
+    #[test]
+    fn paper_scheduler_is_the_random_default() {
+        let c = SimConfig::paper(catalog::smt_cascade(4), 100);
+        assert_eq!(c.scheduler, SchedulerSpec::PaperRandom);
+        let c = c.with_scheduler(SchedulerSpec::Icount);
+        assert_eq!(c.scheduler, SchedulerSpec::Icount);
     }
 }

@@ -113,6 +113,11 @@ impl Core {
         self.contexts[ctx].take()
     }
 
+    /// Number of contexts with no thread installed.
+    pub fn idle_contexts(&self) -> usize {
+        self.contexts.iter().filter(|c| c.is_none()).count()
+    }
+
     /// Execute one cycle.
     pub fn step(&mut self) -> StepOutcome {
         let n = self.contexts.len();

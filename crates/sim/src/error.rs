@@ -1,0 +1,68 @@
+//! Typed simulation errors.
+//!
+//! The simulation API used to panic on malformed inputs discovered deep in
+//! the machinery (an empty workload only failed inside `Machine::new`, an
+//! unknown scheduler name nowhere at all). These are now first-class
+//! [`SimError`] values surfaced by [`crate::os::Machine::new`],
+//! [`crate::runner::run_single`] / [`crate::runner::run_mix`], and
+//! [`crate::sched::SchedulerSpec`]'s `FromStr` impl.
+
+use crate::sched::SchedulerSpec;
+use std::fmt;
+
+/// Errors surfaced by the simulation API.
+///
+/// Marked `#[non_exhaustive]`: future PRs may add variants (e.g. workload
+/// validation), so downstream matches need a wildcard arm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A workload with no software threads was admitted. The OS layer needs
+    /// at least one thread to drive the run to its instruction budget.
+    EmptyWorkload,
+    /// A scheduler name matched no built-in policy (see
+    /// [`SchedulerSpec::all`] for the valid spellings).
+    UnknownScheduler(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EmptyWorkload => {
+                write!(f, "workload has no software threads; admit at least one")
+            }
+            SimError::UnknownScheduler(name) => {
+                write!(f, "unknown scheduler {name:?}; valid names: ")?;
+                for (i, s) in SchedulerSpec::all().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", s.name())?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_lists_valid_scheduler_names() {
+        let msg = SimError::UnknownScheduler("fifo".into()).to_string();
+        assert!(msg.contains("\"fifo\""), "{msg}");
+        for s in SchedulerSpec::all() {
+            assert!(msg.contains(s.name()), "{msg} must list {}", s.name());
+        }
+    }
+
+    #[test]
+    fn empty_workload_message_is_actionable() {
+        let msg = SimError::EmptyWorkload.to_string();
+        assert!(msg.contains("no software threads"), "{msg}");
+    }
+}

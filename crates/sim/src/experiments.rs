@@ -12,6 +12,7 @@
 //! 100M-instruction runs).
 
 use crate::plan::{MemoryModel, Plan, ResultSet, Session};
+use crate::sched::SchedulerSpec;
 use std::sync::Arc;
 use vliw_core::catalog;
 use vliw_workloads::{all_benchmarks, table2_mixes};
@@ -237,6 +238,29 @@ pub fn fig10(scale: u64, parallelism: usize) -> Fig10Data {
     fig10_data(&fig10_plan(scale).run(&Session::with_parallelism(parallelism)))
 }
 
+/// Scheme used by the scheduler-ablation sweep: 2-thread SMT (`1S`), so
+/// the nine 4-thread mixes oversubscribe the contexts and the OS policy
+/// actually decides who runs.
+pub const SCHED_ABLATION_SCHEME: &str = "1S";
+
+/// The scheduler-ablation sweep (beyond the paper): every built-in OS
+/// policy over every Table-2 mix on the oversubscribed
+/// [`SCHED_ABLATION_SCHEME`] machine. Read back per-policy with
+/// [`ResultSet::ipc_sched`] / [`ResultSet::scheduler_means`].
+pub fn sched_ablation_plan(scale: u64) -> Plan {
+    Plan::new()
+        .scheme(SCHED_ABLATION_SCHEME)
+        .workloads(table2_mixes())
+        .schedulers(SchedulerSpec::all())
+        .scale(scale)
+}
+
+/// Project an executed [`sched_ablation_plan`] sweep into per-policy mean
+/// IPC, plan order.
+pub fn sched_ablation_means(set: &ResultSet) -> Vec<(SchedulerSpec, f64)> {
+    set.scheduler_means(SCHED_ABLATION_SCHEME, MemoryModel::Real)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +294,16 @@ mod tests {
     fn fig6_smoke_smt_wins() {
         let d = fig6(20_000, 4);
         assert!(d.average() > 0.0, "SMT must beat CSMT on average");
+    }
+
+    #[test]
+    fn sched_ablation_covers_every_policy() {
+        let set = sched_ablation_plan(100_000).run(&Session::with_parallelism(4));
+        let means = sched_ablation_means(&set);
+        assert_eq!(means.len(), SchedulerSpec::all().len());
+        for (spec, ipc) in &means {
+            assert!(*ipc > 0.0, "{spec}: mean IPC must be positive");
+        }
     }
 
     #[test]

@@ -23,26 +23,36 @@
 //! * **Intra-block latencies** are the compiler's responsibility (the
 //!   scheduler pads blocks); the pipeline issues one instruction per ready
 //!   thread per cycle at most.
+//! * **Pluggable OS policy** — the quantum-expiry behaviour (who gets
+//!   evicted, who refills which context) is a [`sched::Scheduler`] trait;
+//!   the paper's random-refill model is the default
+//!   [`sched::SchedulerSpec::PaperRandom`] policy and reproduces the
+//!   hardwired original bit-for-bit.
 //!
 //! Entry points: [`Core`] for a bare multithreaded core, [`os::Machine`]
-//! for the timesliced multiprogramming layer, [`runner`] for the low-level
-//! experiment API (single runs and parallel fan-out), [`plan`] for the
-//! declarative sweep surface ([`Plan`] → [`ResultSet`] with keyed lookup
-//! and JSON/CSV exhibits), and [`experiments`] for the paper's figure-level
-//! drivers built on it.
+//! for the timesliced multiprogramming layer, [`sched`] for the OS
+//! scheduling policies it drives, [`runner`] for the low-level experiment
+//! API (single runs and parallel fan-out), [`plan`] for the declarative
+//! sweep surface ([`Plan`] → [`ResultSet`] with keyed lookup and JSON/CSV
+//! exhibits), and [`experiments`] for the paper's figure-level drivers
+//! built on it. Fallible entry points return typed [`SimError`]s.
 
 pub mod config;
 pub mod core;
+pub mod error;
 pub mod experiments;
 pub mod os;
 pub mod plan;
 pub mod runner;
+pub mod sched;
 pub mod stats;
 pub mod thread;
 
 pub use crate::core::Core;
 pub use config::SimConfig;
+pub use error::SimError;
 pub use plan::{MemoryModel, Plan, ResultSet, SchemeRef, Session, WorkloadRef};
 pub use runner::{run_mix, run_single, RunResult};
+pub use sched::{Scheduler, SchedulerSpec};
 pub use stats::RunStats;
 pub use thread::SoftThread;

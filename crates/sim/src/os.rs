@@ -1,55 +1,157 @@
-//! The multitasking OS layer (paper §5.1).
+//! The multitasking OS layer (paper §5.1), driven by a pluggable policy.
 //!
 //! The processor exposes its hardware thread contexts as virtual CPUs; the
 //! OS schedules as many software threads as there are virtual CPUs, with a
-//! 1M-cycle timeslice. At quantum expiry the running threads are replaced
-//! by threads picked at random from the workload ("to improve fairness and
-//! to alleviate any bias"). The run ends when one thread retires its
-//! instruction budget.
+//! 1M-cycle timeslice. *Which* threads run where is decided by a
+//! [`Scheduler`] policy (see [`crate::sched`]): at every quantum expiry
+//! the policy picks the contexts to flush and the refill order. The
+//! default [`crate::sched::SchedulerSpec::PaperRandom`] reproduces the
+//! paper's model — full eviction, random refill "to improve fairness and
+//! to alleviate any bias" — bit-for-bit. The run ends when one thread
+//! retires its instruction budget.
+//!
+//! [`Machine`] itself is a thin driver: it owns the core, the thread pool
+//! and the metrics (switches, migrations, idle-context cycles), builds
+//! [`SchedView`] snapshots for the policy, and mechanically applies the
+//! returned decisions. It always backfills every free context while the
+//! pool is non-empty, so no policy can starve the core.
 
 use crate::config::SimConfig;
 use crate::core::Core;
+use crate::error::SimError;
+use crate::sched::{affinity_groups, SchedView, Scheduler, ThreadView};
 use crate::stats::{RunStats, ThreadStats};
 use crate::thread::SoftThread;
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use std::sync::Arc;
 
 /// The simulated machine: a core plus the OS scheduling layer.
 pub struct Machine {
     core: Core,
-    /// Swapped-out threads.
+    /// Swapped-out threads (see [`SchedView::pool`] for the ordering
+    /// contract).
     pool: Vec<SoftThread>,
-    rng: SmallRng,
+    scheduler: Box<dyn Scheduler>,
+    sched_name: Arc<str>,
+    /// Context → merge-subtree affinity group (policy-visible).
+    groups: Vec<u8>,
     timeslice: u64,
     max_cycles: u64,
     context_switches: u64,
+    migrations: u64,
+    idle_context_cycles: u64,
     issue_width: u32,
 }
 
 impl Machine {
-    /// Build a machine and admit `threads` as the workload. The first
-    /// `n_contexts` (in random order) start running.
-    pub fn new(cfg: &SimConfig, threads: Vec<SoftThread>) -> Machine {
-        assert!(!threads.is_empty(), "workload must have threads");
+    /// Build a machine and admit `threads` as the workload, scheduled by
+    /// the policy named in [`SimConfig::scheduler`] (seeded from
+    /// [`SimConfig::seed`]).
+    ///
+    /// Returns [`SimError::EmptyWorkload`] when `threads` is empty — the
+    /// OS needs at least one thread to drive the run to its budget.
+    pub fn new(cfg: &SimConfig, threads: Vec<SoftThread>) -> Result<Machine, SimError> {
+        Self::with_scheduler(cfg, threads, cfg.scheduler.build(cfg.seed))
+    }
+
+    /// Build a machine around an explicit (possibly custom) scheduling
+    /// policy instance, ignoring [`SimConfig::scheduler`]. Same admission
+    /// semantics and errors as [`Machine::new`].
+    pub fn with_scheduler(
+        cfg: &SimConfig,
+        threads: Vec<SoftThread>,
+        scheduler: Box<dyn Scheduler>,
+    ) -> Result<Machine, SimError> {
+        if threads.is_empty() {
+            return Err(SimError::EmptyWorkload);
+        }
+        let sched_name: Arc<str> = scheduler.name().into();
         let mut m = Machine {
             core: Core::new(cfg),
             pool: threads,
-            rng: SmallRng::seed_from_u64(cfg.seed),
+            scheduler,
+            sched_name,
+            groups: affinity_groups(&cfg.scheme),
             timeslice: cfg.timeslice.max(1),
             max_cycles: cfg.max_cycles,
             context_switches: 0,
+            migrations: 0,
+            idle_context_cycles: 0,
             issue_width: cfg.machine.total_issue() as u32,
         };
-        m.pool.shuffle(&mut m.rng);
+        m.reorder_pool(true);
         m.fill_contexts();
-        m
+        Ok(m)
     }
 
+    /// Snapshot the machine state into policy-visible views.
+    fn view_parts(&self) -> (Vec<Option<ThreadView>>, Vec<ThreadView>) {
+        let snap = |t: &SoftThread| ThreadView {
+            tid: t.tid,
+            instrs: t.instrs,
+            ops: t.ops,
+            dstall_cycles: t.dstall_cycles,
+            istall_cycles: t.istall_cycles,
+            branch_stall_cycles: t.branch_stall_cycles,
+            last_ctx: t.last_ctx,
+        };
+        let contexts = self
+            .core
+            .contexts
+            .iter()
+            .map(|c| c.as_ref().map(snap))
+            .collect();
+        let pool = self.pool.iter().map(snap).collect();
+        (contexts, pool)
+    }
+
+    /// Ask the policy for a pool order (`admit` or `refill`) and apply it.
+    fn reorder_pool(&mut self, admit: bool) {
+        let (contexts, pool) = self.view_parts();
+        let view = SchedView {
+            cycle: self.core.cycle(),
+            contexts: &contexts,
+            pool: &pool,
+            groups: &self.groups,
+        };
+        let order = if admit {
+            self.scheduler.admit(&view)
+        } else {
+            self.scheduler.refill(&view)
+        };
+        assert_eq!(
+            order.len(),
+            self.pool.len(),
+            "scheduler {} returned an order of the wrong length",
+            self.sched_name
+        );
+        let mut slots: Vec<Option<SoftThread>> = std::mem::take(&mut self.pool)
+            .into_iter()
+            .map(Some)
+            .collect();
+        self.pool = order
+            .iter()
+            .map(|&i| {
+                slots.get_mut(i).and_then(Option::take).unwrap_or_else(|| {
+                    panic!(
+                        "scheduler {} returned an invalid pool permutation \
+                             (index {i} out of range or repeated)",
+                        self.sched_name
+                    )
+                })
+            })
+            .collect();
+    }
+
+    /// Install threads popped from the back of the pool onto the free
+    /// contexts in ascending order, tracking cross-context migrations.
     fn fill_contexts(&mut self) {
         for ctx in 0..self.core.contexts.len() {
             if self.core.contexts[ctx].is_none() {
-                if let Some(t) = self.pool.pop() {
+                if let Some(mut t) = self.pool.pop() {
+                    if t.last_ctx.is_some_and(|prev| prev as usize != ctx) {
+                        self.migrations += 1;
+                    }
+                    t.last_ctx = Some(ctx as u8);
                     self.core.install(ctx, t);
                 } else {
                     break;
@@ -58,14 +160,24 @@ impl Machine {
         }
     }
 
-    /// Perform a context switch: evict everything, shuffle, refill.
-    fn context_switch(&mut self) {
+    /// Handle one quantum expiry: policy-selected evictions, then refill.
+    fn quantum_expired(&mut self) {
+        let (contexts, pool) = self.view_parts();
+        let view = SchedView {
+            cycle: self.core.cycle(),
+            contexts: &contexts,
+            pool: &pool,
+            groups: &self.groups,
+        };
+        let mask = self.scheduler.evict(&view);
         for ctx in 0..self.core.contexts.len() {
-            if let Some(t) = self.core.evict(ctx) {
-                self.pool.push(t);
+            if mask & (1 << ctx) != 0 {
+                if let Some(t) = self.core.evict(ctx) {
+                    self.pool.push(t);
+                }
             }
         }
-        self.pool.shuffle(&mut self.rng);
+        self.reorder_pool(false);
         self.fill_contexts();
         self.context_switches += 1;
     }
@@ -76,12 +188,15 @@ impl Machine {
         let mut next_slice = self.timeslice;
         while !self.core.budget_reached && self.core.cycle() < self.max_cycles {
             let limit = next_slice.min(self.max_cycles);
+            let idle = self.core.idle_contexts() as u64;
+            let before = self.core.cycle();
             self.core.run(limit);
+            self.idle_context_cycles += idle * (self.core.cycle() - before);
             if self.core.budget_reached {
                 break;
             }
             if self.core.cycle() >= next_slice {
-                self.context_switch();
+                self.quantum_expired();
                 next_slice += self.timeslice;
             }
         }
@@ -122,6 +237,9 @@ impl Machine {
             icache: self.core.mem.icache_stats().clone(),
             dcache: self.core.mem.dcache_stats().clone(),
             context_switches: self.context_switches,
+            scheduler: self.sched_name,
+            migrations: self.migrations,
+            idle_context_cycles: self.idle_context_cycles,
         }
     }
 }
@@ -129,8 +247,8 @@ impl Machine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sched::SchedulerSpec;
     use crate::thread::ProgramMeta;
-    use std::sync::Arc;
     use vliw_core::catalog;
     use vliw_isa::MachineConfig;
     use vliw_workloads::build_named;
@@ -151,10 +269,15 @@ mod tests {
     #[test]
     fn four_threads_on_four_contexts_run_to_budget() {
         let cfg = SimConfig::paper(catalog::smt_cascade(4), 2000);
-        let stats = Machine::new(&cfg, threads(&["mcf", "bzip2", "x264", "idct"], 1)).run();
+        let stats = Machine::new(&cfg, threads(&["mcf", "bzip2", "x264", "idct"], 1))
+            .unwrap()
+            .run();
         assert!(stats.threads.iter().any(|t| t.instrs >= cfg.instr_budget));
         assert!(stats.ipc() > 0.0);
         assert_eq!(stats.threads.len(), 4);
+        assert_eq!(&*stats.scheduler, "paper-random");
+        // All four contexts stay occupied: no idle context-cycles.
+        assert_eq!(stats.idle_context_cycles, 0);
     }
 
     #[test]
@@ -162,8 +285,9 @@ mod tests {
         // 4 software threads on 1 context: every thread must get cycles.
         let mut cfg = SimConfig::paper(catalog::by_name("ST").unwrap(), 2000);
         cfg.timeslice = 2_000;
-        let stats =
-            Machine::new(&cfg, threads(&["mcf", "bzip2", "blowfish", "gsmencode"], 2)).run();
+        let stats = Machine::new(&cfg, threads(&["mcf", "bzip2", "blowfish", "gsmencode"], 2))
+            .unwrap()
+            .run();
         assert!(stats.context_switches > 0);
         for t in &stats.threads {
             assert!(t.instrs > 0, "thread {} starved", t.name);
@@ -173,18 +297,95 @@ mod tests {
     #[test]
     fn deterministic_end_to_end() {
         let cfg = SimConfig::paper(catalog::by_name("2SC3").unwrap(), 5000);
-        let a = Machine::new(&cfg, threads(&["mcf", "cjpeg", "x264", "bzip2"], 3)).run();
-        let b = Machine::new(&cfg, threads(&["mcf", "cjpeg", "x264", "bzip2"], 3)).run();
+        let run = || {
+            Machine::new(&cfg, threads(&["mcf", "cjpeg", "x264", "bzip2"], 3))
+                .unwrap()
+                .run()
+        };
+        let (a, b) = (run(), run());
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.total_ops, b.total_ops);
         assert_eq!(a.context_switches, b.context_switches);
+        assert_eq!(a.migrations, b.migrations);
     }
 
     #[test]
     fn max_cycles_caps_runaway() {
         let mut cfg = SimConfig::paper(catalog::by_name("ST").unwrap(), 1);
         cfg.max_cycles = 10_000;
-        let stats = Machine::new(&cfg, threads(&["mcf"], 4)).run();
+        let stats = Machine::new(&cfg, threads(&["mcf"], 4)).unwrap().run();
         assert!(stats.cycles <= 10_000);
+    }
+
+    #[test]
+    fn empty_workload_is_a_typed_error() {
+        let cfg = SimConfig::paper(catalog::smt_cascade(4), 2000);
+        assert_eq!(
+            Machine::new(&cfg, Vec::new()).err(),
+            Some(SimError::EmptyWorkload)
+        );
+    }
+
+    #[test]
+    fn undersubscribed_machine_reports_idle_context_cycles() {
+        // One thread on a 4-context scheme: three contexts idle throughout.
+        let cfg = SimConfig::paper(catalog::smt_cascade(4), 20_000);
+        let stats = Machine::new(&cfg, threads(&["idct"], 5)).unwrap().run();
+        assert_eq!(stats.idle_context_cycles, 3 * stats.cycles);
+    }
+
+    #[test]
+    fn every_builtin_scheduler_drives_the_run_to_budget() {
+        // 4 threads on 2 contexts (the 1S scheme): real multiprogramming.
+        for spec in SchedulerSpec::all() {
+            let mut cfg = SimConfig::paper(catalog::by_name("1S").unwrap(), 50_000);
+            cfg.scheduler = spec;
+            cfg.timeslice = 2_000;
+            let stats = Machine::new(&cfg, threads(&["mcf", "bzip2", "x264", "idct"], 9))
+                .unwrap()
+                .run();
+            assert_eq!(&*stats.scheduler, spec.name());
+            assert!(
+                stats.threads.iter().any(|t| t.instrs >= cfg.instr_budget),
+                "{spec}: budget not retired"
+            );
+            assert_eq!(stats.threads.len(), 4, "{spec}: thread lost or duplicated");
+        }
+    }
+
+    #[test]
+    fn cluster_affinity_never_migrates_when_threads_fit() {
+        // 4 threads on 4 contexts with full flushes: every thread returns
+        // to its previous context, so zero migrations.
+        let mut cfg = SimConfig::paper(catalog::smt_cascade(4), 5_000);
+        cfg.scheduler = SchedulerSpec::ClusterAffinity;
+        cfg.timeslice = 2_000;
+        let stats = Machine::new(&cfg, threads(&["mcf", "bzip2", "x264", "idct"], 3))
+            .unwrap()
+            .run();
+        assert!(stats.context_switches > 0);
+        assert_eq!(stats.migrations, 0);
+    }
+
+    #[test]
+    fn icount_balances_retirement_on_narrow_machines() {
+        let mut cfg = SimConfig::paper(catalog::by_name("ST").unwrap(), 50_000);
+        cfg.scheduler = SchedulerSpec::Icount;
+        cfg.timeslice = 1_000;
+        let stats = Machine::new(&cfg, threads(&["mcf", "bzip2", "blowfish", "gsmencode"], 2))
+            .unwrap()
+            .run();
+        // icount always runs the laggard, and a thread retires at most one
+        // instruction per cycle, so the spread never exceeds one quantum's
+        // worth of instructions (inductively: running the minimum can lift
+        // it by at most `timeslice` above the rest).
+        let min = stats.threads.iter().map(|t| t.instrs).min().unwrap();
+        let max = stats.threads.iter().map(|t| t.instrs).max().unwrap();
+        assert!(min > 0, "icount must not starve anyone");
+        assert!(
+            max - min <= cfg.timeslice,
+            "icount spread {min}..{max} exceeds one quantum"
+        );
+        assert!(stats.fairness() > 0.9, "fairness {}", stats.fairness());
     }
 }

@@ -26,10 +26,18 @@
 //! Keys are typed: [`SchemeRef`] and [`WorkloadRef`] carry owned
 //! (`Arc<str>`) names, so custom merge schemes and generated workloads
 //! participate exactly like the paper's catalog and Table-2 mixes.
+//!
+//! Besides the memory-model axis, plans can sweep the OS scheduling
+//! policy ([`Plan::schedulers`], a [`crate::sched::SchedulerSpec`] per
+//! cell, looked up via the `*_sched` accessors). A plan that never names
+//! a scheduler runs — and serializes — exactly as before under the
+//! default [`crate::sched::SchedulerSpec::PaperRandom`]; naming one adds
+//! a `scheduler` column/field to the CSV/JSON exhibits.
 
 use crate::config::SimConfig;
 use crate::os::Machine;
 use crate::runner::{self, ImageCache, RunResult};
+use crate::sched::SchedulerSpec;
 use crate::stats::ThreadStats;
 use crate::thread::SoftThread;
 use std::fmt::Write as _;
@@ -286,6 +294,8 @@ pub struct JobKey {
     pub scheme: SchemeRef,
     /// The workload run on it.
     pub workload: WorkloadRef,
+    /// The OS scheduling policy used.
+    pub scheduler: SchedulerSpec,
     /// The memory model used.
     pub memory: MemoryModel,
 }
@@ -339,6 +349,7 @@ impl Default for Session {
 pub struct Plan {
     schemes: Vec<SchemeRef>,
     workloads: Vec<WorkloadRef>,
+    schedulers: Vec<SchedulerSpec>,
     axes: Vec<MemoryModel>,
     scale: u64,
     priority: PriorityPolicy,
@@ -346,12 +357,14 @@ pub struct Plan {
 }
 
 impl Plan {
-    /// An empty plan: no schemes/workloads yet, real memory, scale 20
-    /// (1/20 of the paper's 100M-instruction runs), round-robin priority.
+    /// An empty plan: no schemes/workloads yet, real memory, the paper's
+    /// random scheduler, scale 20 (1/20 of the paper's 100M-instruction
+    /// runs), round-robin priority.
     pub fn new() -> Self {
         Plan {
             schemes: Vec::new(),
             workloads: Vec::new(),
+            schedulers: Vec::new(),
             axes: Vec::new(),
             scale: 20,
             priority: PriorityPolicy::RoundRobin,
@@ -389,6 +402,34 @@ impl Plan {
         W: Into<WorkloadRef>,
     {
         self.workloads.extend(workloads.into_iter().map(Into::into));
+        self
+    }
+
+    /// Add one OS scheduling policy to the scheduler axis (by
+    /// [`SchedulerSpec`] or name; duplicates are ignored). A plan that
+    /// never names a scheduler runs under the default
+    /// [`SchedulerSpec::PaperRandom`] only, with unchanged (pre-axis)
+    /// serialization bytes; an explicit axis adds a `scheduler`
+    /// column/field to the exhibits.
+    pub fn scheduler(mut self, scheduler: impl Into<SchedulerSpec>) -> Self {
+        let scheduler = scheduler.into();
+        if !self.schedulers.contains(&scheduler) {
+            self.schedulers.push(scheduler);
+        }
+        self
+    }
+
+    /// Add several scheduling policies (e.g.
+    /// [`SchedulerSpec::all()`](SchedulerSpec::all) for the full
+    /// catalog).
+    pub fn schedulers<I, S>(mut self, schedulers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<SchedulerSpec>,
+    {
+        for s in schedulers {
+            self = self.scheduler(s);
+        }
         self
     }
 
@@ -437,19 +478,35 @@ impl Plan {
         }
     }
 
+    /// The scheduler axis this plan actually sweeps.
+    fn effective_schedulers(&self) -> Vec<SchedulerSpec> {
+        if self.schedulers.is_empty() {
+            vec![SchedulerSpec::default()]
+        } else {
+            self.schedulers.clone()
+        }
+    }
+
     /// Expand the plan into its deterministic job grid, row-major: schemes
-    /// outermost, then workloads, memory models innermost.
+    /// outermost, then workloads, then schedulers, memory models
+    /// innermost.
     pub fn jobs(&self) -> Vec<JobKey> {
+        let scheds = self.effective_schedulers();
         let axes = self.effective_axes();
-        let mut out = Vec::with_capacity(self.schemes.len() * self.workloads.len() * axes.len());
+        let mut out = Vec::with_capacity(
+            self.schemes.len() * self.workloads.len() * scheds.len() * axes.len(),
+        );
         for scheme in &self.schemes {
             for workload in &self.workloads {
-                for &memory in &axes {
-                    out.push(JobKey {
-                        scheme: scheme.clone(),
-                        workload: workload.clone(),
-                        memory,
-                    });
+                for &scheduler in &scheds {
+                    for &memory in &axes {
+                        out.push(JobKey {
+                            scheme: scheme.clone(),
+                            workload: workload.clone(),
+                            scheduler,
+                            memory,
+                        });
+                    }
                 }
             }
         }
@@ -460,6 +517,7 @@ impl Plan {
     fn config_for(&self, key: &JobKey) -> SimConfig {
         let mut cfg = SimConfig::paper(key.scheme.scheme().clone(), self.scale);
         cfg.priority = self.priority;
+        cfg.scheduler = key.scheduler;
         if let Some(seed) = self.seed {
             cfg.seed = seed;
         }
@@ -511,7 +569,9 @@ impl Plan {
             |key| {
                 let cfg = self.config_for(key);
                 let threads = key.workload.threads(cache, &cfg);
-                let stats = Machine::new(&cfg, threads).run();
+                let stats = Machine::new(&cfg, threads)
+                    .expect("WorkloadRef guarantees at least one member thread")
+                    .run();
                 RunResult {
                     scheme: key.scheme.name().to_string(),
                     workload: key.workload.name().to_string(),
@@ -523,6 +583,8 @@ impl Plan {
         ResultSet {
             schemes: self.schemes.clone(),
             workloads: self.workloads.clone(),
+            schedulers: self.effective_schedulers(),
+            sched_axis_explicit: !self.schedulers.is_empty(),
             axes: self.effective_axes(),
             scale: self.scale,
             priority: self.priority,
@@ -540,14 +602,19 @@ impl Default for Plan {
 
 /// The keyed results of one executed [`Plan`].
 ///
-/// Storage is row-major over the plan's grid — schemes outermost, workloads
-/// next, memory axes innermost — the same guarantee
+/// Storage is row-major over the plan's grid — schemes outermost, then
+/// workloads, then schedulers, memory axes innermost — the same guarantee
 /// [`runner::run_sweep`] documents, so positional consumers and keyed
 /// lookups always agree.
 #[derive(Debug, Clone)]
 pub struct ResultSet {
     schemes: Vec<SchemeRef>,
     workloads: Vec<WorkloadRef>,
+    schedulers: Vec<SchedulerSpec>,
+    /// Whether the plan named schedulers explicitly. Gates the
+    /// `scheduler` column/field in serialized exhibits so default plans
+    /// keep their pre-axis byte format.
+    sched_axis_explicit: bool,
     axes: Vec<MemoryModel>,
     scale: u64,
     priority: PriorityPolicy,
@@ -557,8 +624,24 @@ pub struct ResultSet {
 
 impl ResultSet {
     /// Header shared by [`ResultSet::to_csv`] and the `paper` binary's
-    /// combined `--csv` export.
+    /// combined `--csv` export, for plans without an explicit scheduler
+    /// axis.
     pub const CSV_HEADER: &'static str = "scheme,workload,memory,ipc,cycles,instrs,ops";
+
+    /// [`ResultSet::CSV_HEADER`] with the `scheduler` column, used when
+    /// the plan named schedulers explicitly.
+    pub const CSV_HEADER_SCHED: &'static str =
+        "scheme,workload,scheduler,memory,ipc,cycles,instrs,ops";
+
+    /// The CSV header matching this set's [`ResultSet::to_csv`] /
+    /// [`ResultSet::csv_rows`] output.
+    pub fn csv_header(&self) -> &'static str {
+        if self.sched_axis_explicit {
+            Self::CSV_HEADER_SCHED
+        } else {
+            Self::CSV_HEADER
+        }
+    }
 
     /// Schemes of the grid, in plan order.
     pub fn schemes(&self) -> &[SchemeRef] {
@@ -568,6 +651,12 @@ impl ResultSet {
     /// Workloads of the grid, in plan order.
     pub fn workloads(&self) -> &[WorkloadRef] {
         &self.workloads
+    }
+
+    /// Scheduling policies of the grid, in plan order (the default
+    /// `[PaperRandom]` when the plan named none).
+    pub fn schedulers(&self) -> &[SchedulerSpec] {
+        &self.schedulers
     }
 
     /// Memory axes of the grid, in plan order.
@@ -601,24 +690,58 @@ impl ResultSet {
         self.results.is_empty()
     }
 
-    fn position(&self, scheme: &str, workload: &str, memory: MemoryModel) -> Option<usize> {
+    fn position(
+        &self,
+        scheme: &str,
+        workload: &str,
+        scheduler: SchedulerSpec,
+        memory: MemoryModel,
+    ) -> Option<usize> {
         let s = self.schemes.iter().position(|x| x.name() == scheme)?;
         let w = self.workloads.iter().position(|x| x.name() == workload)?;
+        let c = self.schedulers.iter().position(|&x| x == scheduler)?;
         let a = self.axes.iter().position(|&x| x == memory)?;
-        Some((s * self.workloads.len() + w) * self.axes.len() + a)
+        Some(((s * self.workloads.len() + w) * self.schedulers.len() + c) * self.axes.len() + a)
     }
 
-    /// Keyed lookup of one cell.
+    /// Keyed lookup of one cell under the plan's *first* scheduler (the
+    /// only one for plans without an explicit scheduler axis). Use
+    /// [`ResultSet::get_sched`] to address a swept scheduler explicitly.
     pub fn get(&self, scheme: &str, workload: &str, memory: MemoryModel) -> Option<&RunResult> {
-        self.results.get(self.position(scheme, workload, memory)?)
+        self.get_sched(scheme, workload, *self.schedulers.first()?, memory)
     }
 
-    /// IPC of one cell.
+    /// Keyed lookup of one cell, scheduler included.
+    pub fn get_sched(
+        &self,
+        scheme: &str,
+        workload: &str,
+        scheduler: SchedulerSpec,
+        memory: MemoryModel,
+    ) -> Option<&RunResult> {
+        self.results
+            .get(self.position(scheme, workload, scheduler, memory)?)
+    }
+
+    /// IPC of one cell (first scheduler; see [`ResultSet::get`]).
     pub fn ipc(&self, scheme: &str, workload: &str, memory: MemoryModel) -> Option<f64> {
         self.get(scheme, workload, memory).map(RunResult::ipc)
     }
 
-    /// Per-thread breakdown of one cell (from [`crate::stats::RunStats`]).
+    /// IPC of one cell, scheduler included.
+    pub fn ipc_sched(
+        &self,
+        scheme: &str,
+        workload: &str,
+        scheduler: SchedulerSpec,
+        memory: MemoryModel,
+    ) -> Option<f64> {
+        self.get_sched(scheme, workload, scheduler, memory)
+            .map(RunResult::ipc)
+    }
+
+    /// Per-thread breakdown of one cell (first scheduler; from
+    /// [`crate::stats::RunStats`]).
     pub fn threads(
         &self,
         scheme: &str,
@@ -643,15 +766,18 @@ impl ResultSet {
     /// Iterate `(key, result)` pairs in row-major grid order.
     pub fn iter(&self) -> impl Iterator<Item = (JobKey, &RunResult)> + '_ {
         let na = self.axes.len();
+        let nc = self.schedulers.len();
         let nw = self.workloads.len();
         self.results.iter().enumerate().map(move |(i, r)| {
             let a = i % na;
-            let w = (i / na) % nw;
-            let s = i / (na * nw);
+            let c = (i / na) % nc;
+            let w = (i / (na * nc)) % nw;
+            let s = i / (na * nc * nw);
             (
                 JobKey {
                     scheme: self.schemes[s].clone(),
                     workload: self.workloads[w].clone(),
+                    scheduler: self.schedulers[c],
                     memory: self.axes[a],
                 },
                 r,
@@ -659,19 +785,41 @@ impl ResultSet {
         })
     }
 
-    /// Mean IPC of one scheme across all workloads on one memory axis.
+    /// Mean IPC of one scheme across all workloads on one memory axis
+    /// (first scheduler; see [`ResultSet::get`]).
     pub fn mean_ipc(&self, scheme: &str, memory: MemoryModel) -> Option<f64> {
+        self.mean_ipc_sched(scheme, *self.schedulers.first()?, memory)
+    }
+
+    /// Mean IPC of one scheme across all workloads on one memory axis,
+    /// under one scheduler.
+    pub fn mean_ipc_sched(
+        &self,
+        scheme: &str,
+        scheduler: SchedulerSpec,
+        memory: MemoryModel,
+    ) -> Option<f64> {
         self.schemes.iter().find(|s| s.name() == scheme)?;
         self.axes.iter().find(|&&a| a == memory)?;
+        self.schedulers.iter().find(|&&c| c == scheduler)?;
         let xs: Vec<f64> = self
             .workloads
             .iter()
-            .filter_map(|w| self.ipc(scheme, w.name(), memory))
+            .filter_map(|w| self.ipc_sched(scheme, w.name(), scheduler, memory))
             .collect();
         if xs.is_empty() {
             return None;
         }
         Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+
+    /// Mean IPC of every scheduler (plan order) for one scheme on one
+    /// memory axis — the scheduler-ablation view.
+    pub fn scheduler_means(&self, scheme: &str, memory: MemoryModel) -> Vec<(SchedulerSpec, f64)> {
+        self.schedulers
+            .iter()
+            .filter_map(|&c| self.mean_ipc_sched(scheme, c, memory).map(|m| (c, m)))
+            .collect()
     }
 
     /// Mean IPC of every scheme (plan order) on one memory axis.
@@ -726,6 +874,15 @@ impl ResultSet {
             }
             json_string(&mut s, w.name());
         }
+        if self.sched_axis_explicit {
+            s.push_str("],\"schedulers\":[");
+            for (i, c) in self.schedulers.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                json_string(&mut s, c.name());
+            }
+        }
         s.push_str("],\"axes\":[");
         for (i, a) in self.axes.iter().enumerate() {
             if i > 0 {
@@ -742,6 +899,10 @@ impl ResultSet {
             json_string(&mut s, key.scheme.name());
             s.push_str(",\"workload\":");
             json_string(&mut s, key.workload.name());
+            if self.sched_axis_explicit {
+                s.push_str(",\"scheduler\":");
+                json_string(&mut s, key.scheduler.name());
+            }
             s.push_str(",\"memory\":");
             json_string(&mut s, key.memory.label());
             let _ = write!(
@@ -755,6 +916,13 @@ impl ResultSet {
                 r.stats.horizontal_waste(),
                 r.stats.context_switches,
             );
+            if self.sched_axis_explicit {
+                let _ = write!(
+                    s,
+                    ",\"migrations\":{},\"idle_context_cycles\":{}",
+                    r.stats.migrations, r.stats.idle_context_cycles,
+                );
+            }
             s.push_str(",\"threads\":[");
             for (j, t) in r.stats.threads.iter().enumerate() {
                 if j > 0 {
@@ -780,11 +948,11 @@ impl ResultSet {
         s
     }
 
-    /// Serialize as CSV with header [`ResultSet::CSV_HEADER`], one row per
+    /// Serialize as CSV with header [`ResultSet::csv_header`], one row per
     /// grid cell in row-major order. Byte-deterministic like
     /// [`ResultSet::to_json`].
     pub fn to_csv(&self) -> String {
-        let mut s = String::from(Self::CSV_HEADER);
+        let mut s = String::from(self.csv_header());
         s.push('\n');
         s.push_str(&self.csv_rows(None));
         s
@@ -792,9 +960,10 @@ impl ResultSet {
 
     /// The CSV data rows alone; with `exhibit` set, each row is prefixed
     /// with that id (for combined multi-exhibit exports — prepend
-    /// `"exhibit,"` to [`ResultSet::CSV_HEADER`]). Names are CSV-quoted
+    /// `"exhibit,"` to [`ResultSet::csv_header`]). Names are CSV-quoted
     /// when needed, since computed scheme/workload names may contain
-    /// delimiters.
+    /// delimiters. The `scheduler` column appears exactly when the plan
+    /// named schedulers explicitly.
     pub fn csv_rows(&self, exhibit: Option<&str>) -> String {
         let mut s = String::new();
         for (key, r) in self.iter() {
@@ -802,11 +971,17 @@ impl ResultSet {
                 s.push_str(&csv_field(id));
                 s.push(',');
             }
+            s.push_str(&csv_field(key.scheme.name()));
+            s.push(',');
+            s.push_str(&csv_field(key.workload.name()));
+            s.push(',');
+            if self.sched_axis_explicit {
+                s.push_str(key.scheduler.name());
+                s.push(',');
+            }
             let _ = writeln!(
                 s,
-                "{},{},{},{},{},{},{}",
-                csv_field(key.scheme.name()),
-                csv_field(key.workload.name()),
+                "{},{},{},{},{}",
                 key.memory.label(),
                 r.ipc(),
                 r.stats.cycles,
@@ -884,6 +1059,97 @@ mod tests {
         assert_eq!(jobs[1].memory, MemoryModel::Perfect);
         assert_eq!(jobs[2].workload.name(), "mcf");
         assert_eq!(jobs[6].scheme.name(), "1S");
+    }
+
+    #[test]
+    fn scheduler_axis_expands_between_workloads_and_memory() {
+        let plan = Plan::new()
+            .schemes(["ST", "1S"])
+            .workload("idct")
+            .schedulers([SchedulerSpec::PaperRandom, SchedulerSpec::Icount])
+            .axes([MemoryModel::Real, MemoryModel::Perfect]);
+        let jobs = plan.jobs();
+        // 2 schemes x 1 workload x 2 schedulers x 2 memory axes.
+        assert_eq!(jobs.len(), 8);
+        assert_eq!(jobs[0].scheduler, SchedulerSpec::PaperRandom);
+        assert_eq!(jobs[0].memory, MemoryModel::Real);
+        assert_eq!(jobs[1].scheduler, SchedulerSpec::PaperRandom);
+        assert_eq!(jobs[1].memory, MemoryModel::Perfect);
+        assert_eq!(jobs[2].scheduler, SchedulerSpec::Icount);
+        assert_eq!(jobs[4].scheme.name(), "1S");
+    }
+
+    #[test]
+    fn scheduler_axis_deduplicates_and_accepts_names() {
+        let plan = Plan::new()
+            .scheduler("icount")
+            .scheduler(SchedulerSpec::Icount)
+            .schedulers(["round-robin"]);
+        assert_eq!(
+            plan.effective_schedulers(),
+            vec![SchedulerSpec::Icount, SchedulerSpec::RoundRobin]
+        );
+        // No scheduler named: the paper's default, alone.
+        assert_eq!(
+            Plan::new().effective_schedulers(),
+            vec![SchedulerSpec::PaperRandom]
+        );
+    }
+
+    #[test]
+    fn scheduler_sweep_is_keyed_and_serialized() {
+        let set = Plan::new()
+            .scheme("1S")
+            .workload("LLHH")
+            .schedulers(SchedulerSpec::all())
+            .scale(100_000)
+            .run(&Session::with_parallelism(2));
+        assert_eq!(set.len(), 4);
+        // 3-arg lookup resolves the first scheduler of the axis.
+        assert_eq!(
+            set.get("1S", "LLHH", MemoryModel::Real)
+                .unwrap()
+                .stats
+                .cycles,
+            set.get_sched("1S", "LLHH", SchedulerSpec::PaperRandom, MemoryModel::Real)
+                .unwrap()
+                .stats
+                .cycles
+        );
+        for spec in SchedulerSpec::all() {
+            let r = set
+                .get_sched("1S", "LLHH", spec, MemoryModel::Real)
+                .unwrap_or_else(|| panic!("missing {spec} cell"));
+            assert!(r.ipc() > 0.0);
+        }
+        let means = set.scheduler_means("1S", MemoryModel::Real);
+        assert_eq!(means.len(), 4);
+        // Serialized exhibits carry the axis and per-cell labels.
+        let json = set.to_json();
+        assert!(json.contains(
+            "\"schedulers\":[\"paper-random\",\"round-robin\",\"icount\",\"cluster-affinity\"]"
+        ));
+        assert!(json.contains("\"scheduler\":\"icount\""));
+        assert!(json.contains("\"migrations\":"));
+        let csv = set.to_csv();
+        assert_eq!(csv.lines().next(), Some(ResultSet::CSV_HEADER_SCHED));
+        assert!(csv
+            .lines()
+            .any(|l| l.starts_with("1S,LLHH,cluster-affinity,real,")));
+    }
+
+    #[test]
+    fn default_plans_keep_the_pre_axis_serialization_format() {
+        let set = Plan::new()
+            .scheme("ST")
+            .workload("idct")
+            .scale(100_000)
+            .run(&Session::with_parallelism(1));
+        let json = set.to_json();
+        assert!(!json.contains("\"schedulers\""), "no axis array: {json}");
+        assert!(!json.contains("\"scheduler\""), "no per-cell field");
+        assert!(!json.contains("\"migrations\""), "no new metrics");
+        assert_eq!(set.to_csv().lines().next(), Some(ResultSet::CSV_HEADER));
     }
 
     #[test]

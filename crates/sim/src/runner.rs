@@ -6,6 +6,7 @@
 //! it — plans, keyed result sets, serialization — lives in [`crate::plan`].
 
 use crate::config::SimConfig;
+use crate::error::SimError;
 use crate::os::Machine;
 use crate::stats::RunStats;
 use crate::thread::{ProgramMeta, SoftThread};
@@ -116,25 +117,36 @@ pub fn make_threads(cache: &ImageCache, cfg: &SimConfig, names: &[&str]) -> Vec<
 }
 
 /// Run one benchmark alone (the paper's Table-1 single-thread setup).
-pub fn run_single(cache: &ImageCache, cfg: &SimConfig, name: &str) -> RunResult {
+///
+/// Errors are typed [`SimError`]s rather than panics; a single named
+/// benchmark always admits one thread, so today the only failure mode is
+/// reserved for future validation (the signature matches [`run_mix`]).
+pub fn run_single(cache: &ImageCache, cfg: &SimConfig, name: &str) -> Result<RunResult, SimError> {
     let threads = make_threads(cache, cfg, &[name]);
-    let stats = Machine::new(cfg, threads).run();
-    RunResult {
+    let stats = Machine::new(cfg, threads)?.run();
+    Ok(RunResult {
         scheme: cfg.scheme.name().to_string(),
         workload: name.to_string(),
         stats,
-    }
+    })
 }
 
 /// Run a Table-2 mix under the configured scheme.
-pub fn run_mix(cache: &ImageCache, cfg: &SimConfig, mix: &WorkloadMix) -> RunResult {
+///
+/// Admission failures surface as typed [`SimError`]s ([`Machine::new`]'s
+/// error contract) instead of panics.
+pub fn run_mix(
+    cache: &ImageCache,
+    cfg: &SimConfig,
+    mix: &WorkloadMix,
+) -> Result<RunResult, SimError> {
     let threads = make_threads(cache, cfg, &mix.members);
-    let stats = Machine::new(cfg, threads).run();
-    RunResult {
+    let stats = Machine::new(cfg, threads)?.run();
+    Ok(RunResult {
         scheme: cfg.scheme.name().to_string(),
         workload: mix.name.to_string(),
         stats,
-    }
+    })
 }
 
 /// Run a set of jobs in parallel via rayon (simulations are independent
@@ -178,7 +190,7 @@ pub fn run_sweep(
         jobs,
         |&(s, mix)| {
             let cfg = SimConfig::paper(schemes[s].clone(), scale);
-            run_mix(cache, &cfg, mix)
+            run_mix(cache, &cfg, mix).expect("sweep mixes are non-empty")
         },
         parallelism,
     )
@@ -201,7 +213,7 @@ mod tests {
     fn single_run_produces_sane_ipc() {
         let cache = ImageCache::new();
         let cfg = SimConfig::paper(catalog::by_name("ST").unwrap(), 5000);
-        let r = run_single(&cache, &cfg, "idct");
+        let r = run_single(&cache, &cfg, "idct").unwrap();
         assert!(r.ipc() > 1.0, "idct single-thread IPC {:.2}", r.ipc());
         assert!(r.ipc() <= 16.0);
     }
@@ -211,7 +223,7 @@ mod tests {
         let cache = ImageCache::new();
         let cfg = SimConfig::paper(catalog::by_name("2SC3").unwrap(), 5000);
         let mix = mixes::mix("LLHH").unwrap();
-        let r = run_mix(&cache, &cfg, mix);
+        let r = run_mix(&cache, &cfg, mix).unwrap();
         assert_eq!(r.stats.threads.len(), 4);
         assert_eq!(r.workload, "LLHH");
         assert_eq!(r.scheme, "2SC3");
@@ -223,7 +235,7 @@ mod tests {
         let jobs: Vec<&'static str> = vec!["bzip2", "idct", "mcf", "bzip2"];
         let worker = |name: &&'static str| {
             let cfg = SimConfig::paper(catalog::by_name("ST").unwrap(), 10000);
-            run_single(&cache, &cfg, name)
+            run_single(&cache, &cfg, name).unwrap()
         };
         let a = run_jobs(jobs.clone(), worker, 4);
         let b = run_jobs(jobs, worker, 2);
@@ -256,7 +268,7 @@ mod tests {
         // A name computed at runtime: the old `&'static str` keys rejected
         // this shape at compile time.
         let dynamic = String::from("id") + "ct";
-        let r = run_single(&cache, &cfg, &dynamic);
+        let r = run_single(&cache, &cfg, &dynamic).unwrap();
         assert_eq!(r.workload, "idct");
         assert!(r.ipc() > 0.0);
     }

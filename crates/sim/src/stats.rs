@@ -48,8 +48,19 @@ pub struct RunStats {
     pub icache: CacheStats,
     /// Final D-cache statistics.
     pub dcache: CacheStats,
-    /// Context switches performed by the OS layer.
+    /// Quantum expiries handled by the OS layer (each may evict any
+    /// subset of contexts, from none to all — see `migrations`).
     pub context_switches: u64,
+    /// Name of the scheduling policy that drove the run (see
+    /// [`crate::sched::SchedulerSpec::name`]).
+    pub scheduler: Arc<str>,
+    /// Thread reinstallations on a *different* hardware context than the
+    /// previous one (cold merge-path / cluster-rotation changes).
+    pub migrations: u64,
+    /// Context-cycles during which a hardware context had no thread
+    /// installed (more software threads recover these; distinct from
+    /// vertical waste, where an occupied context had nothing to issue).
+    pub idle_context_cycles: u64,
 }
 
 impl RunStats {
@@ -135,6 +146,9 @@ mod tests {
             icache: CacheStats::default(),
             dcache: CacheStats::default(),
             context_switches: 0,
+            scheduler: "paper-random".into(),
+            migrations: 0,
+            idle_context_cycles: 0,
         }
     }
 

@@ -99,6 +99,10 @@ pub struct SoftThread {
     pub data_offset: u64,
     /// Last I-cache line fetched (fast path: no probe when unchanged).
     last_iline: u64,
+    /// The hardware context this thread last ran on (`None` before its
+    /// first installation) — the OS scheduler's affinity signal, also used
+    /// to count cross-context migrations.
+    pub last_ctx: Option<u8>,
     /// Physical-cluster rotation of the context this thread occupies
     /// (virtual cluster v executes on physical cluster (v+rot) mod M).
     pub cluster_rot: u8,
@@ -144,6 +148,7 @@ impl SoftThread {
             code_offset,
             data_offset,
             last_iline: u64::MAX,
+            last_ctx: None,
             cluster_rot: 0,
             n_clusters: 4,
             instrs: 0,

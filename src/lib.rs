@@ -13,16 +13,19 @@
 //!   schemes, their evaluation and routing;
 //! * [`hwcost`] — gate-level transistor/delay models of the merge-control
 //!   hardware;
-//! * [`sim`] — the cycle-accurate multithreaded processor simulator and
-//!   experiment drivers.
+//! * [`sim`] — the cycle-accurate multithreaded processor simulator with
+//!   pluggable OS scheduling policies (`sim::sched`) and the experiment
+//!   drivers.
 //!
 //! ## Quickstart
 //!
 //! Experiments are declared as typed plans — which schemes × workloads ×
-//! memory models at which scale — and read back by key:
+//! scheduling policies × memory models at which scale — and read back by
+//! key:
 //!
 //! ```
 //! use vliw_tms::sim::plan::{MemoryModel, Plan, Session};
+//! use vliw_tms::sim::sched::SchedulerSpec;
 //!
 //! // The paper's headline scheme 2SC3 vs full SMT on the LLHH mix.
 //! let set = Plan::new()
@@ -32,6 +35,19 @@
 //!     .run(&Session::new());
 //! let ipc = set.ipc("2SC3", "LLHH", MemoryModel::Real).unwrap();
 //! assert!(ipc > 1.0 && ipc <= 16.0);
+//!
+//! // Sweep the OS policy too: 4 threads on 2 contexts, icount vs the
+//! // paper's random scheduler.
+//! let set = Plan::new()
+//!     .scheme("1S")
+//!     .workload("LLHH")
+//!     .schedulers([SchedulerSpec::PaperRandom, SchedulerSpec::Icount])
+//!     .scale(100_000)
+//!     .run(&Session::new());
+//! let icount = set
+//!     .ipc_sched("1S", "LLHH", SchedulerSpec::Icount, MemoryModel::Real)
+//!     .unwrap();
+//! assert!(icount > 0.0);
 //! ```
 
 pub use vliw_compiler as compiler;

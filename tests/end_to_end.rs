@@ -51,7 +51,7 @@ fn hand_built_kernel_runs_cycle_accurately() {
     let cfg = SimConfig::paper(catalog::by_name("ST").unwrap(), 1_000_000).with_perfect_memory();
     let meta = Arc::new(ProgramMeta::of(&image));
     let thread = SoftThread::new(&image, meta, 0, 1);
-    let stats = os::Machine::new(&cfg, vec![thread]).run();
+    let stats = os::Machine::new(&cfg, vec![thread]).unwrap().run();
     // Per loop pass: 3 instruction cycles + 2 penalty cycles.
     let per_pass = 3 + 2;
     let passes = stats.threads[0].instrs / n_instrs;
@@ -71,7 +71,7 @@ fn determinism_across_runs() {
     let one = |seed: u64| {
         let mut cfg = SimConfig::paper(catalog::by_name("2SC3").unwrap(), 2000);
         cfg.seed = seed;
-        runner::run_mix(&cache, &cfg, mixes::mix("MMHH").unwrap())
+        runner::run_mix(&cache, &cfg, mixes::mix("MMHH").unwrap()).unwrap()
     };
     let a = one(7);
     let b = one(7);
@@ -93,14 +93,14 @@ fn os_scheduling_fairness() {
     let cache = ImageCache::new();
     let mut cfg = SimConfig::paper(catalog::by_name("ST").unwrap(), 2000);
     cfg.timeslice = 5_000;
-    let r1 = runner::run_mix(&cache, &cfg, mixes::mix("LLLL").unwrap());
+    let r1 = runner::run_mix(&cache, &cfg, mixes::mix("LLLL").unwrap()).unwrap();
     assert!(r1.stats.context_switches > 0);
     for t in &r1.stats.threads {
         assert!(t.instrs > 0, "{} starved on the 1-context machine", t.name);
     }
     let mut cfg4 = SimConfig::paper(catalog::by_name("3SSS").unwrap(), 2000);
     cfg4.timeslice = 5_000;
-    let r4 = runner::run_mix(&cache, &cfg4, mixes::mix("LLLL").unwrap());
+    let r4 = runner::run_mix(&cache, &cfg4, mixes::mix("LLLL").unwrap()).unwrap();
     assert!(
         r4.stats.cycles < r1.stats.cycles,
         "4 contexts must finish the budget in fewer cycles"
@@ -113,7 +113,7 @@ fn invariants_hold_across_all_mixes() {
     let cache = ImageCache::new();
     for mix in mixes::table2_mixes() {
         let cfg = SimConfig::paper(catalog::by_name("2SC3").unwrap(), 5000);
-        let r = runner::run_mix(&cache, &cfg, mix);
+        let r = runner::run_mix(&cache, &cfg, mix).unwrap();
         let s = &r.stats;
         assert!(s.ipc() <= 16.0, "{}: IPC {}", mix.name, s.ipc());
         assert!(s.utilization() <= 1.0);
@@ -137,11 +137,11 @@ fn perfect_memory_dominates() {
     for name in ["mcf", "colorspace"] {
         let real = {
             let cfg = SimConfig::paper(catalog::by_name("ST").unwrap(), 2000);
-            runner::run_single(&cache, &cfg, name).ipc()
+            runner::run_single(&cache, &cfg, name).unwrap().ipc()
         };
         let perfect = {
             let cfg = SimConfig::paper(catalog::by_name("ST").unwrap(), 2000).with_perfect_memory();
-            runner::run_single(&cache, &cfg, name).ipc()
+            runner::run_single(&cache, &cfg, name).unwrap().ipc()
         };
         assert!(
             perfect >= real * 0.98,

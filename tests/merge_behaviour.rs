@@ -10,7 +10,9 @@ use vliw_tms::workloads::mixes;
 fn run(scheme: &str, mix: &str, scale: u64) -> vliw_tms::sim::RunStats {
     let cache = ImageCache::new();
     let cfg = SimConfig::paper(catalog::by_name(scheme).unwrap(), scale);
-    runner::run_mix(&cache, &cfg, mixes::mix(mix).unwrap()).stats
+    runner::run_mix(&cache, &cfg, mixes::mix(mix).unwrap())
+        .unwrap()
+        .stats
 }
 
 /// "Using CSMT merging after the threads have been merged using SMT results

@@ -15,7 +15,7 @@ fn serial_parallel_pairs_are_cycle_identical() {
         for mix_name in ["LLLL", "LLHH", "HHHH"] {
             let run = |scheme: &str| {
                 let cfg = SimConfig::paper(catalog::by_name(scheme).unwrap(), 5000);
-                runner::run_mix(&cache, &cfg, mixes::mix(mix_name).unwrap())
+                runner::run_mix(&cache, &cfg, mixes::mix(mix_name).unwrap()).unwrap()
             };
             let ra = run(a);
             let rb = run(b);
@@ -35,7 +35,7 @@ fn parser_and_catalog_agree_in_simulation() {
     for name in ["2SC3", "2CS", "3SSC"] {
         let run = |scheme: vliw_tms::core::MergeScheme| {
             let cfg = SimConfig::paper(scheme, 5000);
-            runner::run_mix(&cache, &cfg, mixes::mix("LLMH").unwrap())
+            runner::run_mix(&cache, &cfg, mixes::mix("LLMH").unwrap()).unwrap()
         };
         let a = run(catalog::by_name(name).unwrap());
         let b = run(parser::parse(name).unwrap());
@@ -52,7 +52,7 @@ fn rotation_policies_change_fairness() {
     let run = |policy: PriorityPolicy| {
         let mut cfg = SimConfig::paper(catalog::by_name("3CCC").unwrap(), 2000);
         cfg.priority = policy;
-        runner::run_mix(&cache, &cfg, mixes::mix("HHHH").unwrap())
+        runner::run_mix(&cache, &cfg, mixes::mix("HHHH").unwrap()).unwrap()
     };
     let fixed = run(PriorityPolicy::Fixed);
     let rr = run(PriorityPolicy::RoundRobin);
@@ -83,7 +83,10 @@ fn eight_thread_extension_ranks() {
         let scheme = parser::parse(name).unwrap();
         let cfg = SimConfig::paper(scheme, 5000);
         let threads = runner::make_threads(&cache, &cfg, &pool);
-        vliw_tms::sim::os::Machine::new(&cfg, threads).run().ipc()
+        vliw_tms::sim::os::Machine::new(&cfg, threads)
+            .unwrap()
+            .run()
+            .ipc()
     };
     let smt = run("7SSSSSSS");
     let hybrid = run("7SCCCCCC");
