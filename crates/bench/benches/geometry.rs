@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the machine-geometry axis: per-geometry
+//! benchmark compilation and a small scheme × machine sweep, so future
+//! PRs have a perf trajectory for the redesigned machine-configuration
+//! path (spec lowering, `(benchmark, machine)` image caching, per-cell
+//! `with_machine` config building).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vliw_sim::plan::{MachineSpec, Plan, Session};
+
+fn bench_spec_lowering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine_spec");
+    group.bench_function("parse_and_lower_grammar", |b| {
+        b.iter(|| {
+            let spec: MachineSpec = black_box("2x8+1+2").parse().unwrap();
+            black_box(spec.config())
+        })
+    });
+    group.bench_function("lower_preset", |b| {
+        b.iter(|| black_box(MachineSpec::Narrow8x2.config()))
+    });
+    group.finish();
+}
+
+fn bench_per_geometry_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geometry_compile");
+    for machine in [MachineSpec::Paper4x4, MachineSpec::Narrow8x2] {
+        let cfg = machine.config();
+        group.bench_function(format!("idct_on_{machine}"), |b| {
+            b.iter(|| black_box(vliw_workloads::build_named("idct", &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_geometry_sweep(c: &mut Criterion) {
+    // One scheme over one mix across all presets: the smallest sweep that
+    // exercises spec lowering, per-machine image caching and the keyed
+    // machine axis end to end. The session is reused so the timing tracks
+    // the sweep path, not recompilation.
+    let session = Session::with_parallelism(2);
+    let plan = || {
+        Plan::new()
+            .scheme("2SC3")
+            .workload("LLHH")
+            .machines(MachineSpec::presets())
+            .scale(500_000)
+    };
+    // Warm the image cache once.
+    let _ = plan().run(&session);
+    let mut group = c.benchmark_group("geometry_sweep");
+    group.bench_function("presets_2SC3_LLHH", |b| {
+        b.iter(|| black_box(plan().run(&session).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spec_lowering,
+    bench_per_geometry_compile,
+    bench_geometry_sweep
+);
+criterion_main!(benches);

@@ -4,10 +4,10 @@
 //!
 //! ```text
 //! paper [EXHIBIT...] [--scale N] [--full] [--threads N] [--filter S]
-//!       [--scheduler NAME] [--out DIR] [--json PATH] [--csv PATH]
+//!       [--scheduler NAME] [--machine SPEC] [--out DIR] [--json PATH] [--csv PATH]
 //!
-//! EXHIBIT: table1 table2 fig4 fig5 fig6 fig9 fig10 fig11 fig12 headline all
-//!          (default: all)
+//! EXHIBIT: table1 table2 fig4 fig5 fig6 fig9 fig10 fig11 fig12 headline
+//!          geometry all   (default: all)
 //! --scale N        divide the paper's 100M-instruction budget by N (default 20)
 //! --full           the paper's full run lengths (scale 1); slow
 //! --threads N      rayon worker threads for simulation sweeps (default:
@@ -16,34 +16,43 @@
 //! --scheduler NAME run the simulated exhibits under this OS scheduling
 //!                  policy instead of the paper's random one (paper-random,
 //!                  round-robin, icount, cluster-affinity)
+//! --machine SPEC   run the simulated exhibits on this machine geometry
+//!                  instead of the paper's 4x4 (presets: paper-4x4, 2x8,
+//!                  8x2, 4x4-lite; or CxI[+muls+mems], e.g. 3x4, 2x8+1+2)
 //! --out DIR        CSV output directory for rendered exhibits (default: results/)
 //! --json PATH      also write the raw simulation result sets as one JSON file
 //! --csv PATH       also write the raw simulation result sets as one CSV file
 //! ```
 //!
-//! Exhibit names, `--filter`, and `--scheduler` are validated up front —
-//! before any simulation runs — and an unknown name prints the list of
-//! valid ones instead of panicking mid-sweep.
+//! Exhibit names, `--filter`, `--scheduler`, and `--machine` are validated
+//! up front — before any simulation runs — and an unknown name prints the
+//! list of valid ones instead of panicking mid-sweep (`--machine` also
+//! rejects geometries that cannot compile the Table-1 suite).
 //!
 //! The `--json`/`--csv` exports cover the simulated exhibits (table1, fig4,
-//! fig6, and the shared fig10 sweep behind fig10/fig11/fig12/headline);
-//! static exhibits (table2, fig5, fig9) have no simulation results. Both
-//! exports are byte-identical across `--threads` values: the sweep grid is
-//! deterministic and ordered. Without `--scheduler` the export bytes equal
-//! the historical (pre-scheduler-axis) format; with it, a `scheduler`
-//! column/field is added.
+//! fig6, the shared fig10 sweep behind fig10/fig11/fig12/headline, and the
+//! geometry sweep); static exhibits (table2, fig5, fig9) have no simulation
+//! results. Both exports are byte-identical across `--threads` values: the
+//! sweep grid is deterministic and ordered. Without `--scheduler`/
+//! `--machine` the export bytes equal the historical (pre-axis) format;
+//! with either, a `scheduler`/`machine` column/field is added. The
+//! `geometry` exhibit always sweeps the machine presets (`--machine` adds
+//! the named geometry to its sweep), so a combined `--csv` that captures
+//! it carries the `machine` column on *every* row — one header must fit
+//! all sets, so rows are shaped to the union of the captured axes.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use vliw_bench::figures;
 use vliw_bench::Exhibit;
 use vliw_sim::experiments;
-use vliw_sim::plan::{Plan, ResultSet, Session};
+use vliw_sim::plan::{MachineSpec, Plan, ResultSet, Session};
 use vliw_sim::sched::SchedulerSpec;
 
 /// Every exhibit name the harness understands, in render order.
-const EXHIBITS: [&str; 10] = [
+const EXHIBITS: [&str; 11] = [
     "table1", "table2", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "fig12", "headline",
+    "geometry",
 ];
 
 fn main() {
@@ -53,6 +62,7 @@ fn main() {
     let mut wanted: Vec<String> = Vec::new();
     let mut filter: Option<String> = None;
     let mut scheduler: Option<SchedulerSpec> = None;
+    let mut machine: Option<MachineSpec> = None;
     let mut json_path: Option<PathBuf> = None;
     let mut csv_path: Option<PathBuf> = None;
 
@@ -87,6 +97,21 @@ fn main() {
                     name.parse()
                         .unwrap_or_else(|e: vliw_sim::SimError| die(&e.to_string())),
                 );
+            }
+            "--machine" => {
+                let name = args
+                    .next()
+                    .unwrap_or_else(|| die("--machine needs a geometry spec"));
+                let spec: MachineSpec = name
+                    .parse()
+                    .unwrap_or_else(|e: vliw_isa::MachineError| die(&e.to_string()));
+                if !spec.runs_full_suite() {
+                    die(&format!(
+                        "machine {spec} cannot run the benchmark suite (it needs at least \
+                         one multiplier and one memory unit per cluster)"
+                    ));
+                }
+                machine = Some(spec);
             }
             "--out" => {
                 out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
@@ -136,17 +161,29 @@ fn main() {
     let mut seen = std::collections::HashSet::new();
     wanted.retain(|w| seen.insert(w.clone()));
 
-    // Apply --scheduler to a simulated exhibit's plan (None = the paper's
-    // default policy and the historical export byte format).
-    let with_sched = |plan: Plan| match scheduler {
-        Some(spec) => plan.scheduler(spec),
-        None => plan,
+    // Apply --scheduler/--machine to a simulated exhibit's plan (None =
+    // the paper's defaults and the historical export byte format). For
+    // the geometry exhibit, whose plan already sweeps the machine
+    // presets, --machine *adds* the named geometry (the axis dedups).
+    let with_axes = |plan: Plan| {
+        let plan = match scheduler {
+            Some(spec) => plan.scheduler(spec),
+            None => plan,
+        };
+        match machine {
+            Some(spec) => plan.machine(spec),
+            None => plan,
+        }
     };
 
     println!(
-        "vliw-tms paper harness — scale 1/{scale} of the paper's run length, {par} rayon workers{}\n",
+        "vliw-tms paper harness — scale 1/{scale} of the paper's run length, {par} rayon workers{}{}\n",
         match scheduler {
             Some(s) => format!(", {s} scheduler"),
+            None => String::new(),
+        },
+        match machine {
+            Some(m) => format!(", {m} machine"),
             None => String::new(),
         }
     );
@@ -162,7 +199,7 @@ fn main() {
     for name in &wanted {
         let exhibits: Vec<Exhibit> = match name.as_str() {
             "table1" => {
-                let set = with_sched(experiments::table1_plan(scale)).run(&session);
+                let set = with_axes(experiments::table1_plan(scale)).run(&session);
                 let ex = figures::table1_from(&experiments::table1_rows(&set));
                 if export {
                     captured.push(("table1", set));
@@ -171,7 +208,7 @@ fn main() {
             }
             "table2" => vec![figures::table2()],
             "fig4" => {
-                let set = with_sched(experiments::fig4_plan(scale)).run(&session);
+                let set = with_axes(experiments::fig4_plan(scale)).run(&session);
                 let ex = figures::fig4_from(&experiments::fig4_data(&set));
                 if export {
                     captured.push(("fig4", set));
@@ -180,7 +217,7 @@ fn main() {
             }
             "fig5" => vec![figures::fig5()],
             "fig6" => {
-                let set = with_sched(experiments::fig6_plan(scale)).run(&session);
+                let set = with_axes(experiments::fig6_plan(scale)).run(&session);
                 let ex = figures::fig6_from(&experiments::fig6_data(&set));
                 if export {
                     captured.push(("fig6", set));
@@ -188,9 +225,17 @@ fn main() {
                 vec![ex]
             }
             "fig9" => vec![figures::fig9()],
+            "geometry" => {
+                let set = with_axes(experiments::geometry_plan(scale)).run(&session);
+                let ex = figures::geometry_from(&experiments::geometry_data(&set));
+                if export {
+                    captured.push(("geometry", set));
+                }
+                vec![ex]
+            }
             "fig10" | "fig11" | "fig12" | "headline" => {
                 let d = fig10.get_or_insert_with(|| {
-                    let set = with_sched(experiments::fig10_plan(scale)).run(&session);
+                    let set = with_axes(experiments::fig10_plan(scale)).run(&session);
                     let d = experiments::fig10_data(&set);
                     if export {
                         captured.push(("fig10", set));
@@ -234,20 +279,22 @@ fn main() {
         }
     }
     if let Some(path) = &csv_path {
-        // With no simulated exhibit captured, fall back to the header the
-        // flags imply, so the column layout only depends on --scheduler.
-        let header =
-            captured
-                .first()
-                .map(|(_, set)| set.csv_header())
-                .unwrap_or(if scheduler.is_some() {
-                    ResultSet::CSV_HEADER_SCHED
-                } else {
-                    ResultSet::CSV_HEADER
-                });
+        // One header must fit every captured set, but the sets can
+        // disagree on axis explicitness (the geometry exhibit always
+        // sweeps machines; the paper exhibits only do under --machine):
+        // shape every row to the *union* of the captured sets' explicit
+        // axes and the flags. With nothing captured the flags alone
+        // decide, so the column layout is flag-deterministic either way.
+        let with_sched =
+            scheduler.is_some() || captured.iter().any(|(_, set)| set.sched_axis_is_explicit());
+        let with_machine = machine.is_some()
+            || captured
+                .iter()
+                .any(|(_, set)| set.machine_axis_is_explicit());
+        let header = ResultSet::csv_header_for(with_sched, with_machine);
         let mut s = format!("exhibit,{header}\n");
         for (id, set) in &captured {
-            s.push_str(&set.csv_rows(Some(id)));
+            s.push_str(&set.csv_rows_shaped(Some(id), with_sched, with_machine));
         }
         if let Err(err) = std::fs::write(path, s) {
             eprintln!("warning: could not write {}: {err}", path.display());
@@ -269,6 +316,7 @@ fn die(msg: &str) -> ! {
 }
 
 const HELP: &str = "usage: paper [EXHIBIT...] [--scale N] [--full] [--threads N] [--filter S] \
-[--scheduler NAME] [--out DIR] [--json PATH] [--csv PATH]
-exhibits: table1 table2 fig4 fig5 fig6 fig9 fig10 fig11 fig12 headline all
-schedulers: paper-random round-robin icount cluster-affinity";
+[--scheduler NAME] [--machine SPEC] [--out DIR] [--json PATH] [--csv PATH]
+exhibits: table1 table2 fig4 fig5 fig6 fig9 fig10 fig11 fig12 headline geometry all
+schedulers: paper-random round-robin icount cluster-affinity
+machines: paper-4x4 2x8 8x2 4x4-lite, or CxI[+muls+mems] (e.g. 3x4, 2x8+1+2)";

@@ -262,6 +262,43 @@ pub fn headline_from(d: &experiments::Fig10Data) -> Exhibit {
     }
 }
 
+/// Geometry exhibit (beyond the paper): schemes across machine shapes.
+pub fn geometry(scale: u64, par: usize) -> Exhibit {
+    geometry_from(&experiments::geometry(scale, par))
+}
+
+/// Render the geometry exhibit from precomputed sweep rows.
+pub fn geometry_from(rows: &[experiments::GeometryRow]) -> Exhibit {
+    let mut t = TextTable::new(&[
+        "machine",
+        "scheme",
+        "mean IPC",
+        "transistors",
+        "gate delays",
+        "IPC/kT",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.machine.label(),
+            r.scheme.clone(),
+            f2(r.mean_ipc),
+            r.transistors.to_string(),
+            r.gate_delays.to_string(),
+            r.ipc_per_ktrans.map(f2).unwrap_or_default(),
+        ]);
+    }
+    Exhibit {
+        id: "geometry".into(),
+        text: format!(
+            "Geometry sweep — merging schemes across machine shapes\n\
+             (merge-control cost priced per actual geometry; IPC/kT = mean IPC\n\
+             per kilotransistor of merge logic, blank for ST's zero hardware)\n{}",
+            t.render()
+        ),
+        csv: t.to_csv(),
+    }
+}
+
 /// Sanity check on workload mix sizes used in this module.
 pub fn n_benchmarks() -> usize {
     all_benchmarks().len()

@@ -10,6 +10,9 @@
 //!
 //! * [`MachineConfig`] — cluster/slot/functional-unit geometry, fixed-slot
 //!   constraints, operation latencies and branch penalty (paper §5.1).
+//! * [`MachineSpec`] — named, parsable geometry identities (presets like
+//!   `paper-4x4` plus a `CxI[+muls+mems]` grammar) that lower to validated
+//!   configs; what experiment grids and serialized exhibits carry.
 //! * [`Opcode`] / [`Operation`] — VEX-flavoured operation set with ALU,
 //!   multiply, memory and branch classes.
 //! * [`VliwInstruction`] and its checked [`InstrBuilder`] — one "long
@@ -31,12 +34,14 @@ pub mod machine;
 pub mod op;
 pub mod operation;
 pub mod signature;
+pub mod spec;
 
 pub use instr::{InstrBuilder, InstrError, VliwInstruction};
 pub use machine::{MachineConfig, MachineError, SlotPlan};
 pub use op::{OpClass, Opcode};
 pub use operation::{BranchInfo, MemInfo, Operation, Reg};
 pub use signature::{ClusterMask, InstrSignature, ResourceCaps, ResourceVec};
+pub use spec::MachineSpec;
 
 /// Hard upper bound on clusters supported by the packed signature types.
 pub const MAX_CLUSTERS: usize = 8;

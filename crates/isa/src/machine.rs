@@ -9,7 +9,8 @@ use crate::op::OpClass;
 use crate::{MAX_CLUSTERS, MAX_ISSUE};
 use std::fmt;
 
-/// Errors produced when validating a [`MachineConfig`].
+/// Errors produced when validating a [`MachineConfig`] or parsing a
+/// [`crate::spec::MachineSpec`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MachineError {
     /// Cluster count outside `1..=MAX_CLUSTERS`.
@@ -25,6 +26,9 @@ pub enum MachineError {
     },
     /// A latency of zero cycles was configured.
     ZeroLatency(OpClass),
+    /// A machine-spec spelling matched neither a preset name nor the
+    /// `CxI[+muls+mems]` grammar (see [`crate::spec::MachineSpec`]).
+    UnknownSpec(String),
 }
 
 impl fmt::Display for MachineError {
@@ -42,6 +46,13 @@ impl fmt::Display for MachineError {
                  slot classes must occupy disjoint slots"
             ),
             MachineError::ZeroLatency(c) => write!(f, "latency of class {c} must be >= 1"),
+            MachineError::UnknownSpec(s) => {
+                write!(f, "unknown machine spec {s:?}; valid specs: ")?;
+                for p in crate::spec::MachineSpec::presets() {
+                    write!(f, "{p}, ")?;
+                }
+                write!(f, "or CxI[+muls+mems] (e.g. 4x4+2+1)")
+            }
         }
     }
 }
@@ -87,8 +98,9 @@ impl SlotPlan {
 ///
 /// Construct via [`MachineConfig::paper_baseline`] (the §5.1 machine) or
 /// [`MachineConfig::new`] and refine with the builder-style `with_*` methods;
-/// every constructor validates the geometry.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// every constructor validates the geometry. Hashable, so compiled-image
+/// caches can key by the geometry a program was built for.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MachineConfig {
     /// Number of clusters (1..=8).
     pub n_clusters: u8,

@@ -1,0 +1,341 @@
+//! Named machine-geometry specs: serializable identities for
+//! [`MachineConfig`]s.
+//!
+//! The paper evaluates one machine (§5.1: 4 clusters × 4-issue). A
+//! [`MachineSpec`] generalizes that into a *named, parsable* description —
+//! the machine-side analogue of the merge-scheme grammar and the scheduler
+//! specs — so cluster count, issue width and functional-unit mix become
+//! experimental variables instead of frozen constants:
+//!
+//! * **Presets** — `paper-4x4` (the §5.1 baseline, bit-identical to
+//!   [`MachineConfig::paper_baseline`]), `2x8` (2 fat 8-issue clusters),
+//!   `8x2` (8 narrow 2-issue clusters; same 16-issue total), and
+//!   `4x4-lite` (the paper geometry with a reduced 1-multiplier FU mix).
+//! * **Grammar** — `CxI[+muls+mems]`: cluster count, `x`, issue width,
+//!   optionally `+` multipliers `+` memory units per cluster (e.g. `4x4`,
+//!   `2x8+1+2`). Omitted units use [`MachineConfig::new`]'s VEX-style
+//!   scaling. A parsed geometry that lowers to the same [`MachineConfig`]
+//!   as a preset canonicalizes *to* that preset (`"4x4+2+1"` parses as
+//!   `paper-4x4`), so exhibit labels are stable.
+//!
+//! Parsing is case-insensitive and accepts `_` for `-`, mirroring the
+//! scheduler-spec conventions; every spelling is validated at parse time
+//! (a geometry [`MachineError`] forbids never parses). [`std::fmt::Display`]
+//! round-trips: `parse(spec.to_string()) == spec` for any spec obtained
+//! from the parser or the presets.
+
+use crate::machine::{MachineConfig, MachineError};
+use std::fmt;
+use std::str::FromStr;
+
+/// A named, serializable machine geometry that lowers to a validated
+/// [`MachineConfig`].
+///
+/// Obtain one from [`MachineSpec::presets`], the [`FromStr`] parser (see
+/// the [module docs](self) for the grammar), or [`MachineSpec::custom`].
+/// The spec is the *identity* carried by experiment grids and serialized
+/// exhibits; [`MachineSpec::config`] produces the concrete machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MachineSpec {
+    /// The paper's §5.1 evaluation machine: 4 clusters × 4-issue,
+    /// 2 multipliers + 1 load/store unit per cluster. Lowers bit-identically
+    /// to [`MachineConfig::paper_baseline`]. The default.
+    #[default]
+    Paper4x4,
+    /// Two fat clusters of 8 issue slots each (16-issue total): fewer,
+    /// wider register files — the low-cluster-count end of the paper's
+    /// design space.
+    Wide2x8,
+    /// Eight narrow clusters of 2 issue slots each (16-issue total): narrow
+    /// clusters carry no dedicated branch slot (control flow is implicit,
+    /// the taken-branch penalty still applies) — the high-cluster-count
+    /// end of the design space.
+    Narrow8x2,
+    /// The paper geometry with a reduced functional-unit mix (1 multiplier
+    /// + 1 load/store unit per cluster): the area-saving variant.
+    Lite4x4,
+    /// An explicit `CxI[+muls+mems]` geometry that matches no preset.
+    /// Construct via [`MachineSpec::custom`] (or the parser), which
+    /// validates and canonicalizes; hand-built variants that encode a
+    /// geometry [`MachineConfig::validate`] rejects make
+    /// [`MachineSpec::config`] panic.
+    Custom {
+        /// Number of clusters (`1..=MAX_CLUSTERS`).
+        clusters: u8,
+        /// Issue slots per cluster (`1..=MAX_ISSUE`).
+        issue: u8,
+        /// Explicit `(multipliers, memory units)` per cluster; `None` uses
+        /// [`MachineConfig::new`]'s VEX-style scaling for the issue width.
+        units: Option<(u8, u8)>,
+    },
+}
+
+impl MachineSpec {
+    /// Every named preset, in catalog order.
+    pub const fn presets() -> [MachineSpec; 4] {
+        [
+            MachineSpec::Paper4x4,
+            MachineSpec::Wide2x8,
+            MachineSpec::Narrow8x2,
+            MachineSpec::Lite4x4,
+        ]
+    }
+
+    /// Stable name of a preset (the parse spelling and the serialized
+    /// exhibit label); `None` for custom geometries, whose label is the
+    /// grammar spelling (see [`MachineSpec::label`]).
+    pub const fn preset_name(self) -> Option<&'static str> {
+        match self {
+            MachineSpec::Paper4x4 => Some("paper-4x4"),
+            MachineSpec::Wide2x8 => Some("2x8"),
+            MachineSpec::Narrow8x2 => Some("8x2"),
+            MachineSpec::Lite4x4 => Some("4x4-lite"),
+            MachineSpec::Custom { .. } => None,
+        }
+    }
+
+    /// The spec's serialized label: the preset name, or the canonical
+    /// `CxI[+muls+mems]` spelling for customs. Round-trips through the
+    /// parser.
+    pub fn label(self) -> String {
+        self.to_string()
+    }
+
+    /// Build a validated spec from an explicit geometry, canonicalizing to
+    /// a preset when the lowered [`MachineConfig`] matches one (so
+    /// `custom(4, 4, Some((2, 1)))` *is* [`MachineSpec::Paper4x4`] and
+    /// serializes under the stable preset label).
+    pub fn custom(clusters: u8, issue: u8, units: Option<(u8, u8)>) -> Result<Self, MachineError> {
+        let spec = MachineSpec::Custom {
+            clusters,
+            issue,
+            units,
+        };
+        let cfg = spec.try_config()?;
+        Ok(Self::presets()
+            .into_iter()
+            .find(|p| p.config() == cfg)
+            .unwrap_or(spec))
+    }
+
+    /// Lower to the concrete machine configuration.
+    ///
+    /// Presets and parser-produced specs are pre-validated and never fail;
+    /// a hand-built [`MachineSpec::Custom`] encoding a forbidden geometry
+    /// panics with the [`MachineError`] message. Use
+    /// [`MachineSpec::try_config`] to handle that case gracefully.
+    pub fn config(self) -> MachineConfig {
+        self.try_config()
+            .unwrap_or_else(|e| panic!("machine spec {self}: {e}"))
+    }
+
+    /// Lower to the concrete machine configuration, surfacing validation
+    /// errors instead of panicking.
+    pub fn try_config(self) -> Result<MachineConfig, MachineError> {
+        match self {
+            MachineSpec::Paper4x4 => Ok(MachineConfig::paper_baseline()),
+            MachineSpec::Wide2x8 => MachineConfig::new(2, 8),
+            MachineSpec::Narrow8x2 => MachineConfig::new(8, 2),
+            MachineSpec::Lite4x4 => MachineConfig::new(4, 4)?.with_units(1, 1),
+            MachineSpec::Custom {
+                clusters,
+                issue,
+                units,
+            } => {
+                let cfg = MachineConfig::new(clusters, issue)?;
+                match units {
+                    Some((muls, mems)) => cfg.with_units(muls, mems),
+                    None => Ok(cfg),
+                }
+            }
+        }
+    }
+
+    /// Whether the lowered machine can host every operation class of the
+    /// synthetic benchmark suite (at least one multiplier and one memory
+    /// unit somewhere): geometries below this compile ALU-only programs
+    /// but panic on the Table-1 kernels, so sweep frontends check it up
+    /// front.
+    pub fn runs_full_suite(self) -> bool {
+        self.try_config()
+            .map(|c| c.muls_per_cluster >= 1 && c.mems_per_cluster >= 1)
+            .unwrap_or(false)
+    }
+}
+
+impl fmt::Display for MachineSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.preset_name() {
+            Some(name) => f.write_str(name),
+            None => {
+                let MachineSpec::Custom {
+                    clusters,
+                    issue,
+                    units,
+                } = *self
+                else {
+                    unreachable!("every non-custom spec has a preset name")
+                };
+                write!(f, "{clusters}x{issue}")?;
+                if let Some((muls, mems)) = units {
+                    write!(f, "+{muls}+{mems}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl FromStr for MachineSpec {
+    type Err = MachineError;
+
+    /// Parse a preset name or a `CxI[+muls+mems]` geometry (see the
+    /// [module docs](self)). Case-insensitive; `_` and `-` are
+    /// interchangeable. The result is always validated: a geometry
+    /// [`MachineConfig::validate`] rejects surfaces that [`MachineError`],
+    /// and an unintelligible spelling surfaces
+    /// [`MachineError::UnknownSpec`].
+    fn from_str(s: &str) -> Result<Self, MachineError> {
+        let normalized = s.trim().to_ascii_lowercase().replace('_', "-");
+        if let Some(preset) = Self::presets()
+            .into_iter()
+            .find(|p| p.preset_name() == Some(normalized.as_str()))
+        {
+            return Ok(preset);
+        }
+        parse_grammar(&normalized).ok_or_else(|| MachineError::UnknownSpec(s.to_string()))?
+    }
+}
+
+/// Parse the `CxI[+muls+mems]` grammar. `None` = not grammar-shaped (an
+/// unknown-spec error); `Some(Err(..))` = grammar-shaped but encoding a
+/// forbidden geometry (the validation error, verbatim).
+fn parse_grammar(s: &str) -> Option<Result<MachineSpec, MachineError>> {
+    let mut parts = s.split('+');
+    let geometry = parts.next()?;
+    let (c, i) = geometry.split_once('x')?;
+    let clusters: u8 = c.parse().ok()?;
+    let issue: u8 = i.parse().ok()?;
+    let units = match (parts.next(), parts.next()) {
+        (None, _) => None,
+        (Some(m), Some(e)) => Some((m.parse().ok()?, e.parse().ok()?)),
+        (Some(_), None) => return None, // `+muls` without `+mems`
+    };
+    if parts.next().is_some() {
+        return None; // trailing `+...` garbage
+    }
+    Some(MachineSpec::custom(clusters, issue, units))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset_is_bit_identical_to_the_baseline() {
+        assert_eq!(
+            MachineSpec::Paper4x4.config(),
+            MachineConfig::paper_baseline()
+        );
+        assert_eq!(MachineSpec::default(), MachineSpec::Paper4x4);
+    }
+
+    #[test]
+    fn presets_lower_to_the_documented_geometries() {
+        let wide = MachineSpec::Wide2x8.config();
+        assert_eq!((wide.n_clusters, wide.issue_per_cluster), (2, 8));
+        assert_eq!(wide.total_issue(), 16);
+        let narrow = MachineSpec::Narrow8x2.config();
+        assert_eq!((narrow.n_clusters, narrow.issue_per_cluster), (8, 2));
+        assert_eq!(narrow.total_issue(), 16);
+        assert_eq!(narrow.branch_clusters, 0, "2-issue clusters: no branch");
+        let lite = MachineSpec::Lite4x4.config();
+        assert_eq!(lite.muls_per_cluster, 1);
+        assert_eq!(lite.mems_per_cluster, 1);
+        for p in MachineSpec::presets() {
+            assert!(p.runs_full_suite(), "{p} must run the Table-1 suite");
+        }
+    }
+
+    #[test]
+    fn preset_names_parse_and_roundtrip() {
+        for p in MachineSpec::presets() {
+            let name = p.preset_name().unwrap();
+            assert_eq!(name.parse::<MachineSpec>().unwrap(), p);
+            assert_eq!(p.label(), name);
+            // Case-insensitive, `_` for `-`.
+            assert_eq!(name.to_uppercase().parse::<MachineSpec>().unwrap(), p);
+            assert_eq!(name.replace('-', "_").parse::<MachineSpec>().unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn grammar_canonicalizes_to_presets() {
+        assert_eq!("4x4".parse::<MachineSpec>().unwrap(), MachineSpec::Paper4x4);
+        assert_eq!(
+            "4x4+2+1".parse::<MachineSpec>().unwrap(),
+            MachineSpec::Paper4x4
+        );
+        assert_eq!(
+            "4x4+1+1".parse::<MachineSpec>().unwrap(),
+            MachineSpec::Lite4x4
+        );
+        assert_eq!("2x8".parse::<MachineSpec>().unwrap(), MachineSpec::Wide2x8);
+        assert_eq!(
+            "8X2".parse::<MachineSpec>().unwrap(),
+            MachineSpec::Narrow8x2
+        );
+    }
+
+    #[test]
+    fn custom_geometries_roundtrip_through_display() {
+        for s in ["3x4", "2x8+1+2", "6x3", "8x8", "1x2"] {
+            let spec: MachineSpec = s.parse().unwrap();
+            assert_eq!(spec.to_string().parse::<MachineSpec>().unwrap(), spec);
+            assert!(spec.try_config().is_ok());
+        }
+        // `3x4` keeps its grammar label (it matches no preset).
+        assert_eq!("3x4".parse::<MachineSpec>().unwrap().label(), "3x4");
+    }
+
+    #[test]
+    fn forbidden_geometries_surface_machine_errors() {
+        assert!(matches!(
+            "0x4".parse::<MachineSpec>(),
+            Err(MachineError::BadClusterCount(0))
+        ));
+        assert!(matches!(
+            "9x4".parse::<MachineSpec>(),
+            Err(MachineError::BadClusterCount(9))
+        ));
+        assert!(matches!(
+            "4x0".parse::<MachineSpec>(),
+            Err(MachineError::BadIssueWidth(0))
+        ));
+        assert!(matches!(
+            "4x4+4+4".parse::<MachineSpec>(),
+            Err(MachineError::FixedUnitsExceedIssue { .. })
+        ));
+    }
+
+    #[test]
+    fn unintelligible_spellings_are_unknown_specs() {
+        for s in ["", "fast", "4", "4x", "x4", "4x4+2", "4x4+2+1+0", "axb"] {
+            assert!(
+                matches!(
+                    s.parse::<MachineSpec>(),
+                    Err(MachineError::UnknownSpec(ref u)) if u == s
+                ),
+                "{s:?} must be an unknown-spec error"
+            );
+        }
+    }
+
+    #[test]
+    fn alu_only_machines_do_not_run_the_suite() {
+        let spec: MachineSpec = "4x1".parse().unwrap();
+        assert!(!spec.runs_full_suite());
+        let no_mems: MachineSpec = "4x4+2+0".parse().unwrap();
+        assert!(!no_mems.runs_full_suite());
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the machine-spec grammar: every parsable spelling
+//! round-trips through `Display`, and every geometry `MachineError`
+//! forbids is rejected at parse time with that exact error.
+
+use proptest::prelude::*;
+use vliw_isa::{MachineError, MachineSpec};
+
+proptest! {
+    /// Bare `CxI` geometries in the legal range always parse, lower to the
+    /// requested shape, and round-trip `Display` → parse → the same spec.
+    #[test]
+    fn bare_geometries_roundtrip(c in 1u8..9, i in 1u8..9) {
+        let spec: MachineSpec = format!("{c}x{i}").parse().unwrap();
+        prop_assert_eq!(spec.label().parse::<MachineSpec>().unwrap(), spec);
+        let cfg = spec.try_config().unwrap();
+        prop_assert_eq!(cfg.n_clusters, c);
+        prop_assert_eq!(cfg.issue_per_cluster, i);
+        // Canonicalization only ever renames, never changes the machine.
+        if let Some(name) = spec.preset_name() {
+            prop_assert_eq!(name.parse::<MachineSpec>().unwrap().config(), cfg);
+        }
+    }
+
+    /// `CxI+muls+mems` either parses (when the fixed-slot units fit the
+    /// issue width) and round-trips, or is rejected with the exact
+    /// `FixedUnitsExceedIssue` error `MachineConfig::validate` raises.
+    #[test]
+    fn explicit_units_roundtrip_or_reject(
+        c in 1u8..9, i in 1u8..9, m in 0u8..9, e in 0u8..9,
+    ) {
+        let spelling = format!("{c}x{i}+{m}+{e}");
+        // `MachineConfig::new` grants issue-3+ clusters a branch slot,
+        // which `with_units` keeps: replicate the fixed-unit budget.
+        let fixed = m + e + u8::from(i >= 3);
+        match spelling.parse::<MachineSpec>() {
+            Ok(spec) => {
+                prop_assert!(fixed <= i, "{spelling} should have been rejected");
+                prop_assert_eq!(spec.label().parse::<MachineSpec>().unwrap(), spec);
+                let cfg = spec.try_config().unwrap();
+                prop_assert_eq!(cfg.muls_per_cluster, m);
+                prop_assert_eq!(cfg.mems_per_cluster, e);
+            }
+            Err(MachineError::FixedUnitsExceedIssue { .. }) => {
+                prop_assert!(fixed > i, "{spelling} should have parsed");
+            }
+            Err(other) => prop_assert!(false, "{spelling}: unexpected error {other}"),
+        }
+    }
+
+    /// Cluster counts and issue widths outside `1..=8` are rejected with
+    /// the matching geometry error, never silently clamped.
+    #[test]
+    fn out_of_range_geometries_are_rejected(big in 9u8..100, ok in 1u8..9) {
+        prop_assert!(matches!(
+            format!("{big}x{ok}").parse::<MachineSpec>(),
+            Err(MachineError::BadClusterCount(x)) if x == big
+        ));
+        prop_assert!(matches!(
+            format!("{ok}x{big}").parse::<MachineSpec>(),
+            Err(MachineError::BadIssueWidth(x)) if x == big
+        ));
+        prop_assert!(matches!(
+            format!("0x{ok}").parse::<MachineSpec>(),
+            Err(MachineError::BadClusterCount(0))
+        ));
+        prop_assert!(matches!(
+            format!("{ok}x0").parse::<MachineSpec>(),
+            Err(MachineError::BadIssueWidth(0))
+        ));
+    }
+}

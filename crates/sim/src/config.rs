@@ -2,7 +2,7 @@
 
 use crate::sched::SchedulerSpec;
 use vliw_core::{MergeScheme, PriorityPolicy};
-use vliw_isa::MachineConfig;
+use vliw_isa::{MachineConfig, MachineSpec};
 use vliw_mem::MemConfig;
 
 /// Everything a run needs besides the workload itself.
@@ -64,6 +64,15 @@ impl SimConfig {
         self
     }
 
+    /// Same configuration on a different machine geometry (named preset or
+    /// `CxI[+muls+mems]` spec — see [`MachineSpec`]). The spec lowers to a
+    /// validated [`MachineConfig`]; `with_machine(MachineSpec::Paper4x4)`
+    /// reproduces [`SimConfig::paper`]'s default machine bit-for-bit.
+    pub fn with_machine(mut self, machine: MachineSpec) -> Self {
+        self.machine = machine.config();
+        self
+    }
+
     /// Same configuration under a different OS scheduling policy.
     pub fn with_scheduler(mut self, scheduler: SchedulerSpec) -> Self {
         self.scheduler = scheduler;
@@ -100,6 +109,18 @@ mod tests {
         assert_eq!(c.instr_budget, 1_000, "instr budget floor");
         let c0 = SimConfig::paper(catalog::smt_cascade(4), 0);
         assert_eq!(c0.instr_budget, 100_000_000, "scale clamps to 1");
+    }
+
+    #[test]
+    fn with_machine_swaps_the_geometry() {
+        let c = SimConfig::paper(catalog::smt_cascade(4), 100);
+        assert_eq!(c.machine, MachineSpec::Paper4x4.config());
+        let c = c.with_machine(MachineSpec::Narrow8x2);
+        assert_eq!(c.machine.n_clusters, 8);
+        assert_eq!(c.machine.issue_per_cluster, 2);
+        // The paper preset restores the baseline bit-for-bit.
+        let back = c.with_machine(MachineSpec::Paper4x4);
+        assert_eq!(back.machine, MachineConfig::paper_baseline());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! All drivers take a `scale` divisor (1 = the paper's full
 //! 100M-instruction runs).
 
-use crate::plan::{MemoryModel, Plan, ResultSet, Session};
+use crate::plan::{MachineSpec, MemoryModel, Plan, ResultSet, Session};
 use crate::sched::SchedulerSpec;
 use std::sync::Arc;
 use vliw_core::catalog;
@@ -261,6 +261,71 @@ pub fn sched_ablation_means(set: &ResultSet) -> Vec<(SchedulerSpec, f64)> {
     set.scheduler_means(SCHED_ABLATION_SCHEME, MemoryModel::Real)
 }
 
+/// Schemes of the geometry sweep: the paper's reference points (1-thread,
+/// 4-thread CSMT, 4-thread SMT) plus the headline hybrid.
+pub const GEOMETRY_SCHEMES: [&str; 4] = ["ST", "3CCC", "2SC3", "3SSS"];
+
+/// One row of the geometry exhibit: a (machine, scheme) pair with its
+/// mean IPC and merge-control hardware cost on that machine's actual
+/// geometry.
+#[derive(Debug, Clone)]
+pub struct GeometryRow {
+    /// The machine geometry simulated (and priced).
+    pub machine: MachineSpec,
+    /// Scheme name.
+    pub scheme: String,
+    /// Mean IPC across the sweep's mixes, real memory.
+    pub mean_ipc: f64,
+    /// Merge-control transistors for this scheme on this geometry.
+    pub transistors: u64,
+    /// Merge-path gate delays for this scheme on this geometry.
+    pub gate_delays: u32,
+    /// Mean IPC per kilotransistor of merge-control logic (`None` for
+    /// schemes with no merge hardware, i.e. `ST`).
+    pub ipc_per_ktrans: Option<f64>,
+}
+
+/// The geometry sweep (beyond the paper): [`GEOMETRY_SCHEMES`] over every
+/// Table-2 mix across all [`MachineSpec::presets`] — Alipour &
+/// Taghdisi-style "which architecture suits how much TLP", with the
+/// hwcost model pricing each scheme on its actual geometry.
+pub fn geometry_plan(scale: u64) -> Plan {
+    Plan::new()
+        .schemes(GEOMETRY_SCHEMES)
+        .workloads(table2_mixes())
+        .machines(MachineSpec::presets())
+        .scale(scale)
+}
+
+/// Project an executed [`geometry_plan`] sweep into exhibit rows, machine
+/// outermost (preset order), schemes in [`GEOMETRY_SCHEMES`] order.
+pub fn geometry_data(set: &ResultSet) -> Vec<GeometryRow> {
+    let mut rows = Vec::new();
+    for &machine in set.machines() {
+        for scheme in set.schemes() {
+            let cost = set
+                .merge_cost(scheme.name(), machine)
+                .expect("geometry grid prices every scheme x machine");
+            rows.push(GeometryRow {
+                machine,
+                scheme: scheme.name().to_string(),
+                mean_ipc: set
+                    .mean_ipc_machine(scheme.name(), machine, MemoryModel::Real)
+                    .expect("geometry grid covers every scheme x machine"),
+                transistors: cost.transistors,
+                gate_delays: cost.gate_delays,
+                ipc_per_ktrans: set.ipc_per_area(scheme.name(), machine, MemoryModel::Real),
+            });
+        }
+    }
+    rows
+}
+
+/// Regenerate the geometry exhibit.
+pub fn geometry(scale: u64, parallelism: usize) -> Vec<GeometryRow> {
+    geometry_data(&geometry_plan(scale).run(&Session::with_parallelism(parallelism)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +369,38 @@ mod tests {
         for (spec, ipc) in &means {
             assert!(*ipc > 0.0, "{spec}: mean IPC must be positive");
         }
+    }
+
+    #[test]
+    fn geometry_sweep_covers_every_machine_and_prices_merge_logic() {
+        let set = geometry_plan(200_000).run(&Session::with_parallelism(4));
+        let rows = geometry_data(&set);
+        assert_eq!(
+            rows.len(),
+            MachineSpec::presets().len() * GEOMETRY_SCHEMES.len()
+        );
+        for r in &rows {
+            assert!(r.mean_ipc > 0.0, "{}/{}", r.machine, r.scheme);
+            if r.scheme == "ST" {
+                assert_eq!(r.transistors, 0, "ST has no merge hardware");
+                assert!(r.ipc_per_ktrans.is_none());
+            } else {
+                assert!(r.transistors > 0, "{}/{}", r.machine, r.scheme);
+                assert!(r.ipc_per_ktrans.unwrap() > 0.0);
+            }
+        }
+        // Cost follows geometry: 2 fat clusters price differently than the
+        // paper's 4x4 for the same scheme.
+        let t = |m: MachineSpec, s: &str| {
+            rows.iter()
+                .find(|r| r.machine == m && r.scheme == s)
+                .unwrap()
+                .transistors
+        };
+        assert_ne!(
+            t(MachineSpec::Paper4x4, "3SSS"),
+            t(MachineSpec::Wide2x8, "3SSS")
+        );
     }
 
     #[test]

@@ -32,10 +32,12 @@
 //! Entry points: [`Core`] for a bare multithreaded core, [`os::Machine`]
 //! for the timesliced multiprogramming layer, [`sched`] for the OS
 //! scheduling policies it drives, [`runner`] for the low-level experiment
-//! API (single runs and parallel fan-out), [`plan`] for the declarative
-//! sweep surface ([`Plan`] → [`ResultSet`] with keyed lookup and JSON/CSV
-//! exhibits), and [`experiments`] for the paper's figure-level drivers
-//! built on it. Fallible entry points return typed [`SimError`]s.
+//! API (single runs, parallel fan-out, the `(benchmark, machine)`-keyed
+//! image cache), [`plan`] for the declarative sweep surface ([`Plan`] →
+//! [`ResultSet`] with scheme/workload/scheduler/machine/memory axes,
+//! keyed lookup, per-geometry hwcost pricing and JSON/CSV exhibits), and
+//! [`experiments`] for the paper's figure-level drivers built on it.
+//! Fallible entry points return typed [`SimError`]s.
 
 pub mod config;
 pub mod core;
@@ -51,7 +53,7 @@ pub mod thread;
 pub use crate::core::Core;
 pub use config::SimConfig;
 pub use error::SimError;
-pub use plan::{MemoryModel, Plan, ResultSet, SchemeRef, Session, WorkloadRef};
+pub use plan::{MachineSpec, MemoryModel, Plan, ResultSet, SchemeRef, Session, WorkloadRef};
 pub use runner::{run_mix, run_single, RunResult};
 pub use sched::{Scheduler, SchedulerSpec};
 pub use stats::RunStats;

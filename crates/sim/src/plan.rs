@@ -29,10 +29,22 @@
 //!
 //! Besides the memory-model axis, plans can sweep the OS scheduling
 //! policy ([`Plan::schedulers`], a [`crate::sched::SchedulerSpec`] per
-//! cell, looked up via the `*_sched` accessors). A plan that never names
-//! a scheduler runs — and serializes — exactly as before under the
-//! default [`crate::sched::SchedulerSpec::PaperRandom`]; naming one adds
-//! a `scheduler` column/field to the CSV/JSON exhibits.
+//! cell, looked up via the `*_sched` accessors) and the machine geometry
+//! ([`Plan::machines`], a [`MachineSpec`] per cell — named presets like
+//! `paper-4x4`/`2x8`/`8x2`/`4x4-lite` or `CxI[+muls+mems]` grammar specs
+//! — looked up via the `*_machine` accessors; compiled images are cached
+//! per `(benchmark, machine)`, so geometries never share code). The grid
+//! expands schemes ▸ workloads ▸ schedulers ▸ machines ▸ memory. A plan
+//! that never names a scheduler or machine runs — and serializes — exactly
+//! as before under the defaults
+//! ([`crate::sched::SchedulerSpec::PaperRandom`], the paper's §5.1
+//! machine); naming one adds a `scheduler`/`machine` column/field to the
+//! CSV/JSON exhibits.
+//!
+//! With a machine axis in play, [`ResultSet`] also prices each cell's
+//! merge-control hardware for its *actual* geometry via `vliw-hwcost`
+//! ([`ResultSet::merge_cost`], [`ResultSet::ipc_per_area`]), so
+//! area/performance trade-offs sweep alongside IPC.
 
 use crate::config::SimConfig;
 use crate::os::Machine;
@@ -43,7 +55,10 @@ use crate::thread::SoftThread;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use vliw_core::{catalog, MergeScheme, PriorityPolicy};
+use vliw_hwcost::{scheme_cost, SchemeCost};
 use vliw_workloads::{benchmark, mixes, BenchmarkSpec, WorkloadMix};
+
+pub use vliw_isa::MachineSpec;
 
 /// The memory-model axis of a sweep: the paper's IPCr (real caches) vs
 /// IPCp (perfect memory) measurements.
@@ -296,6 +311,8 @@ pub struct JobKey {
     pub workload: WorkloadRef,
     /// The OS scheduling policy used.
     pub scheduler: SchedulerSpec,
+    /// The machine geometry simulated.
+    pub machine: MachineSpec,
     /// The memory model used.
     pub memory: MemoryModel,
 }
@@ -350,6 +367,7 @@ pub struct Plan {
     schemes: Vec<SchemeRef>,
     workloads: Vec<WorkloadRef>,
     schedulers: Vec<SchedulerSpec>,
+    machines: Vec<MachineSpec>,
     axes: Vec<MemoryModel>,
     scale: u64,
     priority: PriorityPolicy,
@@ -365,6 +383,7 @@ impl Plan {
             schemes: Vec::new(),
             workloads: Vec::new(),
             schedulers: Vec::new(),
+            machines: Vec::new(),
             axes: Vec::new(),
             scale: 20,
             priority: PriorityPolicy::RoundRobin,
@@ -433,6 +452,37 @@ impl Plan {
         self
     }
 
+    /// Add one machine geometry to the machine axis (named preset or
+    /// grammar spec; duplicates — by label — are ignored). The spec is
+    /// validated here, so plans fail at build time, not mid-sweep. A plan
+    /// that never names a machine runs on the paper's §5.1 geometry only,
+    /// with unchanged (pre-axis) serialization bytes; an explicit axis
+    /// adds a `machine` column/field to the exhibits.
+    ///
+    /// Note the Table-1 suite needs at least one multiplier and one memory
+    /// unit per cluster (see [`MachineSpec::runs_full_suite`]); sweeping
+    /// leaner geometries is only possible with custom ALU-only workloads.
+    pub fn machine(mut self, machine: MachineSpec) -> Self {
+        // Lowering validates (panics with the MachineError for hand-built
+        // invalid customs) and gives label-level dedup: two spec spellings
+        // of one geometry would collide as serialized keys.
+        let _ = machine.config();
+        if !self.machines.iter().any(|m| m.label() == machine.label()) {
+            self.machines.push(machine);
+        }
+        self
+    }
+
+    /// Add several machine geometries (e.g.
+    /// [`MachineSpec::presets()`](MachineSpec::presets) for the full
+    /// catalog).
+    pub fn machines<I: IntoIterator<Item = MachineSpec>>(mut self, machines: I) -> Self {
+        for m in machines {
+            self = self.machine(m);
+        }
+        self
+    }
+
     /// Add a memory-model axis (duplicates are ignored). A plan with no
     /// explicit axis runs with real memory only.
     pub fn axis(mut self, axis: MemoryModel) -> Self {
@@ -487,25 +537,38 @@ impl Plan {
         }
     }
 
+    /// The machine axis this plan actually sweeps.
+    fn effective_machines(&self) -> Vec<MachineSpec> {
+        if self.machines.is_empty() {
+            vec![MachineSpec::Paper4x4]
+        } else {
+            self.machines.clone()
+        }
+    }
+
     /// Expand the plan into its deterministic job grid, row-major: schemes
-    /// outermost, then workloads, then schedulers, memory models
-    /// innermost.
+    /// outermost, then workloads, then schedulers, then machines, memory
+    /// models innermost.
     pub fn jobs(&self) -> Vec<JobKey> {
         let scheds = self.effective_schedulers();
+        let machines = self.effective_machines();
         let axes = self.effective_axes();
         let mut out = Vec::with_capacity(
-            self.schemes.len() * self.workloads.len() * scheds.len() * axes.len(),
+            self.schemes.len() * self.workloads.len() * scheds.len() * machines.len() * axes.len(),
         );
         for scheme in &self.schemes {
             for workload in &self.workloads {
                 for &scheduler in &scheds {
-                    for &memory in &axes {
-                        out.push(JobKey {
-                            scheme: scheme.clone(),
-                            workload: workload.clone(),
-                            scheduler,
-                            memory,
-                        });
+                    for &machine in &machines {
+                        for &memory in &axes {
+                            out.push(JobKey {
+                                scheme: scheme.clone(),
+                                workload: workload.clone(),
+                                scheduler,
+                                machine,
+                                memory,
+                            });
+                        }
                     }
                 }
             }
@@ -515,7 +578,8 @@ impl Plan {
 
     /// The simulation configuration of one job.
     fn config_for(&self, key: &JobKey) -> SimConfig {
-        let mut cfg = SimConfig::paper(key.scheme.scheme().clone(), self.scale);
+        let mut cfg =
+            SimConfig::paper(key.scheme.scheme().clone(), self.scale).with_machine(key.machine);
         cfg.priority = self.priority;
         cfg.scheduler = key.scheduler;
         if let Some(seed) = self.seed {
@@ -585,6 +649,8 @@ impl Plan {
             workloads: self.workloads.clone(),
             schedulers: self.effective_schedulers(),
             sched_axis_explicit: !self.schedulers.is_empty(),
+            machines: self.effective_machines(),
+            machine_axis_explicit: !self.machines.is_empty(),
             axes: self.effective_axes(),
             scale: self.scale,
             priority: self.priority,
@@ -603,9 +669,9 @@ impl Default for Plan {
 /// The keyed results of one executed [`Plan`].
 ///
 /// Storage is row-major over the plan's grid — schemes outermost, then
-/// workloads, then schedulers, memory axes innermost — the same guarantee
-/// [`runner::run_sweep`] documents, so positional consumers and keyed
-/// lookups always agree.
+/// workloads, then schedulers, then machines, memory axes innermost — the
+/// same guarantee [`runner::run_sweep`] documents, so positional consumers
+/// and keyed lookups always agree.
 #[derive(Debug, Clone)]
 pub struct ResultSet {
     schemes: Vec<SchemeRef>,
@@ -615,6 +681,10 @@ pub struct ResultSet {
     /// `scheduler` column/field in serialized exhibits so default plans
     /// keep their pre-axis byte format.
     sched_axis_explicit: bool,
+    machines: Vec<MachineSpec>,
+    /// Whether the plan named machines explicitly. Gates the `machine`
+    /// column/field exactly like `sched_axis_explicit`.
+    machine_axis_explicit: bool,
     axes: Vec<MemoryModel>,
     scale: u64,
     priority: PriorityPolicy,
@@ -625,7 +695,7 @@ pub struct ResultSet {
 impl ResultSet {
     /// Header shared by [`ResultSet::to_csv`] and the `paper` binary's
     /// combined `--csv` export, for plans without an explicit scheduler
-    /// axis.
+    /// or machine axis.
     pub const CSV_HEADER: &'static str = "scheme,workload,memory,ipc,cycles,instrs,ops";
 
     /// [`ResultSet::CSV_HEADER`] with the `scheduler` column, used when
@@ -633,14 +703,43 @@ impl ResultSet {
     pub const CSV_HEADER_SCHED: &'static str =
         "scheme,workload,scheduler,memory,ipc,cycles,instrs,ops";
 
+    /// [`ResultSet::CSV_HEADER`] with the `machine` column, used when the
+    /// plan named machines explicitly.
+    pub const CSV_HEADER_MACHINE: &'static str =
+        "scheme,workload,machine,memory,ipc,cycles,instrs,ops";
+
+    /// The full header: both the `scheduler` and `machine` columns, for
+    /// plans naming both axes explicitly.
+    pub const CSV_HEADER_SCHED_MACHINE: &'static str =
+        "scheme,workload,scheduler,machine,memory,ipc,cycles,instrs,ops";
+
+    /// The CSV header for a given column shape (see
+    /// [`ResultSet::csv_rows_shaped`]).
+    pub const fn csv_header_for(with_sched: bool, with_machine: bool) -> &'static str {
+        match (with_sched, with_machine) {
+            (false, false) => Self::CSV_HEADER,
+            (true, false) => Self::CSV_HEADER_SCHED,
+            (false, true) => Self::CSV_HEADER_MACHINE,
+            (true, true) => Self::CSV_HEADER_SCHED_MACHINE,
+        }
+    }
+
     /// The CSV header matching this set's [`ResultSet::to_csv`] /
     /// [`ResultSet::csv_rows`] output.
     pub fn csv_header(&self) -> &'static str {
-        if self.sched_axis_explicit {
-            Self::CSV_HEADER_SCHED
-        } else {
-            Self::CSV_HEADER
-        }
+        Self::csv_header_for(self.sched_axis_explicit, self.machine_axis_explicit)
+    }
+
+    /// Whether the plan named schedulers explicitly (what gates the
+    /// `scheduler` column/field in this set's own serialization).
+    pub fn sched_axis_is_explicit(&self) -> bool {
+        self.sched_axis_explicit
+    }
+
+    /// Whether the plan named machines explicitly (what gates the
+    /// `machine` column/field in this set's own serialization).
+    pub fn machine_axis_is_explicit(&self) -> bool {
+        self.machine_axis_explicit
     }
 
     /// Schemes of the grid, in plan order.
@@ -657,6 +756,12 @@ impl ResultSet {
     /// `[PaperRandom]` when the plan named none).
     pub fn schedulers(&self) -> &[SchedulerSpec] {
         &self.schedulers
+    }
+
+    /// Machine geometries of the grid, in plan order (the default
+    /// `[Paper4x4]` when the plan named none).
+    pub fn machines(&self) -> &[MachineSpec] {
+        &self.machines
     }
 
     /// Memory axes of the grid, in plan order.
@@ -695,23 +800,31 @@ impl ResultSet {
         scheme: &str,
         workload: &str,
         scheduler: SchedulerSpec,
+        machine: MachineSpec,
         memory: MemoryModel,
     ) -> Option<usize> {
         let s = self.schemes.iter().position(|x| x.name() == scheme)?;
         let w = self.workloads.iter().position(|x| x.name() == workload)?;
         let c = self.schedulers.iter().position(|&x| x == scheduler)?;
+        let m = self.machines.iter().position(|&x| x == machine)?;
         let a = self.axes.iter().position(|&x| x == memory)?;
-        Some(((s * self.workloads.len() + w) * self.schedulers.len() + c) * self.axes.len() + a)
+        Some(
+            ((((s * self.workloads.len() + w) * self.schedulers.len() + c) * self.machines.len())
+                + m)
+                * self.axes.len()
+                + a,
+        )
     }
 
-    /// Keyed lookup of one cell under the plan's *first* scheduler (the
-    /// only one for plans without an explicit scheduler axis). Use
-    /// [`ResultSet::get_sched`] to address a swept scheduler explicitly.
+    /// Keyed lookup of one cell under the plan's *first* scheduler and
+    /// *first* machine (the only ones for plans without those explicit
+    /// axes). Use [`ResultSet::get_sched`] / [`ResultSet::get_machine`] /
+    /// [`ResultSet::get_cell`] to address swept axes explicitly.
     pub fn get(&self, scheme: &str, workload: &str, memory: MemoryModel) -> Option<&RunResult> {
         self.get_sched(scheme, workload, *self.schedulers.first()?, memory)
     }
 
-    /// Keyed lookup of one cell, scheduler included.
+    /// Keyed lookup of one cell, scheduler included (first machine).
     pub fn get_sched(
         &self,
         scheme: &str,
@@ -719,11 +832,35 @@ impl ResultSet {
         scheduler: SchedulerSpec,
         memory: MemoryModel,
     ) -> Option<&RunResult> {
-        self.results
-            .get(self.position(scheme, workload, scheduler, memory)?)
+        self.get_cell(scheme, workload, scheduler, *self.machines.first()?, memory)
     }
 
-    /// IPC of one cell (first scheduler; see [`ResultSet::get`]).
+    /// Keyed lookup of one cell, machine included (first scheduler).
+    pub fn get_machine(
+        &self,
+        scheme: &str,
+        workload: &str,
+        machine: MachineSpec,
+        memory: MemoryModel,
+    ) -> Option<&RunResult> {
+        self.get_cell(scheme, workload, *self.schedulers.first()?, machine, memory)
+    }
+
+    /// Keyed lookup of one cell by its full grid key.
+    pub fn get_cell(
+        &self,
+        scheme: &str,
+        workload: &str,
+        scheduler: SchedulerSpec,
+        machine: MachineSpec,
+        memory: MemoryModel,
+    ) -> Option<&RunResult> {
+        self.results
+            .get(self.position(scheme, workload, scheduler, machine, memory)?)
+    }
+
+    /// IPC of one cell (first scheduler and machine; see
+    /// [`ResultSet::get`]).
     pub fn ipc(&self, scheme: &str, workload: &str, memory: MemoryModel) -> Option<f64> {
         self.get(scheme, workload, memory).map(RunResult::ipc)
     }
@@ -737,6 +874,18 @@ impl ResultSet {
         memory: MemoryModel,
     ) -> Option<f64> {
         self.get_sched(scheme, workload, scheduler, memory)
+            .map(RunResult::ipc)
+    }
+
+    /// IPC of one cell, machine included.
+    pub fn ipc_machine(
+        &self,
+        scheme: &str,
+        workload: &str,
+        machine: MachineSpec,
+        memory: MemoryModel,
+    ) -> Option<f64> {
+        self.get_machine(scheme, workload, machine, memory)
             .map(RunResult::ipc)
     }
 
@@ -766,18 +915,21 @@ impl ResultSet {
     /// Iterate `(key, result)` pairs in row-major grid order.
     pub fn iter(&self) -> impl Iterator<Item = (JobKey, &RunResult)> + '_ {
         let na = self.axes.len();
+        let nm = self.machines.len();
         let nc = self.schedulers.len();
         let nw = self.workloads.len();
         self.results.iter().enumerate().map(move |(i, r)| {
             let a = i % na;
-            let c = (i / na) % nc;
-            let w = (i / (na * nc)) % nw;
-            let s = i / (na * nc * nw);
+            let m = (i / na) % nm;
+            let c = (i / (na * nm)) % nc;
+            let w = (i / (na * nm * nc)) % nw;
+            let s = i / (na * nm * nc * nw);
             (
                 JobKey {
                     scheme: self.schemes[s].clone(),
                     workload: self.workloads[w].clone(),
                     scheduler: self.schedulers[c],
+                    machine: self.machines[m],
                     memory: self.axes[a],
                 },
                 r,
@@ -785,32 +937,59 @@ impl ResultSet {
         })
     }
 
+    /// Mean IPC over all workloads for one fully-specified
+    /// (scheme, scheduler, machine, memory) combination.
+    fn mean_over_workloads(
+        &self,
+        scheme: &str,
+        scheduler: SchedulerSpec,
+        machine: MachineSpec,
+        memory: MemoryModel,
+    ) -> Option<f64> {
+        self.schemes.iter().find(|s| s.name() == scheme)?;
+        self.axes.iter().find(|&&a| a == memory)?;
+        self.schedulers.iter().find(|&&c| c == scheduler)?;
+        self.machines.iter().find(|&&m| m == machine)?;
+        let xs: Vec<f64> = self
+            .workloads
+            .iter()
+            .filter_map(|w| {
+                self.get_cell(scheme, w.name(), scheduler, machine, memory)
+                    .map(RunResult::ipc)
+            })
+            .collect();
+        if xs.is_empty() {
+            return None;
+        }
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+
     /// Mean IPC of one scheme across all workloads on one memory axis
-    /// (first scheduler; see [`ResultSet::get`]).
+    /// (first scheduler and machine; see [`ResultSet::get`]).
     pub fn mean_ipc(&self, scheme: &str, memory: MemoryModel) -> Option<f64> {
         self.mean_ipc_sched(scheme, *self.schedulers.first()?, memory)
     }
 
     /// Mean IPC of one scheme across all workloads on one memory axis,
-    /// under one scheduler.
+    /// under one scheduler (first machine).
     pub fn mean_ipc_sched(
         &self,
         scheme: &str,
         scheduler: SchedulerSpec,
         memory: MemoryModel,
     ) -> Option<f64> {
-        self.schemes.iter().find(|s| s.name() == scheme)?;
-        self.axes.iter().find(|&&a| a == memory)?;
-        self.schedulers.iter().find(|&&c| c == scheduler)?;
-        let xs: Vec<f64> = self
-            .workloads
-            .iter()
-            .filter_map(|w| self.ipc_sched(scheme, w.name(), scheduler, memory))
-            .collect();
-        if xs.is_empty() {
-            return None;
-        }
-        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+        self.mean_over_workloads(scheme, scheduler, *self.machines.first()?, memory)
+    }
+
+    /// Mean IPC of one scheme across all workloads on one memory axis, on
+    /// one machine geometry (first scheduler).
+    pub fn mean_ipc_machine(
+        &self,
+        scheme: &str,
+        machine: MachineSpec,
+        memory: MemoryModel,
+    ) -> Option<f64> {
+        self.mean_over_workloads(scheme, *self.schedulers.first()?, machine, memory)
     }
 
     /// Mean IPC of every scheduler (plan order) for one scheme on one
@@ -820,6 +999,49 @@ impl ResultSet {
             .iter()
             .filter_map(|&c| self.mean_ipc_sched(scheme, c, memory).map(|m| (c, m)))
             .collect()
+    }
+
+    /// Mean IPC of every machine geometry (plan order) for one scheme on
+    /// one memory axis — the design-space view.
+    pub fn machine_means(&self, scheme: &str, memory: MemoryModel) -> Vec<(MachineSpec, f64)> {
+        self.machines
+            .iter()
+            .filter_map(|&m| self.mean_ipc_machine(scheme, m, memory).map(|x| (m, x)))
+            .collect()
+    }
+
+    /// Gate-level cost of one scheme's merge-control hardware priced for
+    /// one machine geometry of this grid (transistors, gate delays — see
+    /// [`vliw_hwcost::scheme_cost()`]). `None` when the scheme or machine is
+    /// not part of the grid; the cost is per-geometry, so an `8x2` machine
+    /// prices 8 clusters of 2-issue merge logic, not the paper's 4×4.
+    pub fn merge_cost(&self, scheme: &str, machine: MachineSpec) -> Option<SchemeCost> {
+        let s = self.schemes.iter().find(|s| s.name() == scheme)?;
+        self.machines.iter().find(|&&m| m == machine)?;
+        let cfg = machine.config();
+        Some(scheme_cost(
+            s.scheme(),
+            cfg.n_clusters,
+            cfg.issue_per_cluster,
+        ))
+    }
+
+    /// Area efficiency of one (scheme, machine) pair: mean IPC across the
+    /// grid's workloads per *kilotransistor* of merge-control hardware on
+    /// that machine's actual geometry (first scheduler). Absolute values
+    /// inherit the cost model's calibration; orderings are structural.
+    pub fn ipc_per_area(
+        &self,
+        scheme: &str,
+        machine: MachineSpec,
+        memory: MemoryModel,
+    ) -> Option<f64> {
+        let cost = self.merge_cost(scheme, machine)?;
+        let ipc = self.mean_ipc_machine(scheme, machine, memory)?;
+        if cost.transistors == 0 {
+            return None;
+        }
+        Some(ipc / (cost.transistors as f64 / 1000.0))
     }
 
     /// Mean IPC of every scheme (plan order) on one memory axis.
@@ -883,6 +1105,15 @@ impl ResultSet {
                 json_string(&mut s, c.name());
             }
         }
+        if self.machine_axis_explicit {
+            s.push_str("],\"machines\":[");
+            for (i, m) in self.machines.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                json_string(&mut s, &m.label());
+            }
+        }
         s.push_str("],\"axes\":[");
         for (i, a) in self.axes.iter().enumerate() {
             if i > 0 {
@@ -902,6 +1133,10 @@ impl ResultSet {
             if self.sched_axis_explicit {
                 s.push_str(",\"scheduler\":");
                 json_string(&mut s, key.scheduler.name());
+            }
+            if self.machine_axis_explicit {
+                s.push_str(",\"machine\":");
+                json_string(&mut s, &key.machine.label());
             }
             s.push_str(",\"memory\":");
             json_string(&mut s, key.memory.label());
@@ -962,9 +1197,35 @@ impl ResultSet {
     /// with that id (for combined multi-exhibit exports — prepend
     /// `"exhibit,"` to [`ResultSet::csv_header`]). Names are CSV-quoted
     /// when needed, since computed scheme/workload names may contain
-    /// delimiters. The `scheduler` column appears exactly when the plan
-    /// named schedulers explicitly.
+    /// delimiters. The `scheduler`/`machine` columns appear exactly when
+    /// the plan named those axes explicitly.
     pub fn csv_rows(&self, exhibit: Option<&str>) -> String {
+        self.csv_rows_shaped(
+            exhibit,
+            self.sched_axis_explicit,
+            self.machine_axis_explicit,
+        )
+    }
+
+    /// [`ResultSet::csv_rows`] in an externally-imposed column shape, for
+    /// combined multi-set exports whose sets disagree on axis
+    /// explicitness: pass the *union* of the sets' explicit axes (each
+    /// flag must be at least this set's own — forcing a column *off* that
+    /// the set swept would be ambiguous and panics) and every row matches
+    /// one [`ResultSet::csv_header_for`] header. Forced-on columns carry
+    /// the cell's actual scheduler/machine, i.e. the defaults for sets
+    /// that never named that axis.
+    pub fn csv_rows_shaped(
+        &self,
+        exhibit: Option<&str>,
+        with_sched: bool,
+        with_machine: bool,
+    ) -> String {
+        assert!(
+            (with_sched || !self.sched_axis_explicit)
+                && (with_machine || !self.machine_axis_explicit),
+            "cannot drop a swept axis column: rows of different cells would collide"
+        );
         let mut s = String::new();
         for (key, r) in self.iter() {
             if let Some(id) = exhibit {
@@ -975,8 +1236,12 @@ impl ResultSet {
             s.push(',');
             s.push_str(&csv_field(key.workload.name()));
             s.push(',');
-            if self.sched_axis_explicit {
+            if with_sched {
                 s.push_str(key.scheduler.name());
+                s.push(',');
+            }
+            if with_machine {
+                s.push_str(&key.machine.label());
                 s.push(',');
             }
             let _ = writeln!(
@@ -1150,6 +1415,166 @@ mod tests {
         assert!(!json.contains("\"scheduler\""), "no per-cell field");
         assert!(!json.contains("\"migrations\""), "no new metrics");
         assert_eq!(set.to_csv().lines().next(), Some(ResultSet::CSV_HEADER));
+    }
+
+    #[test]
+    fn machine_axis_expands_between_schedulers_and_memory() {
+        let plan = Plan::new()
+            .schemes(["ST", "1S"])
+            .workload("idct")
+            .machines([MachineSpec::Paper4x4, MachineSpec::Narrow8x2])
+            .axes([MemoryModel::Real, MemoryModel::Perfect]);
+        let jobs = plan.jobs();
+        // 2 schemes x 1 workload x 1 scheduler x 2 machines x 2 memory.
+        assert_eq!(jobs.len(), 8);
+        assert_eq!(jobs[0].machine, MachineSpec::Paper4x4);
+        assert_eq!(jobs[0].memory, MemoryModel::Real);
+        assert_eq!(jobs[1].machine, MachineSpec::Paper4x4);
+        assert_eq!(jobs[1].memory, MemoryModel::Perfect);
+        assert_eq!(jobs[2].machine, MachineSpec::Narrow8x2);
+        assert_eq!(jobs[4].scheme.name(), "1S");
+    }
+
+    #[test]
+    fn machine_axis_deduplicates_by_label() {
+        // `4x4+2+1` canonicalizes to the paper preset; listing both must
+        // leave one machine, not two cells with one serialized label.
+        let plan = Plan::new()
+            .machine(MachineSpec::Paper4x4)
+            .machine("4x4+2+1".parse().unwrap())
+            .machine(MachineSpec::Wide2x8);
+        assert_eq!(
+            plan.effective_machines(),
+            vec![MachineSpec::Paper4x4, MachineSpec::Wide2x8]
+        );
+        // No machine named: the paper geometry, alone.
+        assert_eq!(
+            Plan::new().effective_machines(),
+            vec![MachineSpec::Paper4x4]
+        );
+    }
+
+    #[test]
+    fn machine_sweep_is_keyed_serialized_and_priced() {
+        let set = Plan::new()
+            .schemes(["ST", "2SC3"])
+            .workload("LLHH")
+            .machines([MachineSpec::Paper4x4, MachineSpec::Wide2x8])
+            .scale(100_000)
+            .run(&Session::with_parallelism(2));
+        assert_eq!(set.len(), 4);
+        // 3-arg lookup resolves the first machine of the axis.
+        assert_eq!(
+            set.get("2SC3", "LLHH", MemoryModel::Real)
+                .unwrap()
+                .stats
+                .cycles,
+            set.get_machine("2SC3", "LLHH", MachineSpec::Paper4x4, MemoryModel::Real)
+                .unwrap()
+                .stats
+                .cycles
+        );
+        for m in [MachineSpec::Paper4x4, MachineSpec::Wide2x8] {
+            let r = set
+                .get_machine("2SC3", "LLHH", m, MemoryModel::Real)
+                .unwrap_or_else(|| panic!("missing {m} cell"));
+            assert!(r.ipc() > 0.0);
+        }
+        // The geometries genuinely differ (different compiled schedules).
+        assert_ne!(
+            set.get_machine("2SC3", "LLHH", MachineSpec::Paper4x4, MemoryModel::Real)
+                .unwrap()
+                .stats
+                .cycles,
+            set.get_machine("2SC3", "LLHH", MachineSpec::Wide2x8, MemoryModel::Real)
+                .unwrap()
+                .stats
+                .cycles,
+            "machine axis must be a real axis, not a relabeling"
+        );
+        let means = set.machine_means("2SC3", MemoryModel::Real);
+        assert_eq!(means.len(), 2);
+        // hwcost coupling: costs follow the actual geometry, and the
+        // area-efficiency aggregation is defined for merging schemes.
+        let paper_cost = set.merge_cost("2SC3", MachineSpec::Paper4x4).unwrap();
+        let wide_cost = set.merge_cost("2SC3", MachineSpec::Wide2x8).unwrap();
+        assert!(paper_cost.transistors > 0);
+        assert_ne!(
+            paper_cost.transistors, wide_cost.transistors,
+            "cost must be priced per geometry"
+        );
+        let eff = set
+            .ipc_per_area("2SC3", MachineSpec::Paper4x4, MemoryModel::Real)
+            .unwrap();
+        assert!(eff > 0.0);
+        // ST has no merge hardware: no area, no efficiency number.
+        assert!(set
+            .ipc_per_area("ST", MachineSpec::Paper4x4, MemoryModel::Real)
+            .is_none());
+        // Serialized exhibits carry the axis and per-cell labels.
+        let json = set.to_json();
+        assert!(
+            json.contains("\"machines\":[\"paper-4x4\",\"2x8\"]"),
+            "{json}"
+        );
+        assert!(json.contains("\"machine\":\"2x8\""));
+        let csv = set.to_csv();
+        assert_eq!(csv.lines().next(), Some(ResultSet::CSV_HEADER_MACHINE));
+        assert!(csv.lines().any(|l| l.starts_with("2SC3,LLHH,2x8,real,")));
+    }
+
+    #[test]
+    fn default_plans_have_no_machine_serialization() {
+        let set = Plan::new()
+            .scheme("ST")
+            .workload("idct")
+            .scale(100_000)
+            .run(&Session::with_parallelism(1));
+        let json = set.to_json();
+        assert!(!json.contains("\"machines\""), "no axis array: {json}");
+        assert!(!json.contains("\"machine\""), "no per-cell field");
+        assert_eq!(set.to_csv().lines().next(), Some(ResultSet::CSV_HEADER));
+        // The implicit machine is still addressable.
+        assert_eq!(set.machines(), &[MachineSpec::Paper4x4]);
+    }
+
+    #[test]
+    fn both_axes_explicit_order_scheduler_then_machine() {
+        let set = Plan::new()
+            .scheme("1S")
+            .workload("idct")
+            .scheduler(SchedulerSpec::Icount)
+            .machine(MachineSpec::Lite4x4)
+            .scale(100_000)
+            .run(&Session::with_parallelism(1));
+        assert_eq!(set.csv_header(), ResultSet::CSV_HEADER_SCHED_MACHINE);
+        let csv = set.to_csv();
+        assert!(
+            csv.lines()
+                .any(|l| l.starts_with("1S,idct,icount,4x4-lite,real,")),
+            "{csv}"
+        );
+        let json = set.to_json();
+        assert!(json.contains("\"scheduler\":\"icount\",\"machine\":\"4x4-lite\""));
+        assert!(set
+            .get_cell(
+                "1S",
+                "idct",
+                SchedulerSpec::Icount,
+                MachineSpec::Lite4x4,
+                MemoryModel::Real
+            )
+            .is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster count 0")]
+    fn invalid_machine_specs_fail_at_plan_build_time() {
+        let _ = Plan::new().machine(MachineSpec::Custom {
+            clusters: 0,
+            issue: 4,
+            units: None,
+        });
     }
 
     #[test]

@@ -41,13 +41,17 @@ pub type CachedImage = Arc<(BenchmarkImage, Arc<ProgramMeta>)>;
 /// Cache of compiled benchmark images (compilation is deterministic, so
 /// sharing across runs and threads is sound).
 ///
-/// Keys are owned benchmark names, so custom/generated specs with computed
-/// names cache exactly like the Table-1 suite. The name is the identity: two
-/// different specs sharing a name would alias, so give custom specs unique
-/// names.
+/// Keys are `(benchmark name, machine geometry)` pairs: schedules are
+/// geometry-specific, so the same benchmark compiled for two different
+/// [`vliw_isa::MachineConfig`]s yields two distinct cache entries (the old
+/// name-only keying silently shared one machine's code with every other —
+/// a latent aliasing bug while only one geometry existed). Names are owned,
+/// so custom/generated specs with computed names cache exactly like the
+/// Table-1 suite; within one machine the name is the identity, and two
+/// different specs sharing a name are rejected.
 #[derive(Default)]
 pub struct ImageCache {
-    map: Mutex<HashMap<Arc<str>, CachedImage>>,
+    map: Mutex<HashMap<(Arc<str>, vliw_isa::MachineConfig), CachedImage>>,
 }
 
 impl ImageCache {
@@ -56,7 +60,8 @@ impl ImageCache {
         Self::default()
     }
 
-    /// Get or build the image + metadata for a Table-1 benchmark by name.
+    /// Get or build the image + metadata for a Table-1 benchmark by name,
+    /// compiled for `machine`.
     ///
     /// Panics when `name` is not in the Table-1 suite; custom specs go
     /// through [`ImageCache::get_spec`].
@@ -65,8 +70,8 @@ impl ImageCache {
         self.get_spec(spec, machine)
     }
 
-    /// Get or build the image + metadata for an arbitrary benchmark spec
-    /// (keyed by `spec.name`).
+    /// Get or build the image + metadata for an arbitrary benchmark spec,
+    /// compiled for `machine` (keyed by `(spec.name, machine)`).
     ///
     /// The map lock is *not* held while compiling, so concurrent workers
     /// warming different benchmarks compile in parallel. Two workers racing
@@ -74,30 +79,40 @@ impl ImageCache {
     /// deterministic, so the results are identical); the first insert wins
     /// and the loser's copy is dropped.
     pub fn get_spec(&self, spec: &BenchmarkSpec, machine: &vliw_isa::MachineConfig) -> CachedImage {
-        if let Some(hit) = self.map.lock().get(&*spec.name) {
-            Self::check_identity(&hit.0.spec, spec);
+        let key = (spec.name.clone(), machine.clone());
+        if let Some(hit) = self.map.lock().get(&key) {
+            Self::check_identity(&hit.0, spec, machine);
             return hit.clone();
         }
         let img = build(spec, machine);
         let meta = Arc::new(ProgramMeta::of(&img));
         let built: CachedImage = Arc::new((img, meta));
-        let cached = self
-            .map
-            .lock()
-            .entry(spec.name.clone())
-            .or_insert(built)
-            .clone();
-        // Two workers racing on the same *name* must have been building the
-        // same *spec*, or the loser would silently run the winner's image.
-        Self::check_identity(&cached.0.spec, spec);
+        let cached = self.map.lock().entry(key).or_insert(built).clone();
+        // Two workers racing on the same key must have been building the
+        // same spec for the same geometry, or the loser would silently run
+        // the winner's image.
+        Self::check_identity(&cached.0, spec, machine);
         cached
     }
 
-    fn check_identity(cached: &BenchmarkSpec, requested: &BenchmarkSpec) {
+    /// The cache-identity invariant: an entry serves a request only when
+    /// both the benchmark spec *and* the machine geometry match what the
+    /// image was built from.
+    fn check_identity(
+        cached: &BenchmarkImage,
+        requested: &BenchmarkSpec,
+        machine: &vliw_isa::MachineConfig,
+    ) {
         assert!(
-            cached == requested,
+            cached.spec == *requested,
             "image cache already holds a different spec named {:?}; names are the cache \
              identity, so rename the variant",
+            requested.name
+        );
+        assert!(
+            cached.machine == *machine,
+            "image cache entry for {:?} was compiled for a different machine geometry; \
+             images must only run on the machine they were built for",
             requested.name
         );
     }
@@ -271,6 +286,22 @@ mod tests {
         let r = run_single(&cache, &cfg, &dynamic).unwrap();
         assert_eq!(r.workload, "idct");
         assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn cache_distinguishes_machine_geometries() {
+        // The old name-only keying silently served one geometry's code to
+        // every other; distinct machines must compile distinct images.
+        let cache = ImageCache::new();
+        let paper = vliw_isa::MachineSpec::Paper4x4.config();
+        let narrow = vliw_isa::MachineSpec::Narrow8x2.config();
+        let a = cache.get("idct", &paper);
+        let b = cache.get("idct", &narrow);
+        assert!(!Arc::ptr_eq(&a, &b), "geometries must not share images");
+        assert_eq!(a.0.machine, paper);
+        assert_eq!(b.0.machine, narrow);
+        // Same geometry still hits.
+        assert!(Arc::ptr_eq(&a, &cache.get("idct", &paper)));
     }
 
     #[test]

@@ -45,6 +45,7 @@ fn hand_built_kernel_runs_cycle_accurately() {
     // Run it raw through a single-thread core with perfect memory.
     let image = workloads::BenchmarkImage {
         spec: workloads::benchmark("mcf").unwrap().clone(), // spec irrelevant here
+        machine: machine.clone(),
         program,
         streams: vec![],
     };

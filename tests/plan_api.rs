@@ -1,9 +1,10 @@
 //! Integration coverage for the typed experiment-plan API: keyed lookup vs
 //! row-major order across worker counts, serialization round-trips,
-//! byte-stability of the exhibits, and the scheduler axis (determinism +
-//! thread conservation under every built-in policy).
+//! byte-stability of the exhibits, and the scheduler and machine axes
+//! (determinism + thread conservation under every built-in policy,
+//! per-geometry compilation and pricing).
 
-use vliw_tms::sim::plan::{MemoryModel, Plan, ResultSet, Session};
+use vliw_tms::sim::plan::{MachineSpec, MemoryModel, Plan, ResultSet, Session};
 use vliw_tms::sim::sched::SchedulerSpec;
 
 fn test_plan() -> Plan {
@@ -210,6 +211,167 @@ fn every_scheduler_conserves_threads_and_retires_the_budget() {
         let thread_ops: u64 = r.stats.threads.iter().map(|t| t.ops).sum();
         assert_eq!(thread_ops, r.stats.total_ops, "{label}");
     }
+}
+
+/// A scheme × workload × machine grid: deterministic, keyed, and
+/// byte-identical in JSON/CSV across 1/2/4 workers (per-geometry
+/// compilation shares one image cache without aliasing).
+#[test]
+fn machine_grid_is_byte_identical_across_worker_counts() {
+    let machine_plan = || {
+        Plan::new()
+            .schemes(["ST", "2SC3"])
+            .workloads(["idct", "LLHH"])
+            .machines(MachineSpec::presets())
+            .scale(50_000)
+    };
+    let sets: Vec<ResultSet> = [1usize, 2, 4]
+        .iter()
+        .map(|&par| machine_plan().run(&Session::with_parallelism(par)))
+        .collect();
+    for set in &sets {
+        assert_eq!(set.len(), 2 * 2 * 4);
+        // Keyed lookup hits the documented row-major slot (machines
+        // between schedulers and memory axes).
+        for (i, (key, r)) in set.iter().enumerate() {
+            let keyed = set
+                .get_machine(
+                    key.scheme.name(),
+                    key.workload.name(),
+                    key.machine,
+                    key.memory,
+                )
+                .unwrap();
+            assert!(std::ptr::eq(keyed, r), "cell {i}");
+            assert!(std::ptr::eq(r, &set.results()[i]), "cell {i}");
+        }
+    }
+    assert_eq!(sets[0].to_json(), sets[1].to_json());
+    assert_eq!(sets[0].to_json(), sets[2].to_json());
+    assert_eq!(sets[0].to_csv(), sets[1].to_csv());
+    assert_eq!(sets[0].to_csv(), sets[2].to_csv());
+    // The geometries produce genuinely distinct runs: per-machine
+    // compilation is a real axis, not a relabeling.
+    let cycles: Vec<u64> = MachineSpec::presets()
+        .iter()
+        .map(|&m| {
+            sets[0]
+                .get_machine("2SC3", "LLHH", m, MemoryModel::Real)
+                .unwrap()
+                .stats
+                .cycles
+        })
+        .collect();
+    assert!(
+        cycles.windows(2).any(|w| w[0] != w[1]),
+        "all machines produced identical runs: {cycles:?}"
+    );
+    // The paper preset in an explicit axis reproduces the default-machine
+    // run bit-for-bit (same seed, same compiled image).
+    let default_set = Plan::new()
+        .schemes(["ST", "2SC3"])
+        .workloads(["idct", "LLHH"])
+        .scale(50_000)
+        .run(&Session::with_parallelism(2));
+    for (key, r) in default_set.iter() {
+        let swept = sets[0]
+            .get_machine(
+                key.scheme.name(),
+                key.workload.name(),
+                MachineSpec::Paper4x4,
+                key.memory,
+            )
+            .unwrap();
+        assert_eq!(swept.stats.cycles, r.stats.cycles);
+        assert_eq!(swept.stats.total_ops, r.stats.total_ops);
+    }
+}
+
+/// Byte-stability contract of the machine axis: default plans keep the
+/// historical serialization format; an explicit axis adds the `machine`
+/// column/field (and composes with the scheduler axis in header order).
+#[test]
+fn machine_axis_serialization_is_gated_on_explicitness() {
+    let base = || Plan::new().scheme("1S").workload("idct").scale(100_000);
+    let default_set = base().run(&Session::with_parallelism(1));
+    assert!(!default_set.to_json().contains("\"machine"));
+    assert_eq!(
+        default_set.to_csv().lines().next(),
+        Some(ResultSet::CSV_HEADER)
+    );
+
+    let machine_set = base()
+        .machine(MachineSpec::Paper4x4)
+        .run(&Session::with_parallelism(1));
+    let json = machine_set.to_json();
+    assert!(json.contains("\"machines\":[\"paper-4x4\"]"), "{json}");
+    assert!(json.contains("\"machine\":\"paper-4x4\""));
+    assert_eq!(
+        machine_set.to_csv().lines().next(),
+        Some(ResultSet::CSV_HEADER_MACHINE)
+    );
+    // Same machine, same seed: only the labels differ, not the physics.
+    assert_eq!(
+        machine_set
+            .get("1S", "idct", MemoryModel::Real)
+            .unwrap()
+            .stats
+            .cycles,
+        default_set
+            .get("1S", "idct", MemoryModel::Real)
+            .unwrap()
+            .stats
+            .cycles,
+    );
+
+    let both = base()
+        .scheduler(SchedulerSpec::Icount)
+        .machine(MachineSpec::Narrow8x2)
+        .run(&Session::with_parallelism(1));
+    assert_eq!(both.csv_header(), ResultSet::CSV_HEADER_SCHED_MACHINE);
+    assert!(both
+        .to_csv()
+        .lines()
+        .nth(1)
+        .unwrap()
+        .starts_with("1S,idct,icount,8x2,real,"));
+}
+
+/// Combined exports shape rows to an imposed column union: a set without
+/// an explicit machine axis can emit the `machine` column (carrying its
+/// default geometry) so it shares a header with a machine-sweeping set,
+/// but a swept axis can never be dropped.
+#[test]
+fn csv_rows_shaped_emits_forced_axis_columns() {
+    let default_set = Plan::new()
+        .scheme("1S")
+        .workload("idct")
+        .scale(100_000)
+        .run(&Session::with_parallelism(1));
+    // Its own serialization has no machine column...
+    assert!(!default_set.to_csv().contains("paper-4x4"));
+    // ...but shaped to the union it carries the default geometry, and the
+    // row matches the corresponding shared header.
+    let shaped = default_set.csv_rows_shaped(Some("t"), false, true);
+    assert!(shaped.starts_with("t,1S,idct,paper-4x4,real,"), "{shaped}");
+    assert_eq!(
+        ResultSet::csv_header_for(false, true),
+        ResultSet::CSV_HEADER_MACHINE
+    );
+    let both = default_set.csv_rows_shaped(None, true, true);
+    assert!(both.starts_with("1S,idct,paper-random,paper-4x4,real,"));
+}
+
+#[test]
+#[should_panic(expected = "cannot drop a swept axis column")]
+fn csv_rows_shaped_refuses_to_drop_a_swept_axis() {
+    let set = Plan::new()
+        .scheme("1S")
+        .workload("idct")
+        .machines([MachineSpec::Paper4x4, MachineSpec::Narrow8x2])
+        .scale(100_000)
+        .run(&Session::with_parallelism(1));
+    let _ = set.csv_rows_shaped(None, false, false);
 }
 
 /// The per-thread breakdown helper exposes `RunStats::threads` keyed by
