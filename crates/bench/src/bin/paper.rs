@@ -5,9 +5,10 @@
 //! ```text
 //! paper [EXHIBIT...] [--scale N] [--full] [--threads N] [--filter S]
 //!       [--scheduler NAME] [--machine SPEC] [--out DIR] [--json PATH] [--csv PATH]
+//!       [--trace PATH] [--trace-format FMT]
 //!
 //! EXHIBIT: table1 table2 fig4 fig5 fig6 fig9 fig10 fig11 fig12 headline
-//!          geometry all   (default: all)
+//!          geometry trace all   (default: all)
 //! --scale N        divide the paper's 100M-instruction budget by N (default 20)
 //! --full           the paper's full run lengths (scale 1); slow
 //! --threads N      rayon worker threads for simulation sweeps (default:
@@ -22,12 +23,20 @@
 //! --out DIR        CSV output directory for rendered exhibits (default: results/)
 //! --json PATH      also write the raw simulation result sets as one JSON file
 //! --csv PATH       also write the raw simulation result sets as one CSV file
+//! --trace PATH     additionally re-run the *first grid cell* of the first
+//!                  simulated exhibit with full cycle-level tracing and write
+//!                  the trace to PATH (run length floored at 1/5000 of the
+//!                  paper's budget — event streams grow with run length)
+//! --trace-format FMT  trace serialization: chrome (trace_event JSON for
+//!                  chrome://tracing / Perfetto; default), jsonl, csv
 //! ```
 //!
-//! Exhibit names, `--filter`, `--scheduler`, and `--machine` are validated
-//! up front — before any simulation runs — and an unknown name prints the
-//! list of valid ones instead of panicking mid-sweep (`--machine` also
-//! rejects geometries that cannot compile the Table-1 suite).
+//! Exhibit names, `--filter`, `--scheduler`, `--machine`, `--trace`, and
+//! `--trace-format` are validated up front — before any simulation runs —
+//! and an unknown name prints the list of valid ones instead of panicking
+//! mid-sweep (`--machine` also rejects geometries that cannot compile the
+//! Table-1 suite; `--trace` verifies the file is writable by creating it,
+//! and requires at least one simulated exhibit to be selected).
 //!
 //! The `--json`/`--csv` exports cover the simulated exhibits (table1, fig4,
 //! fig6, the shared fig10 sweep behind fig10/fig11/fig12/headline, and the
@@ -48,12 +57,27 @@ use vliw_bench::Exhibit;
 use vliw_sim::experiments;
 use vliw_sim::plan::{MachineSpec, Plan, ResultSet, Session};
 use vliw_sim::sched::SchedulerSpec;
+use vliw_trace::TraceFormat;
 
 /// Every exhibit name the harness understands, in render order.
-const EXHIBITS: [&str; 11] = [
+const EXHIBITS: [&str; 12] = [
     "table1", "table2", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "fig12", "headline",
-    "geometry",
+    "geometry", "trace",
 ];
+
+/// The plan behind a simulated exhibit (what `--trace` probes), `None` for
+/// the static exhibits (table2, fig5, fig9).
+fn plan_for(name: &str, scale: u64) -> Option<Plan> {
+    match name {
+        "table1" => Some(experiments::table1_plan(scale)),
+        "fig4" => Some(experiments::fig4_plan(scale)),
+        "fig6" => Some(experiments::fig6_plan(scale)),
+        "fig10" | "fig11" | "fig12" | "headline" => Some(experiments::fig10_plan(scale)),
+        "geometry" => Some(experiments::geometry_plan(scale)),
+        "trace" => Some(experiments::trace_plan(scale)),
+        _ => None,
+    }
+}
 
 fn main() {
     let mut scale: u64 = 20;
@@ -65,6 +89,8 @@ fn main() {
     let mut machine: Option<MachineSpec> = None;
     let mut json_path: Option<PathBuf> = None;
     let mut csv_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut trace_format: Option<TraceFormat> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -126,6 +152,20 @@ fn main() {
                     args.next().unwrap_or_else(|| die("--csv needs a path")),
                 ));
             }
+            "--trace" => {
+                trace_path = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| die("--trace needs a path")),
+                ));
+            }
+            "--trace-format" => {
+                let name = args
+                    .next()
+                    .unwrap_or_else(|| die("--trace-format needs a format name"));
+                trace_format = Some(
+                    name.parse()
+                        .unwrap_or_else(|e: vliw_trace::UnknownTraceFormat| die(&e.to_string())),
+                );
+            }
             "--help" | "-h" => {
                 println!("{}", HELP);
                 return;
@@ -160,6 +200,30 @@ fn main() {
     // duplicate ids in the --json/--csv exports.
     let mut seen = std::collections::HashSet::new();
     wanted.retain(|w| seen.insert(w.clone()));
+
+    // Up-front --trace/--trace-format validation: a bad format name, an
+    // unwritable path, or a selection with nothing to trace must fail
+    // before any sweep runs (same contract as --machine/--scheduler).
+    if trace_format.is_some() && trace_path.is_none() {
+        die("--trace-format requires --trace");
+    }
+    let trace_target: Option<&str> = trace_path.as_ref().map(|path| {
+        let target = wanted
+            .iter()
+            .map(String::as_str)
+            .find(|w| plan_for(w, 1).is_some())
+            .unwrap_or_else(|| {
+                die("--trace needs at least one simulated exhibit selected \
+                     (table2/fig5/fig9 are static)")
+            });
+        // Writability check: create the file now (it is overwritten with
+        // the trace later), so a bad parent directory dies here.
+        if let Err(err) = std::fs::write(path, b"") {
+            die(&format!("cannot write --trace {}: {err}", path.display()));
+        }
+        target
+    });
+    let trace_format = trace_format.unwrap_or(TraceFormat::Chrome);
 
     // Apply --scheduler/--machine to a simulated exhibit's plan (None =
     // the paper's defaults and the historical export byte format). For
@@ -233,6 +297,15 @@ fn main() {
                 }
                 vec![ex]
             }
+            "trace" => {
+                let plan = with_axes(experiments::trace_plan(scale));
+                let (set, d) = experiments::trace_data(&plan, &session);
+                let ex = figures::trace_from(&d);
+                if export {
+                    captured.push(("trace", set));
+                }
+                vec![ex]
+            }
             "fig10" | "fig11" | "fig12" | "headline" => {
                 let d = fig10.get_or_insert_with(|| {
                     let set = with_axes(experiments::fig10_plan(scale)).run(&session);
@@ -259,6 +332,35 @@ fn main() {
             if let Err(err) = e.save_csv(&out) {
                 eprintln!("warning: could not save {}: {err}", e.id);
             }
+        }
+    }
+
+    if let (Some(path), Some(target)) = (&trace_path, trace_target) {
+        // Trace the first grid cell of the first simulated exhibit. Run
+        // length is floored: full event streams grow with run length, and
+        // a single cell at the default scale would be gigabytes.
+        let plan = with_axes(
+            plan_for(target, scale.max(experiments::TRACE_SCALE_FLOOR))
+                .expect("trace_target only names simulated exhibits"),
+        );
+        let key = plan
+            .jobs()
+            .into_iter()
+            .next()
+            .expect("simulated exhibit plans are non-empty");
+        let (result, trace) = plan.trace_cell(&session, &key);
+        if let Err(err) = std::fs::write(path, trace_format.export(&trace)) {
+            eprintln!("warning: could not write {}: {err}", path.display());
+        } else {
+            println!(
+                "trace ({trace_format}) of {target} cell {}/{} written to {} \
+                 ({} events over {} cycles)",
+                result.scheme,
+                result.workload,
+                path.display(),
+                trace.len(),
+                trace.end_cycle,
+            );
         }
     }
 
@@ -316,7 +418,9 @@ fn die(msg: &str) -> ! {
 }
 
 const HELP: &str = "usage: paper [EXHIBIT...] [--scale N] [--full] [--threads N] [--filter S] \
-[--scheduler NAME] [--machine SPEC] [--out DIR] [--json PATH] [--csv PATH]
-exhibits: table1 table2 fig4 fig5 fig6 fig9 fig10 fig11 fig12 headline geometry all
+[--scheduler NAME] [--machine SPEC] [--out DIR] [--json PATH] [--csv PATH] \
+[--trace PATH] [--trace-format FMT]
+exhibits: table1 table2 fig4 fig5 fig6 fig9 fig10 fig11 fig12 headline geometry trace all
 schedulers: paper-random round-robin icount cluster-affinity
-machines: paper-4x4 2x8 8x2 4x4-lite, or CxI[+muls+mems] (e.g. 3x4, 2x8+1+2)";
+machines: paper-4x4 2x8 8x2 4x4-lite, or CxI[+muls+mems] (e.g. 3x4, 2x8+1+2)
+trace formats: chrome jsonl csv (default chrome)";

@@ -299,6 +299,58 @@ pub fn geometry_from(rows: &[experiments::GeometryRow]) -> Exhibit {
     }
 }
 
+/// Trace exhibit (beyond the paper): cycle-level decomposition of the
+/// Figure-6 cell pair from full event traces.
+pub fn trace_exhibit(scale: u64, par: usize) -> Exhibit {
+    trace_from(&experiments::trace_exhibit(scale, par))
+}
+
+/// Render the trace exhibit from precomputed per-cell trace rows.
+pub fn trace_from(d: &experiments::TraceData) -> Exhibit {
+    let mut t = TextTable::new(&[
+        "cell",
+        "workload",
+        "cycles",
+        "IPC",
+        "I$ stall",
+        "D$ stall",
+        "branch stall",
+        "stall/cycle",
+        "migrations",
+        "merge transitions",
+        "occupancy",
+        "events",
+    ]);
+    for r in &d.rows {
+        t.row(vec![
+            r.label.clone(),
+            r.workload.clone(),
+            r.cycles.to_string(),
+            f2(r.ipc),
+            r.stalls.icache.to_string(),
+            r.stalls.dcache.to_string(),
+            r.stalls.branch.to_string(),
+            f2(r.stalls.total() as f64 / r.cycles.max(1) as f64),
+            r.migrations.to_string(),
+            r.merge_transitions.to_string(),
+            pct(r.occupancy * 100.0),
+            r.events.to_string(),
+        ]);
+    }
+    Exhibit {
+        id: "trace".into(),
+        text: format!(
+            "Trace decomposition — where the cycles go, from full event traces\n\
+             (4T SMT vs 4T CSMT; stall cycles by kind sum over threads, so\n\
+             stall/cycle can exceed 1 on a multithreaded core; run length\n\
+             floored at 1/{} of the paper's budget)\n{}",
+            experiments::TRACE_SCALE_FLOOR,
+            t.render()
+        ),
+        csv: t.to_csv(),
+    }
+}
+
 /// Sanity check on workload mix sizes used in this module.
 pub fn n_benchmarks() -> usize {
     all_benchmarks().len()

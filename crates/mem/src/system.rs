@@ -1,6 +1,7 @@
 //! The I-cache/D-cache pair the pipeline talks to.
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
+use vliw_trace::{CacheKind, NullSink, TraceEvent, TraceSink};
 
 /// Configuration of the full memory system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,12 +58,36 @@ impl MemSystem {
     /// Instruction fetch at `addr` by `thread`; returns stall cycles.
     #[inline]
     pub fn fetch(&mut self, addr: u64, thread: u8) -> u32 {
+        self.fetch_traced(addr, thread, 0, &mut NullSink)
+    }
+
+    /// [`MemSystem::fetch`] emitting a [`TraceEvent::CacheMiss`] on a miss.
+    ///
+    /// `cycle` only labels the event; with [`NullSink`] this monomorphizes
+    /// to exactly the untraced access.
+    #[inline]
+    pub fn fetch_traced<S: TraceSink>(
+        &mut self,
+        addr: u64,
+        thread: u8,
+        cycle: u64,
+        sink: &mut S,
+    ) -> u32 {
         if self.perfect {
             return 0;
         }
         if self.icache.access(addr, false, thread) {
             0
         } else {
+            if S::ENABLED {
+                sink.record(TraceEvent::CacheMiss {
+                    cycle,
+                    ctx: thread,
+                    cache: CacheKind::Instruction,
+                    addr,
+                    is_store: false,
+                });
+            }
             self.icache.config().miss_penalty
         }
     }
@@ -70,12 +95,36 @@ impl MemSystem {
     /// Data access at `addr` by `thread`; returns stall cycles.
     #[inline]
     pub fn data(&mut self, addr: u64, write: bool, thread: u8) -> u32 {
+        self.data_traced(addr, write, thread, 0, &mut NullSink)
+    }
+
+    /// [`MemSystem::data`] emitting a [`TraceEvent::CacheMiss`] on a miss.
+    ///
+    /// Same contract as [`MemSystem::fetch_traced`].
+    #[inline]
+    pub fn data_traced<S: TraceSink>(
+        &mut self,
+        addr: u64,
+        write: bool,
+        thread: u8,
+        cycle: u64,
+        sink: &mut S,
+    ) -> u32 {
         if self.perfect {
             return 0;
         }
         if self.dcache.access(addr, write, thread) {
             0
         } else {
+            if S::ENABLED {
+                sink.record(TraceEvent::CacheMiss {
+                    cycle,
+                    ctx: thread,
+                    cache: CacheKind::Data,
+                    addr,
+                    is_store: write,
+                });
+            }
             self.dcache.config().miss_penalty
         }
     }
@@ -136,6 +185,42 @@ mod tests {
         assert_eq!(m.data(0x100, false, 0), 0);
         assert_eq!(m.fetch(0x2000, 3), 20);
         assert_eq!(m.fetch(0x2004, 3), 0, "same line");
+    }
+
+    #[test]
+    fn traced_accesses_emit_miss_events_and_match_untraced_timing() {
+        use vliw_trace::RecordingSink;
+        let mut traced = MemSystem::new(MemConfig::paper_baseline());
+        let mut plain = MemSystem::new(MemConfig::paper_baseline());
+        let mut sink = RecordingSink::new();
+        for (i, addr) in [0x100u64, 0x100, 0x8000, 0x100].into_iter().enumerate() {
+            let a = traced.data_traced(addr, i % 2 == 1, 0, i as u64, &mut sink);
+            let b = plain.data(addr, i % 2 == 1, 0);
+            assert_eq!(a, b, "tracing must not change timing");
+        }
+        assert_eq!(traced.fetch_traced(0x40, 1, 9, &mut sink), 20);
+        // Misses: 0x100 (cold), 0x8000 (cold), 0x40 (I$ cold).
+        let events = sink.into_events();
+        assert_eq!(events.len(), 3);
+        assert!(matches!(
+            events[0],
+            TraceEvent::CacheMiss {
+                cycle: 0,
+                cache: CacheKind::Data,
+                addr: 0x100,
+                is_store: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            events[2],
+            TraceEvent::CacheMiss {
+                cycle: 9,
+                ctx: 1,
+                cache: CacheKind::Instruction,
+                ..
+            }
+        ));
     }
 
     #[test]

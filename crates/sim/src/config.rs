@@ -4,6 +4,7 @@ use crate::sched::SchedulerSpec;
 use vliw_core::{MergeScheme, PriorityPolicy};
 use vliw_isa::{MachineConfig, MachineSpec};
 use vliw_mem::MemConfig;
+use vliw_trace::TraceSpec;
 
 /// Everything a run needs besides the workload itself.
 #[derive(Debug, Clone)]
@@ -30,6 +31,12 @@ pub struct SimConfig {
     pub max_cycles: u64,
     /// Seed for OS scheduling and branch/address draws.
     pub seed: u64,
+    /// Cycle-level event tracing ([`TraceSpec::Off`] by default). Consulted
+    /// by the trace-collecting entry points
+    /// ([`crate::os::Machine::run_with_trace`], the plan-level trace
+    /// hooks); the plain [`crate::os::Machine::run`] always executes the
+    /// monomorphized zero-cost untraced path regardless.
+    pub trace: TraceSpec,
 }
 
 impl SimConfig {
@@ -55,6 +62,7 @@ impl SimConfig {
             instr_budget: (100_000_000 / scale).max(1_000),
             max_cycles: u64::MAX,
             seed: 0xC0FFEE,
+            trace: TraceSpec::Off,
         }
     }
 
@@ -76,6 +84,16 @@ impl SimConfig {
     /// Same configuration under a different OS scheduling policy.
     pub fn with_scheduler(mut self, scheduler: SchedulerSpec) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Same configuration with cycle-level event tracing
+    /// ([`TraceSpec::Full`] records everything, [`TraceSpec::Ring`] keeps
+    /// a bounded most-recent window). Takes effect through the
+    /// trace-collecting entry points — see
+    /// [`crate::os::Machine::run_with_trace`].
+    pub fn with_trace(mut self, trace: TraceSpec) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -135,5 +153,14 @@ mod tests {
         assert_eq!(c.scheduler, SchedulerSpec::PaperRandom);
         let c = c.with_scheduler(SchedulerSpec::Icount);
         assert_eq!(c.scheduler, SchedulerSpec::Icount);
+    }
+
+    #[test]
+    fn tracing_is_off_by_default() {
+        let c = SimConfig::paper(catalog::smt_cascade(4), 100);
+        assert_eq!(c.trace, TraceSpec::Off);
+        let c = c.with_trace(TraceSpec::Ring(4096));
+        assert_eq!(c.trace, TraceSpec::Ring(4096));
+        assert_eq!(c.with_trace(TraceSpec::Full).trace, TraceSpec::Full);
     }
 }

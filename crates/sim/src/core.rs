@@ -5,6 +5,7 @@ use crate::config::SimConfig;
 use crate::thread::SoftThread;
 use vliw_core::{eval::CompiledScheme, MergeEvaluator, MergeStats, PortInput, PriorityRotator};
 use vliw_mem::MemSystem;
+use vliw_trace::{NullSink, TraceEvent, TraceSink};
 
 /// Outcome of one cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +31,8 @@ pub struct Core {
     issue_width: u32,
     n_clusters: u8,
     cycle: u64,
+    /// Issuing-context mask of the previous cycle (merge/split tracking).
+    last_issued_mask: u8,
     // Aggregate counters.
     total_ops: u64,
     total_instrs: u64,
@@ -56,6 +59,7 @@ impl Core {
             issue_width: cfg.machine.total_issue() as u32,
             n_clusters: cfg.machine.n_clusters,
             cycle: 0,
+            last_issued_mask: 0,
             total_ops: 0,
             total_instrs: 0,
             vertical_waste_cycles: 0,
@@ -96,7 +100,18 @@ impl Core {
     /// The context determines the thread's physical-cluster rotation: the
     /// fixed wiring that spreads compact threads over different physical
     /// clusters so cluster-level merging has disjoint operands to work on.
-    pub fn install(&mut self, ctx: usize, mut thread: SoftThread) {
+    pub fn install(&mut self, ctx: usize, thread: SoftThread) {
+        self.install_traced(ctx, thread, &mut NullSink);
+    }
+
+    /// [`Core::install`] with a trace sink observing the installation
+    /// fetch (cold I$ misses of the incoming thread).
+    pub fn install_traced<S: TraceSink>(
+        &mut self,
+        ctx: usize,
+        mut thread: SoftThread,
+        sink: &mut S,
+    ) {
         assert!(self.contexts[ctx].is_none(), "context {ctx} occupied");
         thread.cluster_rot = (ctx as u8) % self.n_clusters;
         thread.n_clusters = self.n_clusters;
@@ -104,7 +119,7 @@ impl Core {
         // cycle; its previous stall (if swapped out mid-miss) has elapsed
         // in wall-clock terms only if the OS kept it out long enough.
         thread.stall_until = thread.stall_until.max(self.cycle);
-        thread.fetch_head(self.cycle, &mut self.mem, ctx as u8);
+        thread.fetch_head(self.cycle, &mut self.mem, ctx as u8, sink);
         self.contexts[ctx] = Some(thread);
     }
 
@@ -120,6 +135,16 @@ impl Core {
 
     /// Execute one cycle.
     pub fn step(&mut self) -> StepOutcome {
+        self.step_traced(&mut NullSink)
+    }
+
+    /// Execute one cycle, emitting [`TraceEvent`]s into `sink`.
+    ///
+    /// Every emission site is guarded by [`TraceSink::ENABLED`], an
+    /// associated constant: monomorphized with [`NullSink`] the guards are
+    /// `if false` and this compiles to exactly [`Core::step`]'s code — the
+    /// zero-cost-when-off contract the `trace_overhead` bench checks.
+    pub fn step_traced<S: TraceSink>(&mut self, sink: &mut S) -> StepOutcome {
         let n = self.contexts.len();
         let mut inputs = [PortInput::stalled(); vliw_core::MAX_PORTS];
         {
@@ -136,13 +161,35 @@ impl Core {
             self.evaluator
                 .evaluate_with_stats(&self.scheme, &inputs[..n], &mut self.merge_stats);
         let issued = self.rotator.ports_to_threads(out.issued_ports);
+        if S::ENABLED && issued != self.last_issued_mask {
+            sink.record(TraceEvent::MergeTransition {
+                cycle: self.cycle,
+                from_mask: self.last_issued_mask,
+                to_mask: issued,
+            });
+        }
+        self.last_issued_mask = issued;
 
         let mut m = issued;
         while m != 0 {
             let t = m.trailing_zeros() as usize;
             m &= m - 1;
             let th = self.contexts[t].as_mut().expect("issued context occupied");
-            th.execute_head(self.cycle, &mut self.mem, t as u8, self.branch_penalty);
+            if S::ENABLED {
+                sink.record(TraceEvent::BundleIssue {
+                    cycle: self.cycle,
+                    ctx: t as u8,
+                    tid: th.tid,
+                    ops: th.head_sig().n_ops,
+                });
+            }
+            th.execute_head(
+                self.cycle,
+                &mut self.mem,
+                t as u8,
+                self.branch_penalty,
+                sink,
+            );
             self.total_instrs += 1;
             if th.instrs >= self.instr_budget {
                 self.budget_reached = true;
@@ -166,8 +213,14 @@ impl Core {
 
     /// Run until `cycles_limit` or until the budget is reached.
     pub fn run(&mut self, cycles_limit: u64) {
+        self.run_traced(cycles_limit, &mut NullSink);
+    }
+
+    /// [`Core::run`] with a trace sink (same zero-cost contract as
+    /// [`Core::step_traced`]).
+    pub fn run_traced<S: TraceSink>(&mut self, cycles_limit: u64, sink: &mut S) {
         while self.cycle < cycles_limit && !self.budget_reached {
-            self.step();
+            self.step_traced(sink);
         }
     }
 }

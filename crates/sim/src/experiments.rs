@@ -326,6 +326,109 @@ pub fn geometry(scale: u64, parallelism: usize) -> Vec<GeometryRow> {
     geometry_data(&geometry_plan(scale).run(&Session::with_parallelism(parallelism)))
 }
 
+/// One row of the trace exhibit: the cycle-level decomposition of one
+/// grid cell's run, derived from its full event trace.
+#[derive(Debug, Clone)]
+pub struct TraceRow {
+    /// Cell label (scheme, plus any non-default axis values).
+    pub label: String,
+    /// Workload of the cell.
+    pub workload: String,
+    /// Executed cycles.
+    pub cycles: u64,
+    /// Cell IPC.
+    pub ipc: f64,
+    /// Stall cycles by kind, from the trace's stall events (equals the
+    /// run's `RunStats::stall_breakdown` — the conservation invariant).
+    pub stalls: vliw_trace::StallBreakdown,
+    /// Cross-context thread migrations.
+    pub migrations: u64,
+    /// Merge/split transitions of the issuing-context mask.
+    pub merge_transitions: u64,
+    /// Fraction of context-cycles with a thread installed.
+    pub occupancy: f64,
+    /// Events in the cell's trace.
+    pub events: usize,
+}
+
+/// Trace-exhibit data: one row per grid cell, grid order.
+#[derive(Debug, Clone)]
+pub struct TraceData {
+    /// Run-length floor actually used (see [`trace_plan`]).
+    pub scale: u64,
+    /// Per-cell rows.
+    pub rows: Vec<TraceRow>,
+}
+
+/// Run-length floor for the trace exhibit: full event streams grow
+/// linearly with run length, so the exhibit never runs longer than
+/// 1/5000 of the paper's budget (20k retired instructions per thread).
+pub const TRACE_SCALE_FLOOR: u64 = 5_000;
+
+/// The trace-exhibit sweep: 4-thread SMT vs 4-thread CSMT on the LLHH
+/// mix — the cell pair behind the paper's peak Figure-6 advantage —
+/// fully traced. `scale` is floored at [`TRACE_SCALE_FLOOR`].
+pub fn trace_plan(scale: u64) -> Plan {
+    Plan::new()
+        .schemes(["3SSS", "3CCC"])
+        .workload("LLHH")
+        .scale(scale.max(TRACE_SCALE_FLOOR))
+}
+
+/// Execute a trace plan and project every cell's event stream into
+/// [`TraceRow`]s (stall decomposition, migrations, merge/split dynamics,
+/// occupancy). Works on any plan — the `paper` binary passes
+/// [`trace_plan`] with the CLI's scheduler/machine axes applied.
+pub fn trace_data(plan: &Plan, session: &Session) -> (ResultSet, TraceData) {
+    let mut rows = Vec::new();
+    let set = plan.run_traced(session, |key, result, trace| {
+        let mut label = key.scheme.name().to_string();
+        if key.scheduler != SchedulerSpec::PaperRandom {
+            label.push_str(&format!(" {}", key.scheduler.name()));
+        }
+        if key.machine != MachineSpec::Paper4x4 {
+            label.push_str(&format!(" @{}", key.machine.label()));
+        }
+        if key.memory != MemoryModel::Real {
+            label.push_str(" (perfect)");
+        }
+        let occupied: u64 = vliw_trace::occupancy_timeline(trace)
+            .iter()
+            .map(|s| s.len())
+            .sum();
+        let ctx_cycles = result.stats.cycles * u64::from(trace.n_contexts);
+        rows.push(TraceRow {
+            label,
+            workload: key.workload.name().to_string(),
+            cycles: result.stats.cycles,
+            ipc: result.ipc(),
+            stalls: vliw_trace::StallBreakdown::from_events(&trace.events),
+            migrations: result.stats.migrations,
+            merge_transitions: trace
+                .events
+                .iter()
+                .filter(|e| matches!(e, vliw_trace::TraceEvent::MergeTransition { .. }))
+                .count() as u64,
+            occupancy: if ctx_cycles == 0 {
+                0.0
+            } else {
+                occupied as f64 / ctx_cycles as f64
+            },
+            events: trace.len(),
+        });
+    });
+    let data = TraceData {
+        scale: set.scale(),
+        rows,
+    };
+    (set, data)
+}
+
+/// Regenerate the trace exhibit.
+pub fn trace_exhibit(scale: u64, parallelism: usize) -> TraceData {
+    trace_data(&trace_plan(scale), &Session::with_parallelism(parallelism)).1
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,6 +472,27 @@ mod tests {
         for (spec, ipc) in &means {
             assert!(*ipc > 0.0, "{spec}: mean IPC must be positive");
         }
+    }
+
+    #[test]
+    fn trace_exhibit_decomposes_both_schemes() {
+        let d = trace_exhibit(50_000, 2);
+        assert_eq!(d.scale, 50_000, "above the floor, scale passes through");
+        assert_eq!(d.rows.len(), 2);
+        assert_eq!(d.rows[0].label, "3SSS");
+        assert_eq!(d.rows[1].label, "3CCC");
+        for r in &d.rows {
+            assert_eq!(r.workload, "LLHH");
+            assert!(r.ipc > 0.0);
+            assert!(r.stalls.total() > 0, "{}: no stalls traced", r.label);
+            assert!(r.merge_transitions > 0, "{}: mask never changed", r.label);
+            assert!(r.events > 0);
+            // 4 threads on 4 contexts: fully occupied.
+            assert!(r.occupancy > 0.99, "{}: occupancy {}", r.label, r.occupancy);
+        }
+        // The floor engages below it.
+        assert_eq!(trace_plan(1).jobs().len(), 2);
+        assert_eq!(trace_exhibit(u64::MAX, 2).scale, u64::MAX);
     }
 
     #[test]

@@ -38,6 +38,19 @@
 //! keyed lookup, per-geometry hwcost pricing and JSON/CSV exhibits), and
 //! [`experiments`] for the paper's figure-level drivers built on it.
 //! Fallible entry points return typed [`SimError`]s.
+//!
+//! **Tracing** — the whole hot loop (core, threads, memory, OS layer) is
+//! generic over a [`trace::TraceSink`]; the untraced entry points
+//! monomorphize the [`trace::NullSink`] path, which compiles to the
+//! pre-tracing code (zero cost when off). Collect a [`trace::Trace`] with
+//! [`os::Machine::run_with_trace`] or the plan-level hooks
+//! ([`Plan::run_traced`](plan::Plan::run_traced) /
+//! [`Plan::trace_cell`](plan::Plan::trace_cell)), configure it with
+//! [`SimConfig::with_trace`], and analyze/export it with the re-exported
+//! [`trace`] crate (stall breakdowns, occupancy timelines, Chrome-trace/
+//! JSONL/CSV serialization).
+
+pub use vliw_trace as trace;
 
 pub mod config;
 pub mod core;
@@ -58,3 +71,4 @@ pub use runner::{run_mix, run_single, RunResult};
 pub use sched::{Scheduler, SchedulerSpec};
 pub use stats::RunStats;
 pub use thread::SoftThread;
+pub use vliw_trace::{StallBreakdown, Trace, TraceEvent, TraceFormat, TraceSink, TraceSpec};

@@ -23,6 +23,10 @@ use crate::sched::{affinity_groups, SchedView, Scheduler, ThreadView};
 use crate::stats::{RunStats, ThreadStats};
 use crate::thread::SoftThread;
 use std::sync::Arc;
+use vliw_trace::{
+    NullSink, RecordingSink, RingSink, StallBreakdown, StallKind, Trace, TraceEvent, TraceSink,
+    TraceSpec,
+};
 
 /// The simulated machine: a core plus the OS scheduling layer.
 pub struct Machine {
@@ -40,6 +44,7 @@ pub struct Machine {
     migrations: u64,
     idle_context_cycles: u64,
     issue_width: u32,
+    trace_spec: TraceSpec,
 }
 
 impl Machine {
@@ -65,7 +70,10 @@ impl Machine {
             return Err(SimError::EmptyWorkload);
         }
         let sched_name: Arc<str> = scheduler.name().into();
-        let mut m = Machine {
+        // Admission (the policy's initial pool order + the first context
+        // fill) happens at the start of `run_traced`, not here, so a trace
+        // sink observes the admission events and the cold install fetches.
+        Ok(Machine {
             core: Core::new(cfg),
             pool: threads,
             scheduler,
@@ -77,10 +85,8 @@ impl Machine {
             migrations: 0,
             idle_context_cycles: 0,
             issue_width: cfg.machine.total_issue() as u32,
-        };
-        m.reorder_pool(true);
-        m.fill_contexts();
-        Ok(m)
+            trace_spec: cfg.trace,
+        })
     }
 
     /// Snapshot the machine state into policy-visible views.
@@ -144,15 +150,46 @@ impl Machine {
 
     /// Install threads popped from the back of the pool onto the free
     /// contexts in ascending order, tracking cross-context migrations.
-    fn fill_contexts(&mut self) {
+    ///
+    /// Tracing distinguishes first installation
+    /// ([`TraceEvent::ContextAdmit`]) from reinstallation
+    /// ([`TraceEvent::ContextRefill`]), with a
+    /// [`TraceEvent::ThreadMigration`] whenever the context differs from
+    /// the thread's previous one.
+    fn fill_contexts<S: TraceSink>(&mut self, sink: &mut S) {
         for ctx in 0..self.core.contexts.len() {
             if self.core.contexts[ctx].is_none() {
                 if let Some(mut t) = self.pool.pop() {
+                    if S::ENABLED {
+                        let cycle = self.core.cycle();
+                        match t.last_ctx {
+                            None => sink.record(TraceEvent::ContextAdmit {
+                                cycle,
+                                ctx: ctx as u8,
+                                tid: t.tid,
+                            }),
+                            Some(prev) => {
+                                sink.record(TraceEvent::ContextRefill {
+                                    cycle,
+                                    ctx: ctx as u8,
+                                    tid: t.tid,
+                                });
+                                if prev as usize != ctx {
+                                    sink.record(TraceEvent::ThreadMigration {
+                                        cycle,
+                                        tid: t.tid,
+                                        from_ctx: prev,
+                                        to_ctx: ctx as u8,
+                                    });
+                                }
+                            }
+                        }
+                    }
                     if t.last_ctx.is_some_and(|prev| prev as usize != ctx) {
                         self.migrations += 1;
                     }
                     t.last_ctx = Some(ctx as u8);
-                    self.core.install(ctx, t);
+                    self.core.install_traced(ctx, t, sink);
                 } else {
                     break;
                 }
@@ -161,7 +198,7 @@ impl Machine {
     }
 
     /// Handle one quantum expiry: policy-selected evictions, then refill.
-    fn quantum_expired(&mut self) {
+    fn quantum_expired<S: TraceSink>(&mut self, sink: &mut S) {
         let (contexts, pool) = self.view_parts();
         let view = SchedView {
             cycle: self.core.cycle(),
@@ -173,34 +210,94 @@ impl Machine {
         for ctx in 0..self.core.contexts.len() {
             if mask & (1 << ctx) != 0 {
                 if let Some(t) = self.core.evict(ctx) {
+                    if S::ENABLED {
+                        sink.record(TraceEvent::ContextEvict {
+                            cycle: self.core.cycle(),
+                            ctx: ctx as u8,
+                            tid: t.tid,
+                        });
+                    }
                     self.pool.push(t);
                 }
             }
         }
         self.reorder_pool(false);
-        self.fill_contexts();
+        self.fill_contexts(sink);
         self.context_switches += 1;
     }
 
     /// Run to completion (budget reached or `max_cycles`), returning the
     /// collected statistics.
-    pub fn run(mut self) -> RunStats {
+    ///
+    /// This is the untraced fast path: it monomorphizes
+    /// [`Machine::run_traced`] with [`NullSink`], which compiles to the
+    /// pre-tracing code.
+    pub fn run(self) -> RunStats {
+        self.run_traced(&mut NullSink)
+    }
+
+    /// Run to completion, emitting cycle-level [`TraceEvent`]s into `sink`
+    /// (admissions, evictions, refills, migrations, and everything the
+    /// core and memory system emit). Statistics are identical to
+    /// [`Machine::run`] — tracing observes, never perturbs.
+    pub fn run_traced<S: TraceSink>(mut self, sink: &mut S) -> RunStats {
+        // Admission: the policy's initial pool order, then the first fill.
+        self.reorder_pool(true);
+        self.fill_contexts(sink);
         let mut next_slice = self.timeslice;
         while !self.core.budget_reached && self.core.cycle() < self.max_cycles {
             let limit = next_slice.min(self.max_cycles);
             let idle = self.core.idle_contexts() as u64;
             let before = self.core.cycle();
-            self.core.run(limit);
+            self.core.run_traced(limit, sink);
             self.idle_context_cycles += idle * (self.core.cycle() - before);
             if self.core.budget_reached {
                 break;
             }
             if self.core.cycle() >= next_slice {
-                self.quantum_expired();
+                self.quantum_expired(sink);
                 next_slice += self.timeslice;
             }
         }
         self.collect()
+    }
+
+    /// Run to completion collecting a [`Trace`] alongside the statistics.
+    ///
+    /// The sink kind follows [`SimConfig::with_trace`]:
+    /// [`TraceSpec::Ring`] keeps a bounded most-recent window (the trace
+    /// records how much was dropped), everything else — including the
+    /// default [`TraceSpec::Off`], since calling this method *is* the
+    /// explicit request to trace — records the full stream.
+    pub fn run_with_trace(self) -> (RunStats, Trace) {
+        let mut threads: Vec<(u32, String)> = self
+            .pool
+            .iter()
+            .map(|t| (t.tid, t.name.to_string()))
+            .collect();
+        threads.sort_by_key(|&(tid, _)| tid);
+        let n_contexts = self.core.contexts.len() as u8;
+        let (stats, events, dropped) = match self.trace_spec {
+            TraceSpec::Ring(capacity) => {
+                let mut sink = RingSink::new(capacity);
+                let stats = self.run_traced(&mut sink);
+                let (events, dropped) = sink.into_parts();
+                (stats, events, dropped)
+            }
+            TraceSpec::Off | TraceSpec::Full => {
+                let mut sink = RecordingSink::new();
+                let stats = self.run_traced(&mut sink);
+                (stats, sink.into_events(), 0)
+            }
+        };
+        let trace = Trace {
+            events,
+            n_contexts,
+            threads,
+            end_cycle: stats.cycles,
+            dropped,
+        };
+        (stats, trace)
     }
 
     /// Gather statistics from the core and all threads.
@@ -211,6 +308,12 @@ impl Machine {
             }
         }
         self.pool.sort_by_key(|t| t.tid);
+        let mut stall_breakdown = StallBreakdown::new();
+        for t in &self.pool {
+            stall_breakdown.add(StallKind::ICacheMiss, t.istall_cycles);
+            stall_breakdown.add(StallKind::DCacheMiss, t.dstall_cycles);
+            stall_breakdown.add(StallKind::BranchBubble, t.branch_stall_cycles);
+        }
         let threads = self
             .pool
             .iter()
@@ -240,6 +343,7 @@ impl Machine {
             scheduler: self.sched_name,
             migrations: self.migrations,
             idle_context_cycles: self.idle_context_cycles,
+            stall_breakdown,
         }
     }
 }
@@ -365,6 +469,123 @@ mod tests {
             .run();
         assert!(stats.context_switches > 0);
         assert_eq!(stats.migrations, 0);
+    }
+
+    #[test]
+    fn tracing_never_perturbs_the_run() {
+        // The traced run must be cycle-for-cycle identical to the untraced
+        // one: tracing observes, never schedules.
+        let cfg = SimConfig::paper(catalog::by_name("2SC3").unwrap(), 5000);
+        let mk = || Machine::new(&cfg, threads(&["mcf", "cjpeg", "x264", "bzip2"], 3)).unwrap();
+        let plain = mk().run();
+        let (traced, trace) = mk().run_with_trace();
+        assert_eq!(plain.cycles, traced.cycles);
+        assert_eq!(plain.total_ops, traced.total_ops);
+        assert_eq!(plain.context_switches, traced.context_switches);
+        assert_eq!(plain.migrations, traced.migrations);
+        assert_eq!(plain.stall_breakdown, traced.stall_breakdown);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.end_cycle, traced.cycles);
+        assert_eq!(trace.n_contexts, 4);
+        assert_eq!(trace.threads.len(), 4);
+    }
+
+    #[test]
+    fn full_trace_conserves_the_aggregate_counters() {
+        let cfg = SimConfig::paper(catalog::by_name("1S").unwrap(), 20_000)
+            .with_trace(vliw_trace::TraceSpec::Full);
+        let (stats, trace) = Machine::new(&cfg, threads(&["mcf", "bzip2", "x264", "idct"], 7))
+            .unwrap()
+            .run_with_trace();
+        // Stall events reproduce the per-kind counters exactly.
+        assert_eq!(
+            StallBreakdown::from_events(&trace.events),
+            stats.stall_breakdown
+        );
+        // Bundle-issue events reproduce instruction and operation totals.
+        let (instrs, ops) = trace.events.iter().fold((0u64, 0u64), |(i, o), e| match e {
+            TraceEvent::BundleIssue { ops, .. } => (i + 1, o + u64::from(*ops)),
+            _ => (i, o),
+        });
+        assert_eq!(instrs, stats.total_instrs);
+        assert_eq!(ops, stats.total_ops);
+        // Cache-miss events reproduce the cache counters.
+        let (imiss, dmiss) = trace
+            .events
+            .iter()
+            .fold((0u64, 0u64), |(im, dm), e| match e {
+                TraceEvent::CacheMiss { cache, .. } => match cache {
+                    vliw_trace::CacheKind::Instruction => (im + 1, dm),
+                    vliw_trace::CacheKind::Data => (im, dm + 1),
+                },
+                _ => (im, dm),
+            });
+        assert_eq!(imiss, stats.icache.total_misses());
+        assert_eq!(dmiss, stats.dcache.total_misses());
+        // Every thread was admitted exactly once; migrations match.
+        let admits = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ContextAdmit { .. }))
+            .count();
+        assert_eq!(admits, 4);
+        let migrations = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ThreadMigration { .. }))
+            .count() as u64;
+        assert_eq!(migrations, stats.migrations);
+        // The migration-latency histogram counts every real migration
+        // (regression guard: the refill that precedes each migration event
+        // must not swallow it).
+        assert!(stats.migrations > 0, "this workload migrates");
+        assert_eq!(
+            vliw_trace::MigrationHistogram::from_events(&trace.events).total(),
+            stats.migrations
+        );
+        // The stream is in emission order: near-monotone in cycles, with
+        // lookahead fetch charges at most one stall-chain ahead (see
+        // `Trace::events` docs). No event is labelled past the run's end
+        // by more than a miss+branch chain.
+        let slack = 64;
+        assert!(trace
+            .events
+            .windows(2)
+            .all(|w| w[0].cycle() <= w[1].cycle() + slack));
+    }
+
+    #[test]
+    fn ring_trace_bounds_memory_and_reports_drops() {
+        let cfg = SimConfig::paper(catalog::by_name("1S").unwrap(), 20_000)
+            .with_trace(vliw_trace::TraceSpec::Ring(512));
+        let (stats, trace) = Machine::new(&cfg, threads(&["mcf", "bzip2"], 7))
+            .unwrap()
+            .run_with_trace();
+        assert!(stats.total_instrs > 512, "run long enough to overflow");
+        assert_eq!(trace.events.len(), 512);
+        assert!(trace.dropped > 0);
+        // The retained window is the most recent events.
+        assert!(trace.events.last().unwrap().cycle() <= stats.cycles);
+        assert!(trace.events.first().unwrap().cycle() > 0);
+    }
+
+    #[test]
+    fn stall_breakdown_sums_to_thread_stalls() {
+        let cfg = SimConfig::paper(catalog::smt_cascade(4), 5000);
+        let stats = Machine::new(&cfg, threads(&["mcf", "bzip2", "x264", "idct"], 1))
+            .unwrap()
+            .run();
+        let per_thread: u64 = stats
+            .threads
+            .iter()
+            .map(|t| t.dstall_cycles + t.istall_cycles + t.branch_stall_cycles)
+            .sum();
+        assert!(per_thread > 0);
+        assert_eq!(stats.stall_breakdown.total(), per_thread);
+        assert_eq!(
+            stats.stall_breakdown.dcache,
+            stats.threads.iter().map(|t| t.dstall_cycles).sum::<u64>()
+        );
     }
 
     #[test]

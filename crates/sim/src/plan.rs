@@ -52,10 +52,12 @@ use crate::runner::{self, ImageCache, RunResult};
 use crate::sched::SchedulerSpec;
 use crate::stats::ThreadStats;
 use crate::thread::SoftThread;
+use rayon::prelude::*;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use vliw_core::{catalog, MergeScheme, PriorityPolicy};
 use vliw_hwcost::{scheme_cost, SchemeCost};
+use vliw_trace::{Trace, TraceSpec};
 use vliw_workloads::{benchmark, mixes, BenchmarkSpec, WorkloadMix};
 
 pub use vliw_isa::MachineSpec;
@@ -372,6 +374,7 @@ pub struct Plan {
     scale: u64,
     priority: PriorityPolicy,
     seed: Option<u64>,
+    trace: TraceSpec,
 }
 
 impl Plan {
@@ -388,6 +391,7 @@ impl Plan {
             scale: 20,
             priority: PriorityPolicy::RoundRobin,
             seed: None,
+            trace: TraceSpec::Off,
         }
     }
 
@@ -519,6 +523,17 @@ impl Plan {
         self
     }
 
+    /// Cycle-level tracing for the trace-collecting runs
+    /// ([`Plan::run_traced`] / [`Plan::trace_cell`]):
+    /// [`TraceSpec::Ring`] bounds per-cell memory, [`TraceSpec::Full`]
+    /// keeps everything. The default [`TraceSpec::Off`] also records fully
+    /// when a trace-collecting entry point is used (calling one *is* the
+    /// request to trace); [`Plan::run`] never traces regardless.
+    pub fn trace(mut self, spec: TraceSpec) -> Self {
+        self.trace = spec;
+        self
+    }
+
     /// The memory axes this plan actually sweeps.
     fn effective_axes(&self) -> Vec<MemoryModel> {
         if self.axes.is_empty() {
@@ -582,6 +597,7 @@ impl Plan {
             SimConfig::paper(key.scheme.scheme().clone(), self.scale).with_machine(key.machine);
         cfg.priority = self.priority;
         cfg.scheduler = key.scheduler;
+        cfg.trace = self.trace;
         if let Some(seed) = self.seed {
             cfg.seed = seed;
         }
@@ -602,6 +618,97 @@ impl Plan {
     /// Run the grid against an explicit cache and worker count (the
     /// lower-level form [`runner::run_sweep`] also uses).
     pub fn run_with(&self, cache: &ImageCache, parallelism: usize) -> ResultSet {
+        self.validate();
+        let jobs = self.jobs();
+        let results = runner::run_jobs(jobs, |key| self.run_cell(cache, key), parallelism);
+        self.result_set(results)
+    }
+
+    /// Run the whole grid with per-cell tracing, invoking `hook` once per
+    /// cell — in deterministic row-major grid order, regardless of the
+    /// session's worker count — with the cell's key, result and recorded
+    /// [`Trace`]. Returns the same [`ResultSet`] as [`Plan::run`].
+    ///
+    /// Traces are *streamed* to the hook, not stored: each cell's trace is
+    /// dropped as soon as the hook returns, so the resident set is the
+    /// in-flight cells plus whatever finished out of order ahead of the
+    /// row-major cursor (≈ the worker count for similarly-priced cells),
+    /// never the whole grid. Use [`TraceSpec::Ring`] via [`Plan::trace`]
+    /// to bound the per-cell footprint too.
+    ///
+    /// The per-cell sink follows [`Plan::trace`]; the default
+    /// [`TraceSpec::Off`] records fully here, since calling this method is
+    /// the explicit request to trace. Statistics are identical to
+    /// [`Plan::run`] — tracing observes, never perturbs.
+    pub fn run_traced<F>(&self, session: &Session, mut hook: F) -> ResultSet
+    where
+        F: FnMut(&JobKey, &RunResult, &Trace),
+    {
+        self.validate();
+        let jobs = self.jobs();
+        let n = jobs.len();
+        let cache = session.cache();
+        let parallelism = session.parallelism().clamp(1, n.max(1));
+        let mut results: Vec<Option<RunResult>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let (tx, rx) = std::sync::mpsc::channel::<(usize, RunResult, Trace)>();
+            let jobs = &jobs;
+            // Producer: the usual rayon fan-out, but each finished cell is
+            // sent immediately instead of being collected.
+            scope.spawn(move || {
+                let tx = parking_lot::Mutex::new(tx);
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(parallelism)
+                    .build()
+                    .expect("simulation thread pool");
+                pool.install(|| {
+                    (0..n).collect::<Vec<usize>>().par_iter().for_each(|&i| {
+                        let (result, trace) = self.run_cell_traced(cache, &jobs[i]);
+                        // The consumer only hangs up early on panic; drop
+                        // the cell and let the scope propagate it.
+                        let _ = tx.lock().send((i, result, trace));
+                    });
+                });
+            });
+            // Consumer: drain completions, re-serialize into row-major
+            // order, hook each cell once and drop its trace right after.
+            let mut pending: std::collections::BTreeMap<usize, (RunResult, Trace)> =
+                std::collections::BTreeMap::new();
+            let mut next = 0usize;
+            while next < n {
+                let Ok((i, result, trace)) = rx.recv() else {
+                    // Producer died (worker panic): the scope re-raises it
+                    // when the spawned thread is joined below.
+                    break;
+                };
+                pending.insert(i, (result, trace));
+                while let Some((result, trace)) = pending.remove(&next) {
+                    hook(&jobs[next], &result, &trace);
+                    results[next] = Some(result);
+                    next += 1;
+                }
+            }
+        });
+        self.result_set(
+            results
+                .into_iter()
+                .map(|r| r.expect("every grid cell completed"))
+                .collect(),
+        )
+    }
+
+    /// Run *one* cell of the grid with tracing, returning its result and
+    /// recorded [`Trace`] — the surgical "why does this cell behave like
+    /// that" probe (the `paper` binary's `--trace` flag uses it). The key
+    /// usually comes from [`Plan::jobs`]; any key assembled from the
+    /// plan's axes works. Sink choice follows [`Plan::trace`] exactly like
+    /// [`Plan::run_traced`].
+    pub fn trace_cell(&self, session: &Session, key: &JobKey) -> (RunResult, Trace) {
+        self.run_cell_traced(session.cache(), key)
+    }
+
+    /// Grid-level invariants shared by every run entry point.
+    fn validate(&self) {
         assert!(!self.schemes.is_empty(), "plan has no schemes");
         assert!(!self.workloads.is_empty(), "plan has no workloads");
         // Names are the lookup keys: a duplicate would make its later grid
@@ -627,23 +734,41 @@ impl Plan {
                 }
             }
         }
-        let jobs = self.jobs();
-        let results = runner::run_jobs(
-            jobs,
-            |key| {
-                let cfg = self.config_for(key);
-                let threads = key.workload.threads(cache, &cfg);
-                let stats = Machine::new(&cfg, threads)
-                    .expect("WorkloadRef guarantees at least one member thread")
-                    .run();
-                RunResult {
-                    scheme: key.scheme.name().to_string(),
-                    workload: key.workload.name().to_string(),
-                    stats,
-                }
+    }
+
+    /// Execute one cell untraced (the zero-cost monomorphized path).
+    fn run_cell(&self, cache: &ImageCache, key: &JobKey) -> RunResult {
+        let cfg = self.config_for(key);
+        let threads = key.workload.threads(cache, &cfg);
+        let stats = Machine::new(&cfg, threads)
+            .expect("WorkloadRef guarantees at least one member thread")
+            .run();
+        RunResult {
+            scheme: key.scheme.name().to_string(),
+            workload: key.workload.name().to_string(),
+            stats,
+        }
+    }
+
+    /// Execute one cell with trace collection.
+    fn run_cell_traced(&self, cache: &ImageCache, key: &JobKey) -> (RunResult, Trace) {
+        let cfg = self.config_for(key);
+        let threads = key.workload.threads(cache, &cfg);
+        let (stats, trace) = Machine::new(&cfg, threads)
+            .expect("WorkloadRef guarantees at least one member thread")
+            .run_with_trace();
+        (
+            RunResult {
+                scheme: key.scheme.name().to_string(),
+                workload: key.workload.name().to_string(),
+                stats,
             },
-            parallelism,
-        );
+            trace,
+        )
+    }
+
+    /// Wrap executed results into the keyed [`ResultSet`].
+    fn result_set(&self, results: Vec<RunResult>) -> ResultSet {
         ResultSet {
             schemes: self.schemes.clone(),
             workloads: self.workloads.clone(),
@@ -1729,6 +1854,64 @@ mod tests {
         assert_eq!(lines.next(), Some(ResultSet::CSV_HEADER));
         let row = lines.next().unwrap();
         assert!(row.starts_with("ST,idct,real,"));
+    }
+
+    #[test]
+    fn run_traced_hooks_every_cell_in_grid_order() {
+        let plan = Plan::new()
+            .schemes(["ST", "1S"])
+            .workload("idct")
+            .axes([MemoryModel::Real, MemoryModel::Perfect])
+            .scale(100_000);
+        let mut seen: Vec<(String, String)> = Vec::new();
+        let set = plan.run_traced(&Session::with_parallelism(2), |key, result, trace| {
+            assert!(!trace.is_empty(), "every cell records events");
+            assert_eq!(trace.end_cycle, result.stats.cycles);
+            // Trace-derived stall decomposition matches the cell's stats.
+            assert_eq!(
+                vliw_trace::StallBreakdown::from_events(&trace.events),
+                result.stats.stall_breakdown
+            );
+            seen.push((key.scheme.name().to_string(), key.memory.label().into()));
+        });
+        // Hook ran once per cell, row-major (schemes outer, memory inner).
+        assert_eq!(
+            seen,
+            vec![
+                ("ST".into(), "real".into()),
+                ("ST".into(), "perfect".into()),
+                ("1S".into(), "real".into()),
+                ("1S".into(), "perfect".into()),
+            ]
+        );
+        // The returned set is the plain `run` result set.
+        let plain = plan.run(&Session::with_parallelism(1));
+        assert_eq!(
+            set.get("1S", "idct", MemoryModel::Perfect)
+                .unwrap()
+                .stats
+                .cycles,
+            plain
+                .get("1S", "idct", MemoryModel::Perfect)
+                .unwrap()
+                .stats
+                .cycles
+        );
+    }
+
+    #[test]
+    fn trace_cell_probes_one_cell_with_bounded_memory() {
+        let plan = Plan::new()
+            .scheme("1S")
+            .workload("LLHH")
+            .scale(50_000)
+            .trace(TraceSpec::Ring(256));
+        let key = plan.jobs().remove(0);
+        let (result, trace) = plan.trace_cell(&Session::with_parallelism(1), &key);
+        assert_eq!(result.workload, "LLHH");
+        assert_eq!(trace.events.len(), 256, "ring cap respected");
+        assert!(trace.dropped > 0);
+        assert_eq!(trace.threads.len(), 4);
     }
 
     #[test]

@@ -167,10 +167,15 @@ pub fn run_mix(
 /// Run a set of jobs in parallel via rayon (simulations are independent
 /// and deterministic; results come back in job order regardless of the
 /// worker count, so every downstream figure is reproducible).
-pub fn run_jobs<J, F>(jobs: Vec<J>, worker: F, parallelism: usize) -> Vec<RunResult>
+///
+/// Generic over the worker's output so plan-level drivers can carry
+/// per-run payloads (e.g. a [`vliw_trace::Trace`]) alongside the
+/// [`RunResult`].
+pub fn run_jobs<J, R, F>(jobs: Vec<J>, worker: F, parallelism: usize) -> Vec<R>
 where
     J: Sync,
-    F: Fn(&J) -> RunResult + Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
 {
     if jobs.is_empty() {
         return Vec::new();

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 use vliw_core::MergeStats;
 use vliw_mem::CacheStats;
+use vliw_trace::StallBreakdown;
 
 /// Per-software-thread results.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +62,11 @@ pub struct RunStats {
     /// installed (more software threads recover these; distinct from
     /// vertical waste, where an occupied context had nothing to issue).
     pub idle_context_cycles: u64,
+    /// Stall cycles decomposed by kind (I$ miss / D$ miss / branch
+    /// bubble), summed over all threads from the same counters the tracer
+    /// observes — so it always sums to the threads' total stall cycles,
+    /// and a full trace's [`StallBreakdown::from_events`] agrees exactly.
+    pub stall_breakdown: StallBreakdown,
 }
 
 impl RunStats {
@@ -149,6 +155,7 @@ mod tests {
             scheduler: "paper-random".into(),
             migrations: 0,
             idle_context_cycles: 0,
+            stall_breakdown: StallBreakdown::default(),
         }
     }
 

@@ -4,6 +4,7 @@ use std::sync::Arc;
 use vliw_compiler::TermKind;
 use vliw_isa::{InstrSignature, OpClass};
 use vliw_mem::MemSystem;
+use vliw_trace::{StallKind, TraceEvent, TraceSink};
 use vliw_workloads::{BenchmarkImage, StreamState};
 
 /// Pre-extracted per-instruction execution metadata (hot-loop form of
@@ -189,16 +190,36 @@ impl SoftThread {
 
     /// Probe the I-cache for the instruction at the head; charges a stall
     /// when the line misses. Called whenever the head moves to a new line.
-    pub fn fetch_head(&mut self, cycle: u64, mem: &mut MemSystem, ctx: u8) {
+    ///
+    /// Tracing emits [`TraceEvent::CacheMiss`] (from the memory system) and
+    /// [`TraceEvent::Stall`] with [`StallKind::ICacheMiss`]; every emission
+    /// is guarded by [`TraceSink::ENABLED`], so with
+    /// [`vliw_trace::NullSink`] this monomorphizes to the untraced code.
+    pub fn fetch_head<S: TraceSink>(
+        &mut self,
+        cycle: u64,
+        mem: &mut MemSystem,
+        ctx: u8,
+        sink: &mut S,
+    ) {
         let meta = &self.meta.blocks[self.block as usize].instrs[self.idx as usize];
         let addr = meta.addr + self.code_offset;
         let line = mem.icache_line(addr);
         if line != self.last_iline {
             self.last_iline = line;
-            let extra = mem.fetch(addr, ctx);
+            let extra = mem.fetch_traced(addr, ctx, cycle, sink);
             if extra > 0 {
                 self.stall_until = self.stall_until.max(cycle + u64::from(extra));
                 self.istall_cycles += u64::from(extra);
+                if S::ENABLED {
+                    sink.record(TraceEvent::Stall {
+                        cycle,
+                        ctx,
+                        tid: self.tid,
+                        kind: StallKind::ICacheMiss,
+                        cycles: extra,
+                    });
+                }
             }
         }
     }
@@ -206,7 +227,19 @@ impl SoftThread {
     /// Execute the head instruction at `cycle` (the merge network accepted
     /// it) and advance the program counter. `branch_penalty` is the taken-
     /// branch bubble length.
-    pub fn execute_head(&mut self, cycle: u64, mem: &mut MemSystem, ctx: u8, branch_penalty: u8) {
+    ///
+    /// Tracing emits cache-miss and per-kind [`TraceEvent::Stall`] events
+    /// at the cycle they are charged, mirroring the `dstall`/`istall`/
+    /// `branch_stall` counters exactly (the conservation property the
+    /// stall-breakdown analyses rely on).
+    pub fn execute_head<S: TraceSink>(
+        &mut self,
+        cycle: u64,
+        mem: &mut MemSystem,
+        ctx: u8,
+        branch_penalty: u8,
+        sink: &mut S,
+    ) {
         let block = &self.meta.blocks[self.block as usize];
         let imeta = &block.instrs[self.idx as usize];
         self.instrs += 1;
@@ -216,10 +249,19 @@ impl SoftThread {
         // Data accesses: blocking, serialized.
         for &(stream, is_store) in imeta.mem.iter() {
             let addr = self.streams[stream as usize].next_addr() + self.data_offset;
-            let extra = mem.data(addr, is_store, ctx);
+            let extra = mem.data_traced(addr, is_store, ctx, cycle, sink);
             if extra > 0 {
                 next_free += u64::from(extra);
                 self.dstall_cycles += u64::from(extra);
+                if S::ENABLED {
+                    sink.record(TraceEvent::Stall {
+                        cycle,
+                        ctx,
+                        tid: self.tid,
+                        kind: StallKind::DCacheMiss,
+                        cycles: extra,
+                    });
+                }
             }
         }
 
@@ -249,11 +291,20 @@ impl SoftThread {
                 self.taken_branches += 1;
                 next_free += u64::from(branch_penalty);
                 self.branch_stall_cycles += u64::from(branch_penalty);
+                if S::ENABLED && branch_penalty > 0 {
+                    sink.record(TraceEvent::Stall {
+                        cycle,
+                        ctx,
+                        tid: self.tid,
+                        kind: StallKind::BranchBubble,
+                        cycles: u32::from(branch_penalty),
+                    });
+                }
             }
         }
         self.stall_until = next_free;
         // Fetch the new head (charges I$ stall on a line change/miss).
-        self.fetch_head(next_free, mem, ctx);
+        self.fetch_head(next_free, mem, ctx, sink);
     }
 }
 
@@ -262,6 +313,7 @@ mod tests {
     use super::*;
     use vliw_isa::MachineConfig;
     use vliw_mem::MemConfig;
+    use vliw_trace::NullSink;
     use vliw_workloads::build_named;
 
     fn thread_pair() -> (SoftThread, MemSystem) {
@@ -275,11 +327,11 @@ mod tests {
     #[test]
     fn executes_and_advances() {
         let (mut t, mut mem) = thread_pair();
-        t.fetch_head(0, &mut mem, 0);
+        t.fetch_head(0, &mut mem, 0, &mut NullSink);
         let start_block = t.block;
         for cycle in 0..1000u64 {
             if t.ready(cycle) {
-                t.execute_head(cycle, &mut mem, 0, 2);
+                t.execute_head(cycle, &mut mem, 0, 2, &mut NullSink);
             }
         }
         assert!(t.instrs > 0);
@@ -294,11 +346,11 @@ mod tests {
     #[test]
     fn branch_penalty_accumulates() {
         let (mut t, mut mem) = thread_pair();
-        t.fetch_head(0, &mut mem, 0);
+        t.fetch_head(0, &mut mem, 0, &mut NullSink);
         let mut cycle = 0u64;
         while t.taken_branches < 10 {
             if t.ready(cycle) {
-                t.execute_head(cycle, &mut mem, 0, 2);
+                t.execute_head(cycle, &mut mem, 0, 2, &mut NullSink);
             }
             cycle += 1;
         }
@@ -311,10 +363,10 @@ mod tests {
         let (mut b, mut mem_b) = thread_pair();
         for cycle in 0..5000u64 {
             if a.ready(cycle) {
-                a.execute_head(cycle, &mut mem_a, 0, 2);
+                a.execute_head(cycle, &mut mem_a, 0, 2, &mut NullSink);
             }
             if b.ready(cycle) {
-                b.execute_head(cycle, &mut mem_b, 0, 2);
+                b.execute_head(cycle, &mut mem_b, 0, 2, &mut NullSink);
             }
         }
         assert_eq!(a.instrs, b.instrs);

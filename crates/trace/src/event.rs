@@ -1,0 +1,262 @@
+//! Typed cycle-level trace events.
+
+/// What a stall cycle was charged to.
+///
+/// The three kinds mirror the simulator's per-thread stall counters
+/// (`dstall_cycles` / `istall_cycles` / `branch_stall_cycles`), so a
+/// trace-derived decomposition is conservation-checkable against the
+/// end-of-run aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StallKind {
+    /// Instruction-cache miss latency.
+    ICacheMiss,
+    /// Data-cache miss latency (blocking, serialized per instruction).
+    DCacheMiss,
+    /// Taken-branch bubble (the merge network's extra pipeline stage).
+    BranchBubble,
+}
+
+impl StallKind {
+    /// All kinds, in the stable serialization order.
+    pub const ALL: [StallKind; 3] = [
+        StallKind::ICacheMiss,
+        StallKind::DCacheMiss,
+        StallKind::BranchBubble,
+    ];
+
+    /// Stable lowercase label used in serialized traces and exhibits.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallKind::ICacheMiss => "icache",
+            StallKind::DCacheMiss => "dcache",
+            StallKind::BranchBubble => "branch",
+        }
+    }
+}
+
+impl std::fmt::Display for StallKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which cache a miss event came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheKind {
+    /// The shared instruction cache.
+    Instruction,
+    /// The shared data cache.
+    Data,
+}
+
+impl CacheKind {
+    /// Stable lowercase label used in serialized traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheKind::Instruction => "icache",
+            CacheKind::Data => "dcache",
+        }
+    }
+}
+
+impl std::fmt::Display for CacheKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One cycle-level event of a simulation run.
+///
+/// Events are small (`Copy`) and carry the cycle they happened at, so any
+/// subsequence — including a [`crate::RingSink`]'s bounded window — is
+/// independently analyzable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A hardware context issued its head instruction this cycle.
+    BundleIssue {
+        /// Issue cycle.
+        cycle: u64,
+        /// Hardware context that issued.
+        ctx: u8,
+        /// Software thread occupying the context.
+        tid: u32,
+        /// Operations in the issued instruction.
+        ops: u8,
+    },
+    /// A thread was charged stall cycles (at the charging instruction).
+    Stall {
+        /// Cycle the stall was charged at.
+        cycle: u64,
+        /// Hardware context of the stalling thread.
+        ctx: u8,
+        /// Stalling software thread.
+        tid: u32,
+        /// What the cycles were charged to.
+        kind: StallKind,
+        /// Charged stall cycles.
+        cycles: u32,
+    },
+    /// A cache access missed.
+    CacheMiss {
+        /// Access cycle.
+        cycle: u64,
+        /// Hardware context of the accessing thread.
+        ctx: u8,
+        /// Which cache missed.
+        cache: CacheKind,
+        /// Accessed byte address (per-thread offsets included).
+        addr: u64,
+        /// Whether the access was a store (always `false` for I$).
+        is_store: bool,
+    },
+    /// A thread was installed on a context for the first time.
+    ContextAdmit {
+        /// Installation cycle.
+        cycle: u64,
+        /// Target hardware context.
+        ctx: u8,
+        /// Installed software thread.
+        tid: u32,
+    },
+    /// A thread was evicted from its context at a quantum expiry.
+    ContextEvict {
+        /// Eviction cycle.
+        cycle: u64,
+        /// Vacated hardware context.
+        ctx: u8,
+        /// Evicted software thread.
+        tid: u32,
+    },
+    /// A previously-run thread was reinstalled on a context.
+    ContextRefill {
+        /// Reinstallation cycle.
+        cycle: u64,
+        /// Target hardware context.
+        ctx: u8,
+        /// Reinstalled software thread.
+        tid: u32,
+    },
+    /// A refill placed a thread on a *different* context than its last one
+    /// (a migration: cold merge paths, changed cluster rotation).
+    ThreadMigration {
+        /// Migration (reinstallation) cycle.
+        cycle: u64,
+        /// Migrating software thread.
+        tid: u32,
+        /// Context the thread last ran on.
+        from_ctx: u8,
+        /// Context the thread now runs on.
+        to_ctx: u8,
+    },
+    /// The set of issuing contexts changed between consecutive cycles —
+    /// threads merged into or split out of the shared issue bundle.
+    MergeTransition {
+        /// First cycle with the new mask.
+        cycle: u64,
+        /// Issuing-context bitmask of the previous cycle.
+        from_mask: u8,
+        /// Issuing-context bitmask of this cycle.
+        to_mask: u8,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle this event happened at.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::BundleIssue { cycle, .. }
+            | TraceEvent::Stall { cycle, .. }
+            | TraceEvent::CacheMiss { cycle, .. }
+            | TraceEvent::ContextAdmit { cycle, .. }
+            | TraceEvent::ContextEvict { cycle, .. }
+            | TraceEvent::ContextRefill { cycle, .. }
+            | TraceEvent::ThreadMigration { cycle, .. }
+            | TraceEvent::MergeTransition { cycle, .. } => cycle,
+        }
+    }
+
+    /// Stable kebab-case name of the event variant, used by the JSONL and
+    /// CSV exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::BundleIssue { .. } => "bundle-issue",
+            TraceEvent::Stall { .. } => "stall",
+            TraceEvent::CacheMiss { .. } => "cache-miss",
+            TraceEvent::ContextAdmit { .. } => "context-admit",
+            TraceEvent::ContextEvict { .. } => "context-evict",
+            TraceEvent::ContextRefill { .. } => "context-refill",
+            TraceEvent::ThreadMigration { .. } => "thread-migration",
+            TraceEvent::MergeTransition { .. } => "merge-transition",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_accessor_covers_every_variant() {
+        let events = [
+            TraceEvent::BundleIssue {
+                cycle: 1,
+                ctx: 0,
+                tid: 0,
+                ops: 4,
+            },
+            TraceEvent::Stall {
+                cycle: 2,
+                ctx: 0,
+                tid: 0,
+                kind: StallKind::DCacheMiss,
+                cycles: 20,
+            },
+            TraceEvent::CacheMiss {
+                cycle: 3,
+                ctx: 1,
+                cache: CacheKind::Data,
+                addr: 0x40,
+                is_store: true,
+            },
+            TraceEvent::ContextAdmit {
+                cycle: 4,
+                ctx: 2,
+                tid: 1,
+            },
+            TraceEvent::ContextEvict {
+                cycle: 5,
+                ctx: 2,
+                tid: 1,
+            },
+            TraceEvent::ContextRefill {
+                cycle: 6,
+                ctx: 3,
+                tid: 1,
+            },
+            TraceEvent::ThreadMigration {
+                cycle: 7,
+                tid: 1,
+                from_ctx: 2,
+                to_ctx: 3,
+            },
+            TraceEvent::MergeTransition {
+                cycle: 8,
+                from_mask: 0b0011,
+                to_mask: 0b0111,
+            },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.cycle(), i as u64 + 1);
+            assert!(!e.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(StallKind::ICacheMiss.label(), "icache");
+        assert_eq!(StallKind::DCacheMiss.label(), "dcache");
+        assert_eq!(StallKind::BranchBubble.label(), "branch");
+        assert_eq!(CacheKind::Instruction.to_string(), "icache");
+        assert_eq!(CacheKind::Data.to_string(), "dcache");
+    }
+}

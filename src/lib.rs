@@ -15,7 +15,10 @@
 //!   hardware;
 //! * [`sim`] — the cycle-accurate multithreaded processor simulator with
 //!   pluggable OS scheduling policies (`sim::sched`) and the experiment
-//!   drivers.
+//!   drivers;
+//! * [`trace`] — zero-cost cycle-level event tracing: typed events,
+//!   monomorphized sinks (the disabled path compiles to the untraced
+//!   code), timeline analyses, and Chrome-trace/JSONL/CSV exporters.
 //!
 //! ## Quickstart
 //!
@@ -56,4 +59,5 @@ pub use vliw_hwcost as hwcost;
 pub use vliw_isa as isa;
 pub use vliw_mem as mem;
 pub use vliw_sim as sim;
+pub use vliw_trace as trace;
 pub use vliw_workloads as workloads;

@@ -385,3 +385,90 @@ fn thread_breakdowns_are_keyed() {
     assert_eq!(names, ["mcf", "blowfish", "x264", "idct"]);
     assert!(set.threads("3SSS", "nope", MemoryModel::Real).is_none());
 }
+
+/// The `RunStats` stall-breakdown satellite: the per-kind map is populated
+/// from the same counters the tracer observes, so it must sum exactly to
+/// the threads' total stall cycles — per kind and in total — under 1, 2
+/// and 4 workers, with worker-count-independent values.
+#[test]
+fn stall_breakdown_conserves_thread_stalls_across_worker_counts() {
+    let sets: Vec<ResultSet> = [1usize, 2, 4]
+        .iter()
+        .map(|&par| test_plan().run(&Session::with_parallelism(par)))
+        .collect();
+    for set in &sets {
+        for (key, r) in set.iter() {
+            let b = &r.stats.stall_breakdown;
+            let threads = &r.stats.threads;
+            let label = format!(
+                "{}/{}/{}",
+                key.scheme.name(),
+                key.workload.name(),
+                key.memory
+            );
+            assert_eq!(
+                b.icache,
+                threads.iter().map(|t| t.istall_cycles).sum::<u64>(),
+                "{label}: I$ bucket"
+            );
+            assert_eq!(
+                b.dcache,
+                threads.iter().map(|t| t.dstall_cycles).sum::<u64>(),
+                "{label}: D$ bucket"
+            );
+            assert_eq!(
+                b.branch,
+                threads.iter().map(|t| t.branch_stall_cycles).sum::<u64>(),
+                "{label}: branch bucket"
+            );
+            let total: u64 = threads
+                .iter()
+                .map(|t| t.dstall_cycles + t.istall_cycles + t.branch_stall_cycles)
+                .sum();
+            assert_eq!(b.total(), total, "{label}: breakdown must sum to total");
+            assert!(b.total() > 0, "{label}: a real run always stalls somewhere");
+        }
+    }
+    // Worker count never changes the decomposition.
+    for set in &sets[1..] {
+        for (a, b) in sets[0].results().iter().zip(set.results()) {
+            assert_eq!(a.stats.stall_breakdown, b.stats.stall_breakdown);
+        }
+    }
+}
+
+/// The plan-level trace hook: every cell's full event stream reproduces
+/// the cell's aggregate stall decomposition exactly (the tracer's
+/// conservation invariant), under 1, 2 and 4 workers, and trace exports
+/// are byte-identical across worker counts.
+#[test]
+fn traced_cells_conserve_and_export_byte_identically() {
+    use vliw_tms::trace::{StallBreakdown, TraceFormat};
+    let plan = Plan::new()
+        .schemes(["1S", "2SC3"])
+        .workload("LLHH")
+        .scale(50_000);
+    let mut exports: Vec<Vec<String>> = Vec::new();
+    for par in [1usize, 2, 4] {
+        let mut cell_exports = Vec::new();
+        plan.run_traced(&Session::with_parallelism(par), |key, result, trace| {
+            assert_eq!(
+                StallBreakdown::from_events(&trace.events),
+                result.stats.stall_breakdown,
+                "{}/{}: trace must reproduce the aggregate decomposition",
+                key.scheme.name(),
+                key.workload.name()
+            );
+            assert_eq!(trace.end_cycle, result.stats.cycles);
+            cell_exports.push(TraceFormat::Chrome.export(trace));
+            cell_exports.push(TraceFormat::Jsonl.export(trace));
+            cell_exports.push(TraceFormat::Csv.export(trace));
+        });
+        exports.push(cell_exports);
+    }
+    assert_eq!(exports[0].len(), 2 * 3, "two cells, three formats");
+    assert_eq!(exports[0], exports[1], "1 vs 2 workers");
+    assert_eq!(exports[0], exports[2], "1 vs 4 workers");
+    // The chrome export is structurally a trace_event JSON document.
+    assert!(exports[0][0].starts_with("{\"traceEvents\":["));
+}
