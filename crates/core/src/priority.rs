@@ -91,6 +91,23 @@ impl PriorityRotator {
         }
     }
 
+    /// Advance the mapping over `cycles` consecutive cycles in which *no*
+    /// thread issued, in closed form — exactly equivalent to calling
+    /// [`PriorityRotator::advance`]`(0)` that many times, but O(n) instead
+    /// of O(n·cycles). This is what lets the event-driven core skip idle
+    /// spans without replaying them: round-robin rotates once per cycle
+    /// regardless of issue, while fixed and least-recently-issued mappings
+    /// are invariant under empty cycles.
+    pub fn advance_idle(&mut self, cycles: u64) {
+        match self.policy {
+            PriorityPolicy::Fixed | PriorityPolicy::LeastRecentlyIssued => {}
+            PriorityPolicy::RoundRobin => {
+                let n = self.order.len() as u64;
+                self.order.rotate_left((cycles % n) as usize);
+            }
+        }
+    }
+
     /// The policy in force.
     pub fn policy(&self) -> PriorityPolicy {
         self.policy
@@ -133,6 +150,32 @@ mod tests {
         // Thread 1 issues.
         r.advance(0b0010);
         assert_eq!(r.order(), &[3, 0, 2, 1]);
+    }
+
+    #[test]
+    fn advance_idle_matches_stepping() {
+        for policy in [
+            PriorityPolicy::Fixed,
+            PriorityPolicy::RoundRobin,
+            PriorityPolicy::LeastRecentlyIssued,
+        ] {
+            for k in [0u64, 1, 3, 4, 5, 1000, u64::MAX / 3] {
+                let mut closed = PriorityRotator::new(policy, 4);
+                closed.advance(0b0101); // desynchronize from the identity
+                let mut stepped = closed.clone();
+                closed.advance_idle(k);
+                for _ in 0..k.min(10_000) {
+                    stepped.advance(0);
+                }
+                if k <= 10_000 {
+                    assert_eq!(closed.order(), stepped.order(), "{policy:?} k={k}");
+                }
+                // Closed form is always a valid permutation.
+                let mut sorted: Vec<u8> = closed.order().to_vec();
+                sorted.sort_unstable();
+                assert_eq!(sorted, vec![0, 1, 2, 3]);
+            }
+        }
     }
 
     #[test]

@@ -52,6 +52,19 @@ impl MergeStats {
         self.cycles += 1;
     }
 
+    /// Record `cycles` consecutive empty cycles (no port ready, nothing
+    /// issued) in closed form — exactly equivalent to that many
+    /// [`MergeStats::record_packet`]`(0, 0)` calls. An all-stalled cycle
+    /// performs no conflict checks (every candidate is empty), so the
+    /// per-block attempt/success counters are untouched; only the packet
+    /// histogram's empty bucket and the cycle count advance. The
+    /// event-driven core uses this to account skipped idle spans.
+    #[inline]
+    pub fn record_idle(&mut self, cycles: u64) {
+        self.packets[0] += cycles;
+        self.cycles += cycles;
+    }
+
     /// Attempt count per block.
     pub fn attempts(&self) -> &[u64] {
         &self.attempts
@@ -157,6 +170,26 @@ mod tests {
         assert_eq!(s.cycles(), 3);
         assert!((s.mean_threads_per_cycle() - 2.0).abs() < 1e-12);
         assert!((s.mean_ops_per_cycle() - 16.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_idle_matches_repeated_empty_packets() {
+        let mut stepped = MergeStats::new(2);
+        let mut closed = MergeStats::new(2);
+        stepped.record_packet(2, 6);
+        closed.record_packet(2, 6);
+        for _ in 0..1000 {
+            stepped.record_packet(0, 0);
+        }
+        closed.record_idle(1000);
+        assert_eq!(stepped.packet_histogram(), closed.packet_histogram());
+        assert_eq!(stepped.cycles(), closed.cycles());
+        assert_eq!(stepped.empty_cycles(), closed.empty_cycles());
+        assert_eq!(
+            stepped.mean_ops_per_cycle(),
+            closed.mean_ops_per_cycle(),
+            "bit-exact aggregate"
+        );
     }
 
     #[test]

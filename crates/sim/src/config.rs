@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::core::CoreModel;
 use crate::sched::SchedulerSpec;
 use vliw_core::{MergeScheme, PriorityPolicy};
 use vliw_isa::{MachineConfig, MachineSpec};
@@ -37,6 +38,11 @@ pub struct SimConfig {
     /// hooks); the plain [`crate::os::Machine::run`] always executes the
     /// monomorphized zero-cost untraced path regardless.
     pub trace: TraceSpec,
+    /// Core execution model: the event-driven fast core (default) or the
+    /// cycle-accurate oracle it is differentially tested against. Both
+    /// produce bit-identical statistics and traces — this switch trades
+    /// wall-clock only. See [`CoreModel`].
+    pub core_model: CoreModel,
 }
 
 impl SimConfig {
@@ -63,6 +69,7 @@ impl SimConfig {
             max_cycles: u64::MAX,
             seed: 0xC0FFEE,
             trace: TraceSpec::Off,
+            core_model: CoreModel::default(),
         }
     }
 
@@ -94,6 +101,15 @@ impl SimConfig {
     /// [`crate::os::Machine::run_with_trace`].
     pub fn with_trace(mut self, trace: TraceSpec) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Same configuration under a different core execution model
+    /// ([`CoreModel::EventDriven`] is the default;
+    /// [`CoreModel::CycleAccurate`] selects the oracle loop). Statistics
+    /// and traces are bit-identical either way.
+    pub fn with_core_model(mut self, core_model: CoreModel) -> Self {
+        self.core_model = core_model;
         self
     }
 
@@ -153,6 +169,20 @@ mod tests {
         assert_eq!(c.scheduler, SchedulerSpec::PaperRandom);
         let c = c.with_scheduler(SchedulerSpec::Icount);
         assert_eq!(c.scheduler, SchedulerSpec::Icount);
+    }
+
+    #[test]
+    fn event_core_is_the_default_model() {
+        let c = SimConfig::paper(catalog::smt_cascade(4), 100);
+        assert_eq!(c.core_model, CoreModel::EventDriven);
+        let c = c.with_core_model(CoreModel::CycleAccurate);
+        assert_eq!(c.core_model, CoreModel::CycleAccurate);
+        assert_eq!(CoreModel::parse("oracle"), Some(CoreModel::CycleAccurate));
+        assert_eq!(CoreModel::parse("EVENT"), Some(CoreModel::EventDriven));
+        assert_eq!(CoreModel::parse("nope"), None);
+        for m in CoreModel::all() {
+            assert_eq!(CoreModel::parse(m.name()), Some(m), "{m} round-trips");
+        }
     }
 
     #[test]

@@ -1,11 +1,78 @@
-//! The multithreaded core: fetch → merge → issue → execute, one call per
-//! cycle.
+//! The multithreaded core: fetch → merge → issue → execute.
+//!
+//! Two execution models share one set of per-cycle semantics:
+//!
+//! * [`CoreModel::CycleAccurate`] — the original loop: one
+//!   [`Core::step`] per simulated cycle, including cycles in which every
+//!   context is stalled. This is the *oracle* the differential test suite
+//!   (`tests/core_equivalence.rs`) runs the fast core against.
+//! * [`CoreModel::EventDriven`] (default) — identical issue cycles, but
+//!   spans in which *no* context can issue are skipped in closed form via
+//!   a [`WakeupSet`] of per-context timers: the core jumps straight to
+//!   the earliest `stall_until`, accounting the skipped cycles (empty
+//!   packets, vertical waste, priority rotation) exactly as the oracle
+//!   would have. Memory-bound workloads spend most wall-clock in such
+//!   spans, which is where the measured 5–10× speedups come from (see
+//!   `BENCH_event_core.json`).
+//!
+//! The equivalence contract is *bit-identical observable state*: retire
+//! order, RNG draws, every counter in [`crate::stats::RunStats`], and the
+//! full trace event stream. An all-stalled cycle performs no RNG draws,
+//! no memory accesses and no conflict checks — its only effects are the
+//! empty-packet record, the vertical-waste counter, the rotator advance
+//! and (once per span) a merge-transition trace event — so a skipped span
+//! can be replayed in O(1).
 
 use crate::config::SimConfig;
+use crate::events::WakeupSet;
 use crate::thread::SoftThread;
 use vliw_core::{eval::CompiledScheme, MergeEvaluator, MergeStats, PortInput, PriorityRotator};
 use vliw_mem::MemSystem;
 use vliw_trace::{NullSink, TraceEvent, TraceSink};
+
+/// Which execution model drives [`Core::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CoreModel {
+    /// Event-driven fast core: skips ahead over all-stalled spans via a
+    /// time-ordered wakeup queue. Bit-identical to the oracle (enforced
+    /// by the differential suite), and the default.
+    #[default]
+    EventDriven,
+    /// The legacy cycle-accurate loop: ticks every context every cycle.
+    /// Kept as the differential-testing oracle and perf baseline.
+    CycleAccurate,
+}
+
+impl CoreModel {
+    /// Stable lowercase name (`event` / `cycle`), as accepted by
+    /// [`CoreModel::parse`] and the paper bin's `--core` flag.
+    pub fn name(self) -> &'static str {
+        match self {
+            CoreModel::EventDriven => "event",
+            CoreModel::CycleAccurate => "cycle",
+        }
+    }
+
+    /// Parse a model name (`"event"` / `"cycle"`, case-insensitive).
+    pub fn parse(s: &str) -> Option<CoreModel> {
+        match s.to_ascii_lowercase().as_str() {
+            "event" | "event-driven" | "fast" => Some(CoreModel::EventDriven),
+            "cycle" | "cycle-accurate" | "oracle" => Some(CoreModel::CycleAccurate),
+            _ => None,
+        }
+    }
+
+    /// Every model, in display order.
+    pub fn all() -> [CoreModel; 2] {
+        [CoreModel::EventDriven, CoreModel::CycleAccurate]
+    }
+}
+
+impl std::fmt::Display for CoreModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Outcome of one cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,6 +88,12 @@ pub struct Core {
     evaluator: MergeEvaluator,
     scheme: CompiledScheme,
     rotator: PriorityRotator,
+    model: CoreModel,
+    /// Per-context wakeup timers (the event-driven core's view of every
+    /// installed thread's `stall_until`). Maintained by `install`/`evict`
+    /// and by the fast loop after each issue; the cycle-accurate oracle
+    /// never consults it.
+    wake: WakeupSet,
     /// Shared memory system.
     pub mem: MemSystem,
     /// Hardware contexts (port count of the scheme).
@@ -53,6 +126,8 @@ impl Core {
             merge_stats: MergeStats::new(compiled.n_nodes()),
             scheme: compiled,
             rotator: PriorityRotator::new(cfg.priority, n as u8),
+            model: cfg.core_model,
+            wake: WakeupSet::new(n),
             mem: MemSystem::new(cfg.mem),
             contexts: (0..n).map(|_| None).collect(),
             branch_penalty: cfg.machine.taken_branch_penalty,
@@ -72,6 +147,11 @@ impl Core {
     /// Current cycle.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// The execution model driving [`Core::run`].
+    pub fn model(&self) -> CoreModel {
+        self.model
     }
 
     /// Total operations issued so far.
@@ -120,11 +200,15 @@ impl Core {
         // in wall-clock terms only if the OS kept it out long enough.
         thread.stall_until = thread.stall_until.max(self.cycle);
         thread.fetch_head(self.cycle, &mut self.mem, ctx as u8, sink);
+        // Arm after the install fetch: a cold I$ miss raises `stall_until`
+        // and the timer must reflect the final value.
+        self.wake.arm(ctx, thread.stall_until);
         self.contexts[ctx] = Some(thread);
     }
 
     /// Remove and return the thread on `ctx`.
     pub fn evict(&mut self, ctx: usize) -> Option<SoftThread> {
+        self.wake.cancel(ctx);
         self.contexts[ctx].take()
     }
 
@@ -217,11 +301,93 @@ impl Core {
     }
 
     /// [`Core::run`] with a trace sink (same zero-cost contract as
-    /// [`Core::step_traced`]).
+    /// [`Core::step_traced`]). Dispatches on the configured
+    /// [`CoreModel`]; both models produce bit-identical observable state.
     pub fn run_traced<S: TraceSink>(&mut self, cycles_limit: u64, sink: &mut S) {
-        while self.cycle < cycles_limit && !self.budget_reached {
-            self.step_traced(sink);
+        match self.model {
+            CoreModel::CycleAccurate => {
+                while self.cycle < cycles_limit && !self.budget_reached {
+                    self.step_traced(sink);
+                }
+            }
+            CoreModel::EventDriven => self.run_event_driven(cycles_limit, sink),
         }
+    }
+
+    /// The fast loop: execute issue cycles exactly like the oracle, skip
+    /// all-stalled spans in closed form.
+    ///
+    /// The loop steps first and consults the wakeup timers only after a
+    /// cycle that issued nothing, so issue cycles pay just the per-issued
+    /// re-arm (three stores) over the oracle. Zero issue is a *proof* of
+    /// an idle span: `step` issues from every context whose `stall_until`
+    /// has passed, so "nobody issued" means every installed context is
+    /// stalled strictly past the cycle just executed — and since timers
+    /// are re-armed on every issue/install, `wake.next_wakeup()` is then
+    /// exactly the first cycle anything can issue again.
+    ///
+    /// Invariant: every installed context has a live timer in `wake` equal
+    /// to its current `stall_until` (armed at install, re-armed on every
+    /// issue; `stall_until` changes nowhere else). Timers that
+    /// *underestimate* `stall_until` would only force redundant (but
+    /// oracle-identical) idle steps, so external [`Core::step`] calls
+    /// interleaved with `run` stay correct.
+    fn run_event_driven<S: TraceSink>(&mut self, cycles_limit: u64, sink: &mut S) {
+        while self.cycle < cycles_limit && !self.budget_reached {
+            let out = self.step_traced(sink);
+            if out.issued_contexts != 0 {
+                // Issuing moved each context's `stall_until` forward
+                // (execute + stalls + the next head fetch): re-arm.
+                let mut m = out.issued_contexts;
+                while m != 0 {
+                    let t = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let su = self.contexts[t]
+                        .as_ref()
+                        .expect("issued context occupied")
+                        .stall_until;
+                    self.wake.arm(t, su);
+                }
+            } else {
+                // All-stalled (or empty) core: jump to the earliest wakeup.
+                // With no installed context at all, every remaining cycle
+                // of the slice is an empty cycle.
+                let target = self
+                    .wake
+                    .next_wakeup()
+                    .unwrap_or(cycles_limit)
+                    .min(cycles_limit);
+                if target > self.cycle {
+                    self.skip_idle(target, sink);
+                }
+            }
+        }
+    }
+
+    /// Account `target - cycle` consecutive all-stalled cycles in closed
+    /// form and jump to `target`. Bit-exact replay of what the oracle does
+    /// on an idle cycle: no conflict checks, no RNG draws, no memory
+    /// traffic — just the empty-packet records, the vertical-waste
+    /// counter, and the rotator advance. The merge-transition trace event
+    /// marking the issue mask collapsing to zero was already emitted by
+    /// the idle step that proved the span, so the guard below is normally
+    /// a no-op; it stays for bit-exactness if a caller ever skips from a
+    /// non-idle cycle.
+    fn skip_idle<S: TraceSink>(&mut self, target: u64, sink: &mut S) {
+        debug_assert!(target > self.cycle, "skip must move forward");
+        let k = target - self.cycle;
+        if S::ENABLED && self.last_issued_mask != 0 {
+            sink.record(TraceEvent::MergeTransition {
+                cycle: self.cycle,
+                from_mask: self.last_issued_mask,
+                to_mask: 0,
+            });
+        }
+        self.last_issued_mask = 0;
+        self.merge_stats.record_idle(k);
+        self.vertical_waste_cycles += k;
+        self.rotator.advance_idle(k);
+        self.cycle = target;
     }
 }
 

@@ -28,6 +28,12 @@
 //!   the paper's random-refill model is the default
 //!   [`sched::SchedulerSpec::PaperRandom`] policy and reproduces the
 //!   hardwired original bit-for-bit.
+//! * **Two core models, one semantics** — the default [`CoreModel::EventDriven`]
+//!   loop skips all-stalled spans via a deterministic wakeup queue
+//!   ([`events`]); the [`CoreModel::CycleAccurate`] oracle ticks every
+//!   cycle. Statistics, traces and RNG draws are bit-identical between
+//!   them (differentially tested), so "cycle-accurate" describes the
+//!   *semantics* of both; the switch is [`SimConfig::with_core_model`].
 //!
 //! Entry points: [`Core`] for a bare multithreaded core, [`os::Machine`]
 //! for the timesliced multiprogramming layer, [`sched`] for the OS
@@ -55,6 +61,7 @@ pub use vliw_trace as trace;
 pub mod config;
 pub mod core;
 pub mod error;
+pub mod events;
 pub mod experiments;
 pub mod os;
 pub mod plan;
@@ -63,7 +70,7 @@ pub mod sched;
 pub mod stats;
 pub mod thread;
 
-pub use crate::core::Core;
+pub use crate::core::{Core, CoreModel};
 pub use config::SimConfig;
 pub use error::SimError;
 pub use plan::{MachineSpec, MemoryModel, Plan, ResultSet, SchemeRef, Session, WorkloadRef};

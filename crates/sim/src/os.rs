@@ -19,6 +19,7 @@
 use crate::config::SimConfig;
 use crate::core::Core;
 use crate::error::SimError;
+use crate::events::EventQueue;
 use crate::sched::{affinity_groups, SchedView, Scheduler, ThreadView};
 use crate::stats::{RunStats, ThreadStats};
 use crate::thread::SoftThread;
@@ -27,6 +28,16 @@ use vliw_trace::{
     NullSink, RecordingSink, RingSink, StallBreakdown, StallKind, Trace, TraceEvent, TraceSink,
     TraceSpec,
 };
+
+/// An OS-level wakeup in the machine's event queue. Timeslice expiry is
+/// the only source today; the queue's `(cycle, seq)` ordering is what a
+/// second source (e.g. asynchronous thread admission) would need to stay
+/// deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OsEvent {
+    /// The running quantum ends: flush/refill per the scheduler policy.
+    TimesliceExpiry,
+}
 
 /// The simulated machine: a core plus the OS scheduling layer.
 pub struct Machine {
@@ -244,9 +255,16 @@ impl Machine {
         // Admission: the policy's initial pool order, then the first fill.
         self.reorder_pool(true);
         self.fill_contexts(sink);
-        let mut next_slice = self.timeslice;
+        // OS-level wakeups go through a deterministic event queue; today
+        // the only source is the timeslice expiry (exactly one scheduled
+        // at any moment), and the core runs until the earliest event.
+        let mut os_events: EventQueue<OsEvent> = EventQueue::new();
+        os_events.schedule(self.timeslice, OsEvent::TimesliceExpiry);
         while !self.core.budget_reached && self.core.cycle() < self.max_cycles {
-            let limit = next_slice.min(self.max_cycles);
+            let next_event = os_events
+                .peek_cycle()
+                .expect("a timeslice expiry is always scheduled");
+            let limit = next_event.min(self.max_cycles);
             let idle = self.core.idle_contexts() as u64;
             let before = self.core.cycle();
             self.core.run_traced(limit, sink);
@@ -254,9 +272,11 @@ impl Machine {
             if self.core.budget_reached {
                 break;
             }
-            if self.core.cycle() >= next_slice {
+            if self.core.cycle() >= next_event {
+                let (expired, OsEvent::TimesliceExpiry) =
+                    os_events.pop().expect("peeked event still queued");
                 self.quantum_expired(sink);
-                next_slice += self.timeslice;
+                os_events.schedule(expired + self.timeslice, OsEvent::TimesliceExpiry);
             }
         }
         self.collect()
@@ -326,6 +346,7 @@ impl Machine {
                 istall_cycles: t.istall_cycles,
                 branch_stall_cycles: t.branch_stall_cycles,
                 taken_branches: t.taken_branches,
+                rng_state: t.rng_state(),
             })
             .collect();
         RunStats {

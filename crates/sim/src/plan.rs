@@ -47,6 +47,7 @@
 //! area/performance trade-offs sweep alongside IPC.
 
 use crate::config::SimConfig;
+use crate::core::CoreModel;
 use crate::os::Machine;
 use crate::runner::{self, ImageCache, RunResult};
 use crate::sched::SchedulerSpec;
@@ -375,6 +376,7 @@ pub struct Plan {
     priority: PriorityPolicy,
     seed: Option<u64>,
     trace: TraceSpec,
+    core_model: CoreModel,
 }
 
 impl Plan {
@@ -392,6 +394,7 @@ impl Plan {
             priority: PriorityPolicy::RoundRobin,
             seed: None,
             trace: TraceSpec::Off,
+            core_model: CoreModel::default(),
         }
     }
 
@@ -517,6 +520,16 @@ impl Plan {
         self
     }
 
+    /// Core execution model for every cell (default:
+    /// [`CoreModel::EventDriven`]). Results are bit-identical across
+    /// models, so this setting never appears in the serialized exhibits —
+    /// it exists for the differential suite and the perf benches, which
+    /// pin the [`CoreModel::CycleAccurate`] oracle.
+    pub fn core_model(mut self, core_model: CoreModel) -> Self {
+        self.core_model = core_model;
+        self
+    }
+
     /// Override the simulation seed (default: [`SimConfig::paper`]'s).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = Some(seed);
@@ -598,6 +611,7 @@ impl Plan {
         cfg.priority = self.priority;
         cfg.scheduler = key.scheduler;
         cfg.trace = self.trace;
+        cfg.core_model = self.core_model;
         if let Some(seed) = self.seed {
             cfg.seed = seed;
         }

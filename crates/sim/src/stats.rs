@@ -24,6 +24,12 @@ pub struct ThreadStats {
     pub branch_stall_cycles: u64,
     /// Taken branches.
     pub taken_branches: u64,
+    /// Final branch-RNG state (xorshift64*). Part of the core-equivalence
+    /// contract: the fast and oracle cores must leave every thread's RNG
+    /// in the same state, proving identical draw sequences. Not
+    /// serialized (JSON/CSV exhibits are a byte-stable compatibility
+    /// surface).
+    pub rng_state: u64,
 }
 
 /// Full result of one simulation run.
@@ -188,6 +194,7 @@ mod tests {
                 istall_cycles: 0,
                 branch_stall_cycles: 0,
                 taken_branches: 0,
+                rng_state: 0,
             },
             ThreadStats {
                 name: "b".into(),
@@ -198,6 +205,7 @@ mod tests {
                 istall_cycles: 0,
                 branch_stall_cycles: 0,
                 taken_branches: 0,
+                rng_state: 0,
             },
         ];
         assert!((s.fairness() - 1.0).abs() < 1e-12);

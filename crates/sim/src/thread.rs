@@ -167,6 +167,14 @@ impl SoftThread {
         cycle >= self.stall_until
     }
 
+    /// Current branch-RNG state (xorshift64*). Exposed for the
+    /// differential core-equivalence suite: identical final RNG state
+    /// proves the fast core drew exactly the same branch outcomes, in the
+    /// same order, as the cycle-accurate oracle.
+    pub fn rng_state(&self) -> u64 {
+        self.rng
+    }
+
     /// Signature of the instruction at the head, as seen by the merge
     /// network (virtual clusters rotated onto the context's physical
     /// clusters).

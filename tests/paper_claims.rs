@@ -1,6 +1,10 @@
 //! Integration tests pinning the paper's §5.2 claims and figure shapes at
 //! reduced scale. These are the "does the reproduction still reproduce?"
 //! regression tests; EXPERIMENTS.md records the full-scale numbers.
+//!
+//! The simulation-heavy pins (full scheme × mix grids at scale 1000) are
+//! `#[ignore]`d so the default `cargo test` tier stays fast; run them with
+//! `cargo test --release --tests -- --ignored` (CI's slow-tests job does).
 
 use vliw_tms::core::catalog;
 use vliw_tms::hwcost::scheme_cost;
@@ -12,6 +16,7 @@ const PAR: usize = 8;
 /// Figure 4: multithreading scales — 4T SMT > 2T SMT > single thread, and
 /// the 4T-over-2T gain is in the paper's ballpark (+61%).
 #[test]
+#[ignore = "slow figure-shape pin (~2 min debug); CI runs the ignored tier in release"]
 fn fig4_smt_scales_with_threads() {
     let d = experiments::fig4(SCALE, PAR);
     let [st, smt2, smt4] = d.averages();
@@ -27,6 +32,7 @@ fn fig4_smt_scales_with_threads() {
 /// Figure 6: SMT beats CSMT on every mix; the average advantage is near
 /// the paper's 27%.
 #[test]
+#[ignore = "slow figure-shape pin (~2 min debug); CI runs the ignored tier in release"]
 fn fig6_smt_advantage_over_csmt() {
     let d = experiments::fig6(SCALE, PAR);
     for (mix, smt, csmt, _) in &d.rows {
@@ -41,6 +47,7 @@ fn fig6_smt_advantage_over_csmt() {
 
 /// §5.2 headline: 2SC3 lands between 4T CSMT and 4T SMT, well above 1S.
 #[test]
+#[ignore = "slow figure-shape pin (~2 min debug); CI runs the ignored tier in release"]
 fn headline_2sc3_tradeoff() {
     let d = experiments::fig10(SCALE, PAR);
     let avg = |n: &str| d.average_of(n).unwrap();
@@ -64,6 +71,7 @@ fn headline_2sc3_tradeoff() {
 
 /// Figure 10 ordering: the endpoints and the broad ranking hold.
 #[test]
+#[ignore = "slow figure-shape pin (~2 min debug); CI runs the ignored tier in release"]
 fn fig10_scheme_ordering() {
     let d = experiments::fig10(SCALE, PAR);
     let avg = |n: &str| d.average_of(n).unwrap();
@@ -115,6 +123,7 @@ fn fig9_cost_claims() {
 
 /// Table 1 shape: ILP classes are ordered, and perfect memory never loses.
 #[test]
+#[ignore = "slow figure-shape pin (~2 min debug); CI runs the ignored tier in release"]
 fn table1_class_ordering() {
     let rows = experiments::table1(SCALE, PAR);
     let class_avg = |c: char| {

@@ -437,6 +437,66 @@ fn stall_breakdown_conserves_thread_stalls_across_worker_counts() {
     }
 }
 
+/// Conservation under idle-cycle skipping: the default core is the
+/// event-driven one, which accounts all-stalled spans in closed form
+/// instead of ticking them — every aggregate identity must still hold
+/// exactly. The packet histogram counts every cycle (skipped spans land
+/// in the empty bucket), the merge network's empty-cycle count equals the
+/// core's vertical waste, the slot budget balances
+/// (`ops + horizontal + vertical·width = cycles·width`), and the traced
+/// stall breakdown still reproduces the aggregate decomposition.
+#[test]
+fn conservation_holds_when_idle_cycles_are_skipped() {
+    use vliw_tms::sim::CoreModel;
+    use vliw_tms::trace::StallBreakdown;
+    for model in [CoreModel::EventDriven, CoreModel::CycleAccurate] {
+        Plan::new()
+            .schemes(["ST", "1S", "3SSS"])
+            .workloads(["idct", "LLHH"])
+            .scale(50_000)
+            .core_model(model)
+            .run_traced(&Session::with_parallelism(2), |key, result, trace| {
+                let s = &result.stats;
+                let label = format!("{model}: {}/{}", key.scheme.name(), key.workload.name());
+                let width = u64::from(s.issue_width);
+                let hist_cycles: u64 = s.merge.packet_histogram().iter().sum();
+                assert_eq!(
+                    hist_cycles, s.cycles,
+                    "{label}: histogram counts all cycles"
+                );
+                // Empty packets (no thread issued) are a subset of
+                // vertical waste (no *ops* issued): a lone-nop packet has
+                // a thread but zero ops. Skipped spans land in both.
+                assert!(
+                    s.merge.empty_cycles() <= s.vertical_waste_cycles,
+                    "{label}: empty cycles exceed vertical waste"
+                );
+                assert_eq!(
+                    s.total_ops + s.horizontal_waste_slots + s.vertical_waste_cycles * width,
+                    s.cycles * width,
+                    "{label}: slot budget must balance"
+                );
+                assert!(
+                    s.vertical_waste_cycles > 0,
+                    "{label}: no all-stalled span — the skip path went unexercised"
+                );
+                assert_eq!(
+                    StallBreakdown::from_events(&trace.events),
+                    s.stall_breakdown,
+                    "{label}: trace must reproduce the stall decomposition"
+                );
+                assert_eq!(
+                    s.stall_breakdown.total(),
+                    s.threads
+                        .iter()
+                        .map(|t| t.dstall_cycles + t.istall_cycles + t.branch_stall_cycles)
+                        .sum::<u64>(),
+                    "{label}: breakdown sums to per-thread stalls"
+                );
+            });
+    }
+}
+
 /// The plan-level trace hook: every cell's full event stream reproduces
 /// the cell's aggregate stall decomposition exactly (the tracer's
 /// conservation invariant), under 1, 2 and 4 workers, and trace exports
