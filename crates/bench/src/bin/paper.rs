@@ -4,11 +4,12 @@
 //!
 //! ```text
 //! paper [EXHIBIT...] [--scale N] [--full] [--threads N] [--filter S]
-//!       [--scheduler NAME] [--machine SPEC] [--out DIR] [--json PATH] [--csv PATH]
+//!       [--scheduler NAME] [--machine SPEC] [--arrivals SPEC]
+//!       [--out DIR] [--json PATH] [--csv PATH]
 //!       [--trace PATH] [--trace-format FMT]
 //!
 //! EXHIBIT: table1 table2 fig4 fig5 fig6 fig9 fig10 fig11 fig12 headline
-//!          geometry trace all   (default: all)
+//!          geometry trace traffic all   (default: all)
 //! --scale N        divide the paper's 100M-instruction budget by N (default 20)
 //! --full           the paper's full run lengths (scale 1); slow
 //! --threads N      rayon worker threads for simulation sweeps (default:
@@ -20,6 +21,10 @@
 //! --machine SPEC   run the simulated exhibits on this machine geometry
 //!                  instead of the paper's 4x4 (presets: paper-4x4, 2x8,
 //!                  8x2, 4x4-lite; or CxI[+muls+mems], e.g. 3x4, 2x8+1+2)
+//! --arrivals SPEC  run the simulated exhibits as an open system under this
+//!                  arrival process instead of the closed batch default
+//!                  (poisson:RATE, bursty:RATE:LEN:FACTOR,
+//!                  diurnal:RATE:PEAK:PERIOD, or closed)
 //! --out DIR        CSV output directory for rendered exhibits (default: results/)
 //! --json PATH      also write the raw simulation result sets as one JSON file
 //! --csv PATH       also write the raw simulation result sets as one CSV file
@@ -31,38 +36,42 @@
 //!                  chrome://tracing / Perfetto; default), jsonl, csv
 //! ```
 //!
-//! Exhibit names, `--filter`, `--scheduler`, `--machine`, `--trace`, and
-//! `--trace-format` are validated up front — before any simulation runs —
+//! Exhibit names, `--filter`, `--scheduler`, `--machine`, `--arrivals`,
+//! `--trace`, and `--trace-format` are validated up front — before any
+//! simulation runs —
 //! and an unknown name prints the list of valid ones instead of panicking
 //! mid-sweep (`--machine` also rejects geometries that cannot compile the
 //! Table-1 suite; `--trace` verifies the file is writable by creating it,
 //! and requires at least one simulated exhibit to be selected).
 //!
 //! The `--json`/`--csv` exports cover the simulated exhibits (table1, fig4,
-//! fig6, the shared fig10 sweep behind fig10/fig11/fig12/headline, and the
-//! geometry sweep); static exhibits (table2, fig5, fig9) have no simulation
-//! results. Both exports are byte-identical across `--threads` values: the
-//! sweep grid is deterministic and ordered. Without `--scheduler`/
-//! `--machine` the export bytes equal the historical (pre-axis) format;
-//! with either, a `scheduler`/`machine` column/field is added. The
-//! `geometry` exhibit always sweeps the machine presets (`--machine` adds
-//! the named geometry to its sweep), so a combined `--csv` that captures
-//! it carries the `machine` column on *every* row — one header must fit
-//! all sets, so rows are shaped to the union of the captured axes.
+//! fig6, the shared fig10 sweep behind fig10/fig11/fig12/headline, the
+//! geometry sweep, and the traffic sweep); static exhibits (table2, fig5,
+//! fig9) have no simulation results. Both exports are byte-identical across
+//! `--threads` values: the sweep grid is deterministic and ordered. Without
+//! `--scheduler`/`--machine`/`--arrivals` the export bytes equal the
+//! historical (pre-axis) format; with any, a `scheduler`/`machine`/
+//! `traffic` column/field is added (the traffic column brings the
+//! open-system metric columns with it). The `geometry` exhibit always
+//! sweeps the machine presets (`--machine` adds the named geometry to its
+//! sweep) and the `traffic` exhibit always sweeps its Poisson load ladder
+//! (`--arrivals` adds the named process), so a combined `--csv` that
+//! captures either carries that column on *every* row — one header must
+//! fit all sets, so rows are shaped to the union of the captured axes.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use vliw_bench::figures;
 use vliw_bench::Exhibit;
 use vliw_sim::experiments;
-use vliw_sim::plan::{MachineSpec, Plan, ResultSet, Session};
+use vliw_sim::plan::{MachineSpec, Plan, ResultSet, Session, TrafficError, TrafficSpec};
 use vliw_sim::sched::SchedulerSpec;
 use vliw_trace::TraceFormat;
 
 /// Every exhibit name the harness understands, in render order.
-const EXHIBITS: [&str; 12] = [
+const EXHIBITS: [&str; 13] = [
     "table1", "table2", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "fig12", "headline",
-    "geometry", "trace",
+    "geometry", "trace", "traffic",
 ];
 
 /// The plan behind a simulated exhibit (what `--trace` probes), `None` for
@@ -75,6 +84,7 @@ fn plan_for(name: &str, scale: u64) -> Option<Plan> {
         "fig10" | "fig11" | "fig12" | "headline" => Some(experiments::fig10_plan(scale)),
         "geometry" => Some(experiments::geometry_plan(scale)),
         "trace" => Some(experiments::trace_plan(scale)),
+        "traffic" => Some(experiments::traffic_plan(scale)),
         _ => None,
     }
 }
@@ -87,6 +97,7 @@ fn main() {
     let mut filter: Option<String> = None;
     let mut scheduler: Option<SchedulerSpec> = None;
     let mut machine: Option<MachineSpec> = None;
+    let mut arrivals: Option<TrafficSpec> = None;
     let mut json_path: Option<PathBuf> = None;
     let mut csv_path: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
@@ -138,6 +149,15 @@ fn main() {
                     ));
                 }
                 machine = Some(spec);
+            }
+            "--arrivals" => {
+                let name = args
+                    .next()
+                    .unwrap_or_else(|| die("--arrivals needs a traffic spec"));
+                arrivals = Some(
+                    name.parse()
+                        .unwrap_or_else(|e: TrafficError| die(&e.to_string())),
+                );
             }
             "--out" => {
                 out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
@@ -225,29 +245,38 @@ fn main() {
     });
     let trace_format = trace_format.unwrap_or(TraceFormat::Chrome);
 
-    // Apply --scheduler/--machine to a simulated exhibit's plan (None =
-    // the paper's defaults and the historical export byte format). For
-    // the geometry exhibit, whose plan already sweeps the machine
-    // presets, --machine *adds* the named geometry (the axis dedups).
+    // Apply --scheduler/--machine/--arrivals to a simulated exhibit's plan
+    // (None = the paper's defaults and the historical export byte format).
+    // For the geometry exhibit, whose plan already sweeps the machine
+    // presets, --machine *adds* the named geometry; likewise --arrivals on
+    // the traffic exhibit's load ladder (both axes dedup).
     let with_axes = |plan: Plan| {
         let plan = match scheduler {
             Some(spec) => plan.scheduler(spec),
             None => plan,
         };
-        match machine {
+        let plan = match machine {
             Some(spec) => plan.machine(spec),
+            None => plan,
+        };
+        match arrivals {
+            Some(spec) => plan.arrival(spec),
             None => plan,
         }
     };
 
     println!(
-        "vliw-tms paper harness — scale 1/{scale} of the paper's run length, {par} rayon workers{}{}\n",
+        "vliw-tms paper harness — scale 1/{scale} of the paper's run length, {par} rayon workers{}{}{}\n",
         match scheduler {
             Some(s) => format!(", {s} scheduler"),
             None => String::new(),
         },
         match machine {
             Some(m) => format!(", {m} machine"),
+            None => String::new(),
+        },
+        match arrivals {
+            Some(t) => format!(", {t} arrivals"),
             None => String::new(),
         }
     );
@@ -303,6 +332,14 @@ fn main() {
                 let ex = figures::trace_from(&d);
                 if export {
                     captured.push(("trace", set));
+                }
+                vec![ex]
+            }
+            "traffic" => {
+                let set = with_axes(experiments::traffic_plan(scale)).run(&session);
+                let ex = figures::traffic_from(&experiments::traffic_data(&set));
+                if export {
+                    captured.push(("traffic", set));
                 }
                 vec![ex]
             }
@@ -393,10 +430,14 @@ fn main() {
             || captured
                 .iter()
                 .any(|(_, set)| set.machine_axis_is_explicit());
-        let header = ResultSet::csv_header_for(with_sched, with_machine);
+        let with_traffic = arrivals.is_some()
+            || captured
+                .iter()
+                .any(|(_, set)| set.traffic_axis_is_explicit());
+        let header = ResultSet::csv_header_for(with_sched, with_machine, with_traffic);
         let mut s = format!("exhibit,{header}\n");
         for (id, set) in &captured {
-            s.push_str(&set.csv_rows_shaped(Some(id), with_sched, with_machine));
+            s.push_str(&set.csv_rows_shaped(Some(id), with_sched, with_machine, with_traffic));
         }
         if let Err(err) = std::fs::write(path, s) {
             eprintln!("warning: could not write {}: {err}", path.display());
@@ -418,9 +459,11 @@ fn die(msg: &str) -> ! {
 }
 
 const HELP: &str = "usage: paper [EXHIBIT...] [--scale N] [--full] [--threads N] [--filter S] \
-[--scheduler NAME] [--machine SPEC] [--out DIR] [--json PATH] [--csv PATH] \
+[--scheduler NAME] [--machine SPEC] [--arrivals SPEC] [--out DIR] [--json PATH] [--csv PATH] \
 [--trace PATH] [--trace-format FMT]
-exhibits: table1 table2 fig4 fig5 fig6 fig9 fig10 fig11 fig12 headline geometry trace all
+exhibits: table1 table2 fig4 fig5 fig6 fig9 fig10 fig11 fig12 headline geometry trace traffic all
 schedulers: paper-random round-robin icount cluster-affinity
 machines: paper-4x4 2x8 8x2 4x4-lite, or CxI[+muls+mems] (e.g. 3x4, 2x8+1+2)
+arrivals: closed, poisson:RATE, bursty:RATE:LEN:FACTOR, diurnal:RATE:PEAK:PERIOD \
+(RATE in arrivals/cycle, e.g. poisson:0.02)
 trace formats: chrome jsonl csv (default chrome)";

@@ -351,6 +351,56 @@ pub fn trace_from(d: &experiments::TraceData) -> Exhibit {
     }
 }
 
+/// Traffic exhibit (beyond the paper): latency vs offered load for the
+/// reference schemes on the 12-job open-system stream.
+pub fn traffic_exhibit(scale: u64, par: usize) -> Exhibit {
+    traffic_from(&experiments::traffic_exhibit(scale, par))
+}
+
+/// Render the traffic exhibit from precomputed per-cell rows.
+pub fn traffic_from(d: &experiments::TrafficData) -> Exhibit {
+    let mut t = TextTable::new(&[
+        "scheme",
+        "arrivals",
+        "rate/cycle",
+        "offered",
+        "completed",
+        "shed",
+        "p50 sojourn",
+        "p95 sojourn",
+        "p99 sojourn",
+        "mean queue",
+        "IPC",
+    ]);
+    for r in &d.rows {
+        t.row(vec![
+            r.scheme.clone(),
+            r.traffic.to_string(),
+            format!("{}", r.rate),
+            r.offered.to_string(),
+            r.completed.to_string(),
+            r.shed.to_string(),
+            r.p50.to_string(),
+            r.p95.to_string(),
+            r.p99.to_string(),
+            f2(r.mean_queue_depth),
+            f2(r.ipc),
+        ]);
+    }
+    Exhibit {
+        id: "traffic".into(),
+        text: format!(
+            "Open-system traffic — sojourn latency vs offered load (beyond the paper)\n\
+             (12-job LLHH-x3 stream under a Poisson arrival ladder; sojourn =\n\
+             arrival to completion in cycles; jobs arriving at a full admission\n\
+             queue are shed; run length floored at 1/{} of the paper's budget)\n{}",
+            experiments::TRAFFIC_SCALE_FLOOR,
+            t.render()
+        ),
+        csv: t.to_csv(),
+    }
+}
+
 /// Sanity check on workload mix sizes used in this module.
 pub fn n_benchmarks() -> usize {
     all_benchmarks().len()
@@ -378,5 +428,19 @@ mod tests {
         assert!(t1.text.contains("colorspace"));
         let f6 = fig6(50_000, 8);
         assert!(f6.text.contains("Average"));
+    }
+
+    #[test]
+    fn traffic_exhibit_renders_the_load_ladder() {
+        let ex = traffic_exhibit(100_000, 8);
+        assert_eq!(ex.id, "traffic");
+        assert!(ex.text.contains("Open-system traffic"));
+        for load in experiments::TRAFFIC_LOADS {
+            assert!(ex.text.contains(load), "missing {load}:\n{}", ex.text);
+        }
+        for scheme in experiments::TRAFFIC_SCHEMES {
+            assert!(ex.csv.contains(scheme), "missing {scheme}");
+        }
+        assert!(ex.csv.lines().next().unwrap().contains("p99 sojourn"));
     }
 }

@@ -6,6 +6,7 @@ use vliw_core::{MergeScheme, PriorityPolicy};
 use vliw_isa::{MachineConfig, MachineSpec};
 use vliw_mem::MemConfig;
 use vliw_trace::TraceSpec;
+use vliw_traffic::TrafficSpec;
 
 /// Everything a run needs besides the workload itself.
 #[derive(Debug, Clone)]
@@ -43,6 +44,13 @@ pub struct SimConfig {
     /// produce bit-identical statistics and traces — this switch trades
     /// wall-clock only. See [`CoreModel`].
     pub core_model: CoreModel,
+    /// Arrival process driving the run ([`TrafficSpec::Closed`] by
+    /// default: all threads present at cycle 0, the historical batch
+    /// semantics). Any open spec (`poisson`/`bursty`/`diurnal`) stages
+    /// the workload's threads on deterministic arrival cycles behind a
+    /// bounded admission queue and records per-thread latency
+    /// lifecycles — see [`crate::RunStats::traffic`].
+    pub traffic: TrafficSpec,
 }
 
 impl SimConfig {
@@ -70,6 +78,7 @@ impl SimConfig {
             seed: 0xC0FFEE,
             trace: TraceSpec::Off,
             core_model: CoreModel::default(),
+            traffic: TrafficSpec::Closed,
         }
     }
 
@@ -110,6 +119,16 @@ impl SimConfig {
     /// and traces are bit-identical either way.
     pub fn with_core_model(mut self, core_model: CoreModel) -> Self {
         self.core_model = core_model;
+        self
+    }
+
+    /// Same configuration under a different arrival process
+    /// ([`TrafficSpec::Closed`] restores the batch default). Open specs
+    /// turn the run into an open system: threads arrive over time, wait
+    /// in a bounded admission queue, and their sojourn/wait latencies are
+    /// summarized in [`crate::RunStats::traffic`].
+    pub fn with_traffic(mut self, traffic: TrafficSpec) -> Self {
+        self.traffic = traffic;
         self
     }
 
@@ -183,6 +202,17 @@ mod tests {
         for m in CoreModel::all() {
             assert_eq!(CoreModel::parse(m.name()), Some(m), "{m} round-trips");
         }
+    }
+
+    #[test]
+    fn traffic_is_closed_by_default() {
+        let c = SimConfig::paper(catalog::smt_cascade(4), 100);
+        assert_eq!(c.traffic, TrafficSpec::Closed);
+        assert!(c.traffic.is_closed());
+        let spec: TrafficSpec = "poisson:0.02".parse().unwrap();
+        let c = c.with_traffic(spec);
+        assert_eq!(c.traffic, spec);
+        assert!(!c.traffic.is_closed());
     }
 
     #[test]

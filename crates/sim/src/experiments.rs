@@ -11,11 +11,11 @@
 //! All drivers take a `scale` divisor (1 = the paper's full
 //! 100M-instruction runs).
 
-use crate::plan::{MachineSpec, MemoryModel, Plan, ResultSet, Session};
+use crate::plan::{MachineSpec, MemoryModel, Plan, ResultSet, Session, TrafficSpec, WorkloadRef};
 use crate::sched::SchedulerSpec;
 use std::sync::Arc;
 use vliw_core::catalog;
-use vliw_workloads::{all_benchmarks, table2_mixes};
+use vliw_workloads::{all_benchmarks, mixes::mix, table2_mixes};
 
 /// One row of Table 1.
 #[derive(Debug, Clone)]
@@ -429,6 +429,135 @@ pub fn trace_exhibit(scale: u64, parallelism: usize) -> TraceData {
     trace_data(&trace_plan(scale), &Session::with_parallelism(parallelism)).1
 }
 
+/// Schemes of the traffic exhibit: the paper's reference points (1-thread,
+/// 4-thread CSMT, 4-thread SMT) plus the headline hybrid — the same set
+/// the geometry sweep compares, now judged by tail latency instead of
+/// throughput.
+pub const TRAFFIC_SCHEMES: [&str; 4] = GEOMETRY_SCHEMES;
+
+/// Offered-load ladder of the traffic exhibit (canonical [`TrafficSpec`]
+/// spellings): light, moderate and saturating Poisson arrivals. The heavy
+/// point oversubscribes every scheme's admission limit, so the shed column
+/// becomes part of the comparison.
+pub const TRAFFIC_LOADS: [&str; 3] = ["poisson:0.00002", "poisson:0.0001", "poisson:0.0005"];
+
+/// Run-length floor for the traffic exhibit: open-system runs last until
+/// the *last arrival* drains, so the exhibit never runs jobs longer than
+/// 1/5000 of the paper's budget (20k retired instructions per job).
+pub const TRAFFIC_SCALE_FLOOR: u64 = 5_000;
+
+/// The open-system job stream: the LLHH mix tripled to 12 jobs, so the
+/// arrival process oversubscribes even the 4-context schemes'
+/// multiprogramming limit and the admission queue genuinely decides who
+/// waits.
+pub fn traffic_workload() -> WorkloadRef {
+    let llhh = mix("LLHH").expect("Table-2 catalog has LLHH");
+    let specs = llhh
+        .members
+        .iter()
+        .cycle()
+        .take(llhh.members.len() * 3)
+        .map(|name| {
+            vliw_workloads::benchmark(name)
+                .expect("mix members are Table-1 benchmarks")
+                .clone()
+        })
+        .collect();
+    WorkloadRef::custom("LLHH-x3", specs)
+}
+
+/// One row of the traffic exhibit: a (scheme, offered load) pair with its
+/// admission outcome and sojourn-latency tail.
+#[derive(Debug, Clone)]
+pub struct TrafficRow {
+    /// Scheme name.
+    pub scheme: String,
+    /// Arrival process of the cell.
+    pub traffic: TrafficSpec,
+    /// Long-run offered load, arrivals per cycle.
+    pub rate: f64,
+    /// Jobs that arrived.
+    pub offered: u64,
+    /// Jobs admitted and run to completion.
+    pub completed: u64,
+    /// Jobs dropped at the full admission queue.
+    pub shed: u64,
+    /// Median sojourn (arrival → completion), cycles.
+    pub p50: u64,
+    /// 95th-percentile sojourn, cycles.
+    pub p95: u64,
+    /// 99th-percentile sojourn, cycles.
+    pub p99: u64,
+    /// Mean admission-queue depth over the run.
+    pub mean_queue_depth: f64,
+    /// Cell IPC (throughput under this load).
+    pub ipc: f64,
+}
+
+/// Traffic-exhibit data: one row per (scheme, load), schemes outermost in
+/// [`TRAFFIC_SCHEMES`] order, loads in plan order.
+#[derive(Debug, Clone)]
+pub struct TrafficData {
+    /// Run-length floor actually used (see [`traffic_plan`]).
+    pub scale: u64,
+    /// Per-cell rows.
+    pub rows: Vec<TrafficRow>,
+}
+
+/// The traffic sweep (beyond the paper): [`TRAFFIC_SCHEMES`] under the
+/// [`TRAFFIC_LOADS`] Poisson ladder on the 12-job [`traffic_workload`] —
+/// latency-vs-offered-load curves, the open-system comparison the
+/// ROADMAP's serving-stack north star calls for. `scale` is floored at
+/// [`TRAFFIC_SCALE_FLOOR`].
+pub fn traffic_plan(scale: u64) -> Plan {
+    Plan::new()
+        .schemes(TRAFFIC_SCHEMES)
+        .workload(traffic_workload())
+        .arrivals(
+            TRAFFIC_LOADS
+                .iter()
+                .map(|s| s.parse().expect("ladder spellings are canonical")),
+        )
+        .scale(scale.max(TRAFFIC_SCALE_FLOOR))
+}
+
+/// Project an executed [`traffic_plan`] sweep into exhibit rows by keyed
+/// lookup. Works on any plan whose traffic axis is explicit — the `paper`
+/// binary passes [`traffic_plan`] with the CLI's axes applied.
+pub fn traffic_data(set: &ResultSet) -> TrafficData {
+    let mut rows = Vec::new();
+    for scheme in set.schemes() {
+        for &traffic in set.traffics() {
+            let r = set
+                .get_traffic(scheme.name(), "LLHH-x3", traffic, MemoryModel::Real)
+                .expect("traffic grid covers every scheme x load");
+            let t = &r.stats.traffic;
+            rows.push(TrafficRow {
+                scheme: scheme.name().to_string(),
+                traffic,
+                rate: traffic.offered_rate(),
+                offered: t.offered,
+                completed: t.completed,
+                shed: t.shed,
+                p50: t.p50_sojourn,
+                p95: t.p95_sojourn,
+                p99: t.p99_sojourn,
+                mean_queue_depth: t.mean_queue_depth,
+                ipc: r.ipc(),
+            });
+        }
+    }
+    TrafficData {
+        scale: set.scale(),
+        rows,
+    }
+}
+
+/// Regenerate the traffic exhibit.
+pub fn traffic_exhibit(scale: u64, parallelism: usize) -> TrafficData {
+    traffic_data(&traffic_plan(scale).run(&Session::with_parallelism(parallelism)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -525,6 +654,43 @@ mod tests {
             t(MachineSpec::Paper4x4, "3SSS"),
             t(MachineSpec::Wide2x8, "3SSS")
         );
+    }
+
+    #[test]
+    fn traffic_exhibit_sweeps_the_load_ladder() {
+        let d = traffic_exhibit(100_000, 4);
+        assert_eq!(d.scale, 100_000, "above the floor, scale passes through");
+        assert_eq!(d.rows.len(), TRAFFIC_SCHEMES.len() * TRAFFIC_LOADS.len());
+        for r in &d.rows {
+            assert_eq!(r.offered, 12, "{}/{}: 12-job stream", r.scheme, r.traffic);
+            assert_eq!(r.completed + r.shed, r.offered, "{}", r.scheme);
+            assert!(r.p50 <= r.p95 && r.p95 <= r.p99, "{}", r.scheme);
+            assert!(r.rate > 0.0);
+            if r.completed > 0 {
+                assert!(r.ipc > 0.0, "{}/{}", r.scheme, r.traffic);
+            }
+        }
+        // Tail latency responds to offered load: for every scheme the
+        // saturating point is no faster than the light one.
+        for scheme in TRAFFIC_SCHEMES {
+            let of = |spec: &str| {
+                d.rows
+                    .iter()
+                    .find(|r| r.scheme == scheme && r.traffic.to_string() == spec)
+                    .unwrap()
+            };
+            let light = of(TRAFFIC_LOADS[0]);
+            let heavy = of(TRAFFIC_LOADS[2]);
+            assert!(
+                heavy.p95 >= light.p95,
+                "{scheme}: heavy p95 {} vs light {}",
+                heavy.p95,
+                light.p95
+            );
+        }
+        // The floor engages below it.
+        assert_eq!(traffic_plan(1).jobs().len(), 12);
+        assert_eq!(traffic_exhibit(u64::MAX, 2).scale, u64::MAX);
     }
 
     #[test]

@@ -23,21 +23,38 @@ use crate::events::EventQueue;
 use crate::sched::{affinity_groups, SchedView, Scheduler, ThreadView};
 use crate::stats::{RunStats, ThreadStats};
 use crate::thread::SoftThread;
+use std::collections::VecDeque;
 use std::sync::Arc;
 use vliw_trace::{
     NullSink, RecordingSink, RingSink, StallBreakdown, StallKind, Trace, TraceEvent, TraceSink,
     TraceSpec,
 };
+use vliw_traffic::{
+    AdmissionQueue, ArrivalProcess, LatencySummary, Lifecycle, TrafficSpec, TrafficStats,
+};
 
-/// An OS-level wakeup in the machine's event queue. Timeslice expiry is
-/// the only source today; the queue's `(cycle, seq)` ordering is what a
-/// second source (e.g. asynchronous thread admission) would need to stay
-/// deterministic.
+/// An OS-level wakeup in the machine's event queue. Closed (batch) runs
+/// only ever schedule timeslice expiries; open-system runs additionally
+/// schedule one arrival per staged thread. The queue's `(cycle, seq)`
+/// ordering keeps the two sources deterministic relative to each other —
+/// arrivals are scheduled first, so at a tied cycle the arriving thread
+/// joins the queue before the expiry's refill runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum OsEvent {
     /// The running quantum ends: flush/refill per the scheduler policy.
     TimesliceExpiry,
+    /// The next staged software thread arrives at the machine
+    /// (open-system mode; staged threads arrive in event order).
+    Arrival,
 }
+
+/// Multiprogramming limit per hardware context: at most this many jobs
+/// are in flight (installed or in the scheduler pool) per context; the
+/// rest wait in the admission queue.
+const MPL_PER_CONTEXT: usize = 2;
+
+/// Admission-queue bound per hardware context; offers beyond it are shed.
+const QUEUE_CAP_PER_CONTEXT: usize = 4;
 
 /// The simulated machine: a core plus the OS scheduling layer.
 pub struct Machine {
@@ -56,6 +73,23 @@ pub struct Machine {
     idle_context_cycles: u64,
     issue_width: u32,
     trace_spec: TraceSpec,
+    instr_budget: u64,
+    traffic: TrafficSpec,
+    /// Open-system mode: threads that have not arrived yet, paired with
+    /// their deterministic arrival cycles (nondecreasing; front arrives
+    /// first). Always empty in closed mode.
+    staged: VecDeque<(u64, SoftThread)>,
+    /// Open-system mode: arrived-but-unadmitted threads.
+    queue: AdmissionQueue<SoftThread>,
+    /// Open-system mode: per-thread lifecycle timestamps, indexed by tid.
+    /// `None` for threads that have not arrived (or were shed). Empty in
+    /// closed mode.
+    lifecycles: Vec<Option<Lifecycle>>,
+    /// Open-system mode: threads that retired their full budget.
+    completed: Vec<SoftThread>,
+    /// Filled at the end of an open run; stays `Default` (all zeros) in
+    /// closed mode.
+    traffic_stats: TrafficStats,
 }
 
 impl Machine {
@@ -81,12 +115,24 @@ impl Machine {
             return Err(SimError::EmptyWorkload);
         }
         let sched_name: Arc<str> = scheduler.name().into();
+        // Closed mode: everything goes straight into the scheduler pool.
+        // Open mode: threads are staged on deterministic arrival cycles
+        // (a pure function of the traffic spec and the run seed) and
+        // reach the pool only through the admission queue.
+        let (pool, staged, lifecycles) = if cfg.traffic.is_closed() {
+            (threads, VecDeque::new(), Vec::new())
+        } else {
+            let arrivals = ArrivalProcess::take_cycles(cfg.traffic, cfg.seed, threads.len());
+            let max_tid = threads.iter().map(|t| t.tid).max().unwrap_or(0) as usize;
+            let staged: VecDeque<(u64, SoftThread)> = arrivals.into_iter().zip(threads).collect();
+            (Vec::new(), staged, vec![None; max_tid + 1])
+        };
         // Admission (the policy's initial pool order + the first context
         // fill) happens at the start of `run_traced`, not here, so a trace
         // sink observes the admission events and the cold install fetches.
         Ok(Machine {
             core: Core::new(cfg),
-            pool: threads,
+            pool,
             scheduler,
             sched_name,
             groups: affinity_groups(&cfg.scheme),
@@ -97,6 +143,13 @@ impl Machine {
             idle_context_cycles: 0,
             issue_width: cfg.machine.total_issue() as u32,
             trace_spec: cfg.trace,
+            instr_budget: cfg.instr_budget,
+            traffic: cfg.traffic,
+            staged,
+            queue: AdmissionQueue::bounded(QUEUE_CAP_PER_CONTEXT * cfg.n_contexts()),
+            lifecycles,
+            completed: Vec::new(),
+            traffic_stats: TrafficStats::default(),
         })
     }
 
@@ -199,6 +252,14 @@ impl Machine {
                     if t.last_ctx.is_some_and(|prev| prev as usize != ctx) {
                         self.migrations += 1;
                     }
+                    // Open-system mode: the first installation ends the
+                    // job's queueing delay (no-op in closed mode, whose
+                    // lifecycle table is empty).
+                    if let Some(Some(lc)) = self.lifecycles.get_mut(t.tid as usize) {
+                        if lc.first_admit.is_none() {
+                            lc.first_admit = Some(self.core.cycle());
+                        }
+                    }
                     t.last_ctx = Some(ctx as u8);
                     self.core.install_traced(ctx, t, sink);
                 } else {
@@ -251,13 +312,28 @@ impl Machine {
     /// (admissions, evictions, refills, migrations, and everything the
     /// core and memory system emit). Statistics are identical to
     /// [`Machine::run`] — tracing observes, never perturbs.
-    pub fn run_traced<S: TraceSink>(mut self, sink: &mut S) -> RunStats {
+    ///
+    /// Dispatches on the configured [`TrafficSpec`]: the historical
+    /// closed-batch loop for [`TrafficSpec::Closed`] (bit-for-bit the
+    /// pre-traffic code path), the open-system loop otherwise.
+    pub fn run_traced<S: TraceSink>(self, sink: &mut S) -> RunStats {
+        if self.traffic.is_closed() {
+            self.run_closed_traced(sink)
+        } else {
+            self.run_open_traced(sink)
+        }
+    }
+
+    /// The closed-batch loop: every thread is present from cycle 0 and
+    /// the run ends when the *first* thread retires the budget.
+    fn run_closed_traced<S: TraceSink>(mut self, sink: &mut S) -> RunStats {
         // Admission: the policy's initial pool order, then the first fill.
         self.reorder_pool(true);
         self.fill_contexts(sink);
-        // OS-level wakeups go through a deterministic event queue; today
-        // the only source is the timeslice expiry (exactly one scheduled
-        // at any moment), and the core runs until the earliest event.
+        // OS-level wakeups go through a deterministic event queue; in
+        // closed mode the only source is the timeslice expiry (exactly one
+        // scheduled at any moment), and the core runs until the earliest
+        // event.
         let mut os_events: EventQueue<OsEvent> = EventQueue::new();
         os_events.schedule(self.timeslice, OsEvent::TimesliceExpiry);
         while !self.core.budget_reached && self.core.cycle() < self.max_cycles {
@@ -273,13 +349,192 @@ impl Machine {
                 break;
             }
             if self.core.cycle() >= next_event {
-                let (expired, OsEvent::TimesliceExpiry) =
-                    os_events.pop().expect("peeked event still queued");
+                let (expired, event) = os_events.pop().expect("peeked event still queued");
+                debug_assert_eq!(event, OsEvent::TimesliceExpiry);
                 self.quantum_expired(sink);
                 os_events.schedule(expired + self.timeslice, OsEvent::TimesliceExpiry);
             }
         }
         self.collect()
+    }
+
+    /// The open-system loop: threads arrive on their staged cycles, wait
+    /// in the bounded admission queue under a multiprogramming limit, and
+    /// *each* job retires its own full instruction budget — the run ends
+    /// when the system drains (or at `max_cycles`).
+    fn run_open_traced<S: TraceSink>(mut self, sink: &mut S) -> RunStats {
+        let mut os_events: EventQueue<OsEvent> = EventQueue::new();
+        // Arrivals are scheduled before the first expiry, so at a tied
+        // cycle the (cycle, seq) order lets the arrival enqueue first.
+        for &(cycle, _) in &self.staged {
+            os_events.schedule(cycle, OsEvent::Arrival);
+        }
+        os_events.schedule(self.timeslice, OsEvent::TimesliceExpiry);
+        while self.core.cycle() < self.max_cycles && !self.open_done() {
+            let next_event = os_events
+                .peek_cycle()
+                .expect("a timeslice expiry is always scheduled");
+            let limit = next_event.min(self.max_cycles);
+            let idle = self.core.idle_contexts() as u64;
+            let before = self.core.cycle();
+            self.core.run_traced(limit, sink);
+            self.idle_context_cycles += idle * (self.core.cycle() - before);
+            if self.core.budget_reached {
+                // A job finished mid-slice: completion, not end-of-run.
+                self.retire_completed(sink);
+                self.admit_waiting(sink);
+                continue;
+            }
+            // Drain every event due at the reached cycle (an arrival and
+            // an expiry can coincide).
+            while os_events
+                .peek_cycle()
+                .is_some_and(|c| c <= self.core.cycle())
+            {
+                let (at, event) = os_events.pop().expect("peeked event still queued");
+                match event {
+                    OsEvent::TimesliceExpiry => {
+                        self.quantum_expired(sink);
+                        os_events.schedule(at + self.timeslice, OsEvent::TimesliceExpiry);
+                    }
+                    OsEvent::Arrival => self.thread_arrived(at, sink),
+                }
+            }
+            self.admit_waiting(sink);
+        }
+        // Summarize before `collect` drains the queue's leftovers.
+        let end = self.core.cycle();
+        let mut sojourn = LatencySummary::new();
+        let mut wait = LatencySummary::new();
+        for lc in self.lifecycles.iter().flatten() {
+            if let Some(s) = lc.sojourn() {
+                sojourn.record(s);
+            }
+            if let Some(w) = lc.wait() {
+                wait.record(w);
+            }
+        }
+        self.traffic_stats = TrafficStats {
+            offered: self.queue.offered(),
+            completed: self.completed.len() as u64,
+            shed: self.queue.shed(),
+            p50_sojourn: sojourn.p50().unwrap_or(0),
+            p95_sojourn: sojourn.p95().unwrap_or(0),
+            p99_sojourn: sojourn.p99().unwrap_or(0),
+            mean_sojourn: sojourn.mean(),
+            mean_wait: wait.mean(),
+            mean_queue_depth: self.queue.mean_depth(end),
+        };
+        self.collect()
+    }
+
+    /// Whether the open system has fully drained: nothing staged, queued,
+    /// pooled, or installed.
+    fn open_done(&self) -> bool {
+        self.staged.is_empty()
+            && self.queue.is_empty()
+            && self.pool.is_empty()
+            && self.core.contexts.iter().all(Option::is_none)
+    }
+
+    /// Handle one arrival event: the front staged thread is offered to
+    /// the admission queue (or shed, and dropped, if it is full).
+    fn thread_arrived<S: TraceSink>(&mut self, at: u64, sink: &mut S) {
+        let (_, t) = self
+            .staged
+            .pop_front()
+            .expect("one arrival event per staged thread");
+        let tid = t.tid;
+        // Queue bookkeeping is stamped with machine-observed time (the
+        // queue requires nondecreasing stamps); the lifecycle and trace
+        // keep the true arrival cycle, which is the same value whenever
+        // the event is processed on time.
+        let now = self.core.cycle();
+        match self.queue.offer(now, t) {
+            Ok(()) => {
+                self.lifecycles[tid as usize] = Some(Lifecycle::arrived(at));
+                if S::ENABLED {
+                    sink.record(TraceEvent::ThreadArrival {
+                        cycle: at,
+                        tid,
+                        shed: false,
+                    });
+                    sink.record(TraceEvent::QueueDepth {
+                        cycle: at,
+                        depth: self.queue.len() as u32,
+                    });
+                }
+            }
+            Err(_shed) => {
+                if S::ENABLED {
+                    sink.record(TraceEvent::ThreadArrival {
+                        cycle: at,
+                        tid,
+                        shed: true,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Drain the admission queue into the scheduler pool while the
+    /// in-flight job count (installed + pooled) is below the
+    /// multiprogramming limit, then let the policy order the pool and
+    /// backfill any free contexts.
+    fn admit_waiting<S: TraceSink>(&mut self, sink: &mut S) {
+        let now = self.core.cycle();
+        let mpl = MPL_PER_CONTEXT * self.core.contexts.len();
+        let installed = self.core.contexts.iter().filter(|c| c.is_some()).count();
+        let mut in_flight = installed + self.pool.len();
+        let mut drained = false;
+        while in_flight < mpl {
+            match self.queue.pop(now) {
+                Some(t) => {
+                    self.pool.push(t);
+                    in_flight += 1;
+                    drained = true;
+                }
+                None => break,
+            }
+        }
+        if S::ENABLED && drained {
+            sink.record(TraceEvent::QueueDepth {
+                cycle: now,
+                depth: self.queue.len() as u32,
+            });
+        }
+        if !self.pool.is_empty() && self.core.contexts.iter().any(Option::is_none) {
+            self.reorder_pool(true);
+            self.fill_contexts(sink);
+        }
+    }
+
+    /// Evict every installed thread that has retired its full budget,
+    /// recording completions, and clear the core's budget latch so the
+    /// run continues with the remaining jobs.
+    fn retire_completed<S: TraceSink>(&mut self, sink: &mut S) {
+        let now = self.core.cycle();
+        for ctx in 0..self.core.contexts.len() {
+            let done = self.core.contexts[ctx]
+                .as_ref()
+                .is_some_and(|t| t.instrs >= self.instr_budget);
+            if !done {
+                continue;
+            }
+            let t = self.core.evict(ctx).expect("completed context occupied");
+            if S::ENABLED {
+                sink.record(TraceEvent::ContextEvict {
+                    cycle: now,
+                    ctx: ctx as u8,
+                    tid: t.tid,
+                });
+            }
+            if let Some(lc) = self.lifecycles[t.tid as usize].as_mut() {
+                lc.completion = Some(now);
+            }
+            self.completed.push(t);
+        }
+        self.core.budget_reached = false;
     }
 
     /// Run to completion collecting a [`Trace`] alongside the statistics.
@@ -293,6 +548,7 @@ impl Machine {
         let mut threads: Vec<(u32, String)> = self
             .pool
             .iter()
+            .chain(self.staged.iter().map(|(_, t)| t))
             .map(|t| (t.tid, t.name.to_string()))
             .collect();
         threads.sort_by_key(|&(tid, _)| tid);
@@ -327,6 +583,16 @@ impl Machine {
                 self.pool.push(t);
             }
         }
+        // Open-system leftovers all report their counters: completed
+        // jobs, jobs still queued at a `max_cycles` abort, and staged
+        // jobs that never arrived. Shed jobs were dropped at the queue's
+        // door and are counted only in the traffic statistics.
+        self.pool.append(&mut self.completed);
+        let end = self.core.cycle();
+        while let Some(t) = self.queue.pop(end) {
+            self.pool.push(t);
+        }
+        self.pool.extend(self.staged.drain(..).map(|(_, t)| t));
         self.pool.sort_by_key(|t| t.tid);
         let mut stall_breakdown = StallBreakdown::new();
         for t in &self.pool {
@@ -365,6 +631,7 @@ impl Machine {
             migrations: self.migrations,
             idle_context_cycles: self.idle_context_cycles,
             stall_breakdown,
+            traffic: self.traffic_stats,
         }
     }
 }
@@ -607,6 +874,101 @@ mod tests {
             stats.stall_breakdown.dcache,
             stats.threads.iter().map(|t| t.dstall_cycles).sum::<u64>()
         );
+    }
+
+    #[test]
+    fn closed_runs_report_zero_traffic() {
+        let cfg = SimConfig::paper(catalog::smt_cascade(4), 5000);
+        let stats = Machine::new(&cfg, threads(&["mcf", "bzip2", "x264", "idct"], 1))
+            .unwrap()
+            .run();
+        assert_eq!(stats.traffic, TrafficStats::default());
+    }
+
+    #[test]
+    fn open_system_completes_every_admitted_job() {
+        let cfg = SimConfig::paper(catalog::smt_cascade(4), 20_000)
+            .with_traffic("poisson:0.002".parse().unwrap());
+        let names = ["mcf", "bzip2", "x264", "idct", "cjpeg", "blowfish"];
+        let stats = Machine::new(&cfg, threads(&names, 11)).unwrap().run();
+        let t = &stats.traffic;
+        assert_eq!(t.offered, names.len() as u64);
+        assert_eq!(t.completed + t.shed, t.offered, "no job may vanish");
+        assert!(t.completed > 0);
+        // Every non-shed job retired its own full budget (closed runs
+        // stop at the *first* budget-reaching thread; open runs must not).
+        let finished = stats
+            .threads
+            .iter()
+            .filter(|th| th.instrs >= cfg.instr_budget)
+            .count() as u64;
+        assert_eq!(finished, t.completed);
+        // Quantiles are monotone and sojourn dominates wait.
+        assert!(t.p50_sojourn <= t.p95_sojourn && t.p95_sojourn <= t.p99_sojourn);
+        assert!(t.mean_sojourn >= t.mean_wait);
+        assert!(t.mean_queue_depth >= 0.0);
+    }
+
+    #[test]
+    fn open_runs_are_deterministic() {
+        let cfg = SimConfig::paper(catalog::by_name("2SC3").unwrap(), 20_000)
+            .with_traffic("bursty:0.001:4:4".parse().unwrap());
+        let run = || {
+            Machine::new(&cfg, threads(&["mcf", "cjpeg", "x264", "bzip2", "idct"], 3))
+                .unwrap()
+                .run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(format!("{:?}", a.traffic), format!("{:?}", b.traffic));
+        assert_eq!(format!("{:?}", a.threads), format!("{:?}", b.threads));
+    }
+
+    #[test]
+    fn overload_sheds_at_the_admission_queue() {
+        // 12 near-simultaneous arrivals on a single context: MPL holds 2
+        // in flight, the queue holds 4, the rest are shed.
+        let cfg = SimConfig::paper(catalog::by_name("ST").unwrap(), 20_000)
+            .with_traffic("poisson:1".parse().unwrap());
+        let names = ["idct"; 12];
+        let stats = Machine::new(&cfg, threads(&names, 5)).unwrap().run();
+        let t = &stats.traffic;
+        assert_eq!(t.offered, 12);
+        assert!(t.shed > 0, "overload must shed");
+        assert_eq!(t.completed + t.shed, 12);
+        // Shed jobs are dropped: they appear in no per-thread stats.
+        assert_eq!(stats.threads.len() as u64, 12 - t.shed);
+        assert!(t.mean_queue_depth > 0.0);
+    }
+
+    #[test]
+    fn open_tracing_never_perturbs_and_emits_arrivals() {
+        let cfg = SimConfig::paper(catalog::smt_cascade(4), 20_000)
+            .with_traffic("poisson:0.005".parse().unwrap());
+        let mk = || {
+            Machine::new(
+                &cfg,
+                threads(&["mcf", "bzip2", "x264", "idct", "cjpeg", "blowfish"], 7),
+            )
+            .unwrap()
+        };
+        let plain = mk().run();
+        let (traced, trace) = mk().run_with_trace();
+        assert_eq!(plain.cycles, traced.cycles);
+        assert_eq!(
+            format!("{:?}", plain.traffic),
+            format!("{:?}", traced.traffic)
+        );
+        let arrivals = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ThreadArrival { .. }))
+            .count() as u64;
+        assert_eq!(arrivals, traced.traffic.offered);
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::QueueDepth { .. })));
     }
 
     #[test]

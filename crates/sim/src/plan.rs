@@ -41,6 +41,17 @@
 //! machine); naming one adds a `scheduler`/`machine` column/field to the
 //! CSV/JSON exhibits.
 //!
+//! Plans can also sweep the arrival process ([`Plan::arrivals`], a
+//! [`TrafficSpec`] per cell — `closed`, `poisson:RATE`,
+//! `bursty:RATE:LEN:FACTOR`, `diurnal:RATE:PEAK:PERIOD` — looked up via
+//! the `*_traffic` accessors). The grid then expands schemes ▸ workloads
+//! ▸ schedulers ▸ machines ▸ traffic ▸ memory. Like the other optional
+//! axes, a plan that never names an arrival process runs closed with
+//! unchanged serialization bytes; an explicit axis adds a `traffic`
+//! column/field *and* the open-system metric columns (offered /
+//! completed / shed counts, sojourn-time quantiles, mean queue depth) to
+//! the exhibits.
+//!
 //! With a machine axis in play, [`ResultSet`] also prices each cell's
 //! merge-control hardware for its *actual* geometry via `vliw-hwcost`
 //! ([`ResultSet::merge_cost`], [`ResultSet::ipc_per_area`]), so
@@ -62,6 +73,7 @@ use vliw_trace::{Trace, TraceSpec};
 use vliw_workloads::{benchmark, mixes, BenchmarkSpec, WorkloadMix};
 
 pub use vliw_isa::MachineSpec;
+pub use vliw_traffic::{TrafficError, TrafficSpec};
 
 /// The memory-model axis of a sweep: the paper's IPCr (real caches) vs
 /// IPCp (perfect memory) measurements.
@@ -316,6 +328,8 @@ pub struct JobKey {
     pub scheduler: SchedulerSpec,
     /// The machine geometry simulated.
     pub machine: MachineSpec,
+    /// The arrival process driving the cell.
+    pub traffic: TrafficSpec,
     /// The memory model used.
     pub memory: MemoryModel,
 }
@@ -371,6 +385,7 @@ pub struct Plan {
     workloads: Vec<WorkloadRef>,
     schedulers: Vec<SchedulerSpec>,
     machines: Vec<MachineSpec>,
+    traffics: Vec<TrafficSpec>,
     axes: Vec<MemoryModel>,
     scale: u64,
     priority: PriorityPolicy,
@@ -389,6 +404,7 @@ impl Plan {
             workloads: Vec::new(),
             schedulers: Vec::new(),
             machines: Vec::new(),
+            traffics: Vec::new(),
             axes: Vec::new(),
             scale: 20,
             priority: PriorityPolicy::RoundRobin,
@@ -490,6 +506,28 @@ impl Plan {
         self
     }
 
+    /// Add one arrival process to the traffic axis (duplicates are
+    /// ignored). A plan that never names one runs closed (every thread
+    /// present at cycle 0), with unchanged (pre-axis) serialization
+    /// bytes; an explicit axis adds a `traffic` column/field plus the
+    /// open-system metric columns to the exhibits. Specs usually come
+    /// from the string grammar: `"poisson:0.02".parse().unwrap()`.
+    pub fn arrival(mut self, traffic: TrafficSpec) -> Self {
+        if !self.traffics.contains(&traffic) {
+            self.traffics.push(traffic);
+        }
+        self
+    }
+
+    /// Add several arrival processes (e.g. a ladder of offered loads for
+    /// a latency-vs-load curve).
+    pub fn arrivals<I: IntoIterator<Item = TrafficSpec>>(mut self, traffics: I) -> Self {
+        for t in traffics {
+            self = self.arrival(t);
+        }
+        self
+    }
+
     /// Add a memory-model axis (duplicates are ignored). A plan with no
     /// explicit axis runs with real memory only.
     pub fn axis(mut self, axis: MemoryModel) -> Self {
@@ -574,28 +612,46 @@ impl Plan {
         }
     }
 
+    /// The traffic axis this plan actually sweeps.
+    fn effective_traffics(&self) -> Vec<TrafficSpec> {
+        if self.traffics.is_empty() {
+            vec![TrafficSpec::Closed]
+        } else {
+            self.traffics.clone()
+        }
+    }
+
     /// Expand the plan into its deterministic job grid, row-major: schemes
-    /// outermost, then workloads, then schedulers, then machines, memory
-    /// models innermost.
+    /// outermost, then workloads, then schedulers, then machines, then
+    /// traffic, memory models innermost.
     pub fn jobs(&self) -> Vec<JobKey> {
         let scheds = self.effective_schedulers();
         let machines = self.effective_machines();
+        let traffics = self.effective_traffics();
         let axes = self.effective_axes();
         let mut out = Vec::with_capacity(
-            self.schemes.len() * self.workloads.len() * scheds.len() * machines.len() * axes.len(),
+            self.schemes.len()
+                * self.workloads.len()
+                * scheds.len()
+                * machines.len()
+                * traffics.len()
+                * axes.len(),
         );
         for scheme in &self.schemes {
             for workload in &self.workloads {
                 for &scheduler in &scheds {
                     for &machine in &machines {
-                        for &memory in &axes {
-                            out.push(JobKey {
-                                scheme: scheme.clone(),
-                                workload: workload.clone(),
-                                scheduler,
-                                machine,
-                                memory,
-                            });
+                        for &traffic in &traffics {
+                            for &memory in &axes {
+                                out.push(JobKey {
+                                    scheme: scheme.clone(),
+                                    workload: workload.clone(),
+                                    scheduler,
+                                    machine,
+                                    traffic,
+                                    memory,
+                                });
+                            }
                         }
                     }
                 }
@@ -606,8 +662,9 @@ impl Plan {
 
     /// The simulation configuration of one job.
     fn config_for(&self, key: &JobKey) -> SimConfig {
-        let mut cfg =
-            SimConfig::paper(key.scheme.scheme().clone(), self.scale).with_machine(key.machine);
+        let mut cfg = SimConfig::paper(key.scheme.scheme().clone(), self.scale)
+            .with_machine(key.machine)
+            .with_traffic(key.traffic);
         cfg.priority = self.priority;
         cfg.scheduler = key.scheduler;
         cfg.trace = self.trace;
@@ -790,6 +847,8 @@ impl Plan {
             sched_axis_explicit: !self.schedulers.is_empty(),
             machines: self.effective_machines(),
             machine_axis_explicit: !self.machines.is_empty(),
+            traffics: self.effective_traffics(),
+            traffic_axis_explicit: !self.traffics.is_empty(),
             axes: self.effective_axes(),
             scale: self.scale,
             priority: self.priority,
@@ -824,6 +883,11 @@ pub struct ResultSet {
     /// Whether the plan named machines explicitly. Gates the `machine`
     /// column/field exactly like `sched_axis_explicit`.
     machine_axis_explicit: bool,
+    traffics: Vec<TrafficSpec>,
+    /// Whether the plan named arrival processes explicitly. Gates the
+    /// `traffic` column/field *and* the open-system metric columns, so
+    /// closed plans keep their historical bytes.
+    traffic_axis_explicit: bool,
     axes: Vec<MemoryModel>,
     scale: u64,
     priority: PriorityPolicy,
@@ -852,21 +916,60 @@ impl ResultSet {
     pub const CSV_HEADER_SCHED_MACHINE: &'static str =
         "scheme,workload,scheduler,machine,memory,ipc,cycles,instrs,ops";
 
+    /// The open-system metric columns appended (with the `traffic` key
+    /// column) when the plan named arrival processes explicitly.
+    pub const CSV_TRAFFIC_METRICS: &'static str =
+        ",offered,completed,shed,p50_sojourn,p95_sojourn,p99_sojourn,mean_queue_depth";
+
+    /// [`ResultSet::CSV_HEADER`] with the `traffic` column and the
+    /// open-system metrics, used when the plan named arrival processes
+    /// explicitly.
+    pub const CSV_HEADER_TRAFFIC: &'static str = "scheme,workload,traffic,memory,ipc,cycles,\
+         instrs,ops,offered,completed,shed,p50_sojourn,p95_sojourn,p99_sojourn,mean_queue_depth";
+
+    /// [`ResultSet::CSV_HEADER_SCHED`] plus the traffic column/metrics.
+    pub const CSV_HEADER_SCHED_TRAFFIC: &'static str =
+        "scheme,workload,scheduler,traffic,memory,ipc,cycles,\
+         instrs,ops,offered,completed,shed,p50_sojourn,p95_sojourn,p99_sojourn,mean_queue_depth";
+
+    /// [`ResultSet::CSV_HEADER_MACHINE`] plus the traffic column/metrics.
+    pub const CSV_HEADER_MACHINE_TRAFFIC: &'static str =
+        "scheme,workload,machine,traffic,memory,ipc,cycles,\
+         instrs,ops,offered,completed,shed,p50_sojourn,p95_sojourn,p99_sojourn,mean_queue_depth";
+
+    /// [`ResultSet::CSV_HEADER_SCHED_MACHINE`] plus the traffic
+    /// column/metrics — every optional axis explicit.
+    pub const CSV_HEADER_SCHED_MACHINE_TRAFFIC: &'static str =
+        "scheme,workload,scheduler,machine,traffic,memory,ipc,cycles,\
+         instrs,ops,offered,completed,shed,p50_sojourn,p95_sojourn,p99_sojourn,mean_queue_depth";
+
     /// The CSV header for a given column shape (see
     /// [`ResultSet::csv_rows_shaped`]).
-    pub const fn csv_header_for(with_sched: bool, with_machine: bool) -> &'static str {
-        match (with_sched, with_machine) {
-            (false, false) => Self::CSV_HEADER,
-            (true, false) => Self::CSV_HEADER_SCHED,
-            (false, true) => Self::CSV_HEADER_MACHINE,
-            (true, true) => Self::CSV_HEADER_SCHED_MACHINE,
+    pub const fn csv_header_for(
+        with_sched: bool,
+        with_machine: bool,
+        with_traffic: bool,
+    ) -> &'static str {
+        match (with_sched, with_machine, with_traffic) {
+            (false, false, false) => Self::CSV_HEADER,
+            (true, false, false) => Self::CSV_HEADER_SCHED,
+            (false, true, false) => Self::CSV_HEADER_MACHINE,
+            (true, true, false) => Self::CSV_HEADER_SCHED_MACHINE,
+            (false, false, true) => Self::CSV_HEADER_TRAFFIC,
+            (true, false, true) => Self::CSV_HEADER_SCHED_TRAFFIC,
+            (false, true, true) => Self::CSV_HEADER_MACHINE_TRAFFIC,
+            (true, true, true) => Self::CSV_HEADER_SCHED_MACHINE_TRAFFIC,
         }
     }
 
     /// The CSV header matching this set's [`ResultSet::to_csv`] /
     /// [`ResultSet::csv_rows`] output.
     pub fn csv_header(&self) -> &'static str {
-        Self::csv_header_for(self.sched_axis_explicit, self.machine_axis_explicit)
+        Self::csv_header_for(
+            self.sched_axis_explicit,
+            self.machine_axis_explicit,
+            self.traffic_axis_explicit,
+        )
     }
 
     /// Whether the plan named schedulers explicitly (what gates the
@@ -879,6 +982,13 @@ impl ResultSet {
     /// `machine` column/field in this set's own serialization).
     pub fn machine_axis_is_explicit(&self) -> bool {
         self.machine_axis_explicit
+    }
+
+    /// Whether the plan named arrival processes explicitly (what gates
+    /// the `traffic` column/field and the open-system metric columns in
+    /// this set's own serialization).
+    pub fn traffic_axis_is_explicit(&self) -> bool {
+        self.traffic_axis_explicit
     }
 
     /// Schemes of the grid, in plan order.
@@ -901,6 +1011,12 @@ impl ResultSet {
     /// `[Paper4x4]` when the plan named none).
     pub fn machines(&self) -> &[MachineSpec] {
         &self.machines
+    }
+
+    /// Arrival processes of the grid, in plan order (the default
+    /// `[Closed]` when the plan named none).
+    pub fn traffics(&self) -> &[TrafficSpec] {
+        &self.traffics
     }
 
     /// Memory axes of the grid, in plan order.
@@ -934,36 +1050,44 @@ impl ResultSet {
         self.results.is_empty()
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn position(
         &self,
         scheme: &str,
         workload: &str,
         scheduler: SchedulerSpec,
         machine: MachineSpec,
+        traffic: TrafficSpec,
         memory: MemoryModel,
     ) -> Option<usize> {
         let s = self.schemes.iter().position(|x| x.name() == scheme)?;
         let w = self.workloads.iter().position(|x| x.name() == workload)?;
         let c = self.schedulers.iter().position(|&x| x == scheduler)?;
         let m = self.machines.iter().position(|&x| x == machine)?;
+        let t = self.traffics.iter().position(|&x| x == traffic)?;
         let a = self.axes.iter().position(|&x| x == memory)?;
         Some(
-            ((((s * self.workloads.len() + w) * self.schedulers.len() + c) * self.machines.len())
+            (((((s * self.workloads.len() + w) * self.schedulers.len() + c)
+                * self.machines.len()
                 + m)
+                * self.traffics.len())
+                + t)
                 * self.axes.len()
                 + a,
         )
     }
 
-    /// Keyed lookup of one cell under the plan's *first* scheduler and
-    /// *first* machine (the only ones for plans without those explicit
-    /// axes). Use [`ResultSet::get_sched`] / [`ResultSet::get_machine`] /
+    /// Keyed lookup of one cell under the plan's *first* scheduler,
+    /// *first* machine and *first* traffic spec (the only ones for plans
+    /// without those explicit axes). Use [`ResultSet::get_sched`] /
+    /// [`ResultSet::get_machine`] / [`ResultSet::get_traffic`] /
     /// [`ResultSet::get_cell`] to address swept axes explicitly.
     pub fn get(&self, scheme: &str, workload: &str, memory: MemoryModel) -> Option<&RunResult> {
         self.get_sched(scheme, workload, *self.schedulers.first()?, memory)
     }
 
-    /// Keyed lookup of one cell, scheduler included (first machine).
+    /// Keyed lookup of one cell, scheduler included (first machine and
+    /// traffic).
     pub fn get_sched(
         &self,
         scheme: &str,
@@ -974,7 +1098,8 @@ impl ResultSet {
         self.get_cell(scheme, workload, scheduler, *self.machines.first()?, memory)
     }
 
-    /// Keyed lookup of one cell, machine included (first scheduler).
+    /// Keyed lookup of one cell, machine included (first scheduler and
+    /// traffic).
     pub fn get_machine(
         &self,
         scheme: &str,
@@ -985,7 +1110,28 @@ impl ResultSet {
         self.get_cell(scheme, workload, *self.schedulers.first()?, machine, memory)
     }
 
-    /// Keyed lookup of one cell by its full grid key.
+    /// Keyed lookup of one cell, arrival process included (first
+    /// scheduler and machine).
+    pub fn get_traffic(
+        &self,
+        scheme: &str,
+        workload: &str,
+        traffic: TrafficSpec,
+        memory: MemoryModel,
+    ) -> Option<&RunResult> {
+        self.get_full(
+            scheme,
+            workload,
+            *self.schedulers.first()?,
+            *self.machines.first()?,
+            traffic,
+            memory,
+        )
+    }
+
+    /// Keyed lookup of one cell by scheme, workload, scheduler, machine
+    /// and memory (first traffic spec). See [`ResultSet::get_full`] for
+    /// the fully-specified form.
     pub fn get_cell(
         &self,
         scheme: &str,
@@ -994,8 +1140,30 @@ impl ResultSet {
         machine: MachineSpec,
         memory: MemoryModel,
     ) -> Option<&RunResult> {
+        self.get_full(
+            scheme,
+            workload,
+            scheduler,
+            machine,
+            *self.traffics.first()?,
+            memory,
+        )
+    }
+
+    /// Keyed lookup of one cell by its full grid key, every axis
+    /// explicit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_full(
+        &self,
+        scheme: &str,
+        workload: &str,
+        scheduler: SchedulerSpec,
+        machine: MachineSpec,
+        traffic: TrafficSpec,
+        memory: MemoryModel,
+    ) -> Option<&RunResult> {
         self.results
-            .get(self.position(scheme, workload, scheduler, machine, memory)?)
+            .get(self.position(scheme, workload, scheduler, machine, traffic, memory)?)
     }
 
     /// IPC of one cell (first scheduler and machine; see
@@ -1028,6 +1196,18 @@ impl ResultSet {
             .map(RunResult::ipc)
     }
 
+    /// IPC of one cell, arrival process included.
+    pub fn ipc_traffic(
+        &self,
+        scheme: &str,
+        workload: &str,
+        traffic: TrafficSpec,
+        memory: MemoryModel,
+    ) -> Option<f64> {
+        self.get_traffic(scheme, workload, traffic, memory)
+            .map(RunResult::ipc)
+    }
+
     /// Per-thread breakdown of one cell (first scheduler; from
     /// [`crate::stats::RunStats`]).
     pub fn threads(
@@ -1054,21 +1234,24 @@ impl ResultSet {
     /// Iterate `(key, result)` pairs in row-major grid order.
     pub fn iter(&self) -> impl Iterator<Item = (JobKey, &RunResult)> + '_ {
         let na = self.axes.len();
+        let nt = self.traffics.len();
         let nm = self.machines.len();
         let nc = self.schedulers.len();
         let nw = self.workloads.len();
         self.results.iter().enumerate().map(move |(i, r)| {
             let a = i % na;
-            let m = (i / na) % nm;
-            let c = (i / (na * nm)) % nc;
-            let w = (i / (na * nm * nc)) % nw;
-            let s = i / (na * nm * nc * nw);
+            let t = (i / na) % nt;
+            let m = (i / (na * nt)) % nm;
+            let c = (i / (na * nt * nm)) % nc;
+            let w = (i / (na * nt * nm * nc)) % nw;
+            let s = i / (na * nt * nm * nc * nw);
             (
                 JobKey {
                     scheme: self.schemes[s].clone(),
                     workload: self.workloads[w].clone(),
                     scheduler: self.schedulers[c],
                     machine: self.machines[m],
+                    traffic: self.traffics[t],
                     memory: self.axes[a],
                 },
                 r,
@@ -1146,6 +1329,27 @@ impl ResultSet {
         self.machines
             .iter()
             .filter_map(|&m| self.mean_ipc_machine(scheme, m, memory).map(|x| (m, x)))
+            .collect()
+    }
+
+    /// Mean IPC of every arrival process (plan order) for one scheme on
+    /// one memory axis (first scheduler and machine) — the
+    /// throughput-vs-offered-load view.
+    pub fn traffic_means(&self, scheme: &str, memory: MemoryModel) -> Vec<(TrafficSpec, f64)> {
+        self.traffics
+            .iter()
+            .filter_map(|&t| {
+                let xs: Vec<f64> = self
+                    .workloads
+                    .iter()
+                    .filter_map(|w| self.ipc_traffic(scheme, w.name(), t, memory))
+                    .collect();
+                if xs.is_empty() {
+                    None
+                } else {
+                    Some((t, xs.iter().sum::<f64>() / xs.len() as f64))
+                }
+            })
             .collect()
     }
 
@@ -1253,6 +1457,15 @@ impl ResultSet {
                 json_string(&mut s, &m.label());
             }
         }
+        if self.traffic_axis_explicit {
+            s.push_str("],\"traffics\":[");
+            for (i, t) in self.traffics.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                json_string(&mut s, &t.to_string());
+            }
+        }
         s.push_str("],\"axes\":[");
         for (i, a) in self.axes.iter().enumerate() {
             if i > 0 {
@@ -1277,6 +1490,10 @@ impl ResultSet {
                 s.push_str(",\"machine\":");
                 json_string(&mut s, &key.machine.label());
             }
+            if self.traffic_axis_explicit {
+                s.push_str(",\"traffic\":");
+                json_string(&mut s, &key.traffic.to_string());
+            }
             s.push_str(",\"memory\":");
             json_string(&mut s, key.memory.label());
             let _ = write!(
@@ -1295,6 +1512,22 @@ impl ResultSet {
                     s,
                     ",\"migrations\":{},\"idle_context_cycles\":{}",
                     r.stats.migrations, r.stats.idle_context_cycles,
+                );
+            }
+            if self.traffic_axis_explicit {
+                let t = &r.stats.traffic;
+                let _ = write!(
+                    s,
+                    ",\"offered\":{},\"completed\":{},\"shed\":{},\"p50_sojourn\":{},\"p95_sojourn\":{},\"p99_sojourn\":{},\"mean_sojourn\":{},\"mean_wait\":{},\"mean_queue_depth\":{}",
+                    t.offered,
+                    t.completed,
+                    t.shed,
+                    t.p50_sojourn,
+                    t.p95_sojourn,
+                    t.p99_sojourn,
+                    t.mean_sojourn,
+                    t.mean_wait,
+                    t.mean_queue_depth,
                 );
             }
             s.push_str(",\"threads\":[");
@@ -1343,6 +1576,7 @@ impl ResultSet {
             exhibit,
             self.sched_axis_explicit,
             self.machine_axis_explicit,
+            self.traffic_axis_explicit,
         )
     }
 
@@ -1359,10 +1593,12 @@ impl ResultSet {
         exhibit: Option<&str>,
         with_sched: bool,
         with_machine: bool,
+        with_traffic: bool,
     ) -> String {
         assert!(
             (with_sched || !self.sched_axis_explicit)
-                && (with_machine || !self.machine_axis_explicit),
+                && (with_machine || !self.machine_axis_explicit)
+                && (with_traffic || !self.traffic_axis_explicit),
             "cannot drop a swept axis column: rows of different cells would collide"
         );
         let mut s = String::new();
@@ -1383,7 +1619,11 @@ impl ResultSet {
                 s.push_str(&key.machine.label());
                 s.push(',');
             }
-            let _ = writeln!(
+            if with_traffic {
+                s.push_str(&key.traffic.to_string());
+                s.push(',');
+            }
+            let _ = write!(
                 s,
                 "{},{},{},{},{}",
                 key.memory.label(),
@@ -1392,6 +1632,21 @@ impl ResultSet {
                 r.stats.total_instrs,
                 r.stats.total_ops,
             );
+            if with_traffic {
+                let t = &r.stats.traffic;
+                let _ = write!(
+                    s,
+                    ",{},{},{},{},{},{},{}",
+                    t.offered,
+                    t.completed,
+                    t.shed,
+                    t.p50_sojourn,
+                    t.p95_sojourn,
+                    t.p99_sojourn,
+                    t.mean_queue_depth,
+                );
+            }
+            s.push('\n');
         }
         s
     }
@@ -1675,6 +1930,105 @@ mod tests {
         assert_eq!(set.to_csv().lines().next(), Some(ResultSet::CSV_HEADER));
         // The implicit machine is still addressable.
         assert_eq!(set.machines(), &[MachineSpec::Paper4x4]);
+    }
+
+    #[test]
+    fn traffic_axis_expands_between_machines_and_memory() {
+        let plan = Plan::new()
+            .schemes(["ST", "1S"])
+            .workload("idct")
+            .arrivals([TrafficSpec::Closed, "poisson:0.001".parse().unwrap()])
+            .axes([MemoryModel::Real, MemoryModel::Perfect]);
+        let jobs = plan.jobs();
+        // 2 schemes x 1 workload x 1 sched x 1 machine x 2 traffics x 2 memory.
+        assert_eq!(jobs.len(), 8);
+        assert_eq!(jobs[0].traffic, TrafficSpec::Closed);
+        assert_eq!(jobs[0].memory, MemoryModel::Real);
+        assert_eq!(jobs[1].traffic, TrafficSpec::Closed);
+        assert_eq!(jobs[1].memory, MemoryModel::Perfect);
+        assert_eq!(jobs[2].traffic, "poisson:0.001".parse().unwrap());
+        assert_eq!(jobs[4].scheme.name(), "1S");
+    }
+
+    #[test]
+    fn traffic_axis_deduplicates() {
+        let plan = Plan::new()
+            .arrival("poisson:0.02".parse().unwrap())
+            .arrival("poisson:0.020000".parse().unwrap())
+            .arrivals([TrafficSpec::Closed]);
+        assert_eq!(
+            plan.effective_traffics(),
+            vec!["poisson:0.02".parse().unwrap(), TrafficSpec::Closed]
+        );
+        // No arrival process named: closed (batch), alone.
+        assert_eq!(Plan::new().effective_traffics(), vec![TrafficSpec::Closed]);
+    }
+
+    #[test]
+    fn traffic_sweep_is_keyed_and_serialized() {
+        let open: TrafficSpec = "poisson:0.002".parse().unwrap();
+        let set = Plan::new()
+            .scheme("1S")
+            .workload("LLHH")
+            .arrivals([TrafficSpec::Closed, open])
+            .scale(100_000)
+            .run(&Session::with_parallelism(2));
+        assert_eq!(set.len(), 2);
+        // 3-arg lookup resolves the first arrival process of the axis.
+        assert_eq!(
+            set.get("1S", "LLHH", MemoryModel::Real)
+                .unwrap()
+                .stats
+                .cycles,
+            set.get_traffic("1S", "LLHH", TrafficSpec::Closed, MemoryModel::Real)
+                .unwrap()
+                .stats
+                .cycles
+        );
+        let closed = set
+            .get_traffic("1S", "LLHH", TrafficSpec::Closed, MemoryModel::Real)
+            .unwrap();
+        let opened = set
+            .get_traffic("1S", "LLHH", open, MemoryModel::Real)
+            .unwrap();
+        assert_eq!(closed.stats.traffic, Default::default());
+        assert_eq!(opened.stats.traffic.offered, 4, "LLHH stages 4 jobs");
+        assert!(opened.ipc() > 0.0);
+        let means = set.traffic_means("1S", MemoryModel::Real);
+        assert_eq!(means.len(), 2);
+        assert_eq!(means[0].0, TrafficSpec::Closed);
+        // Serialized exhibits carry the axis, per-cell labels and metrics.
+        let json = set.to_json();
+        assert!(
+            json.contains("\"traffics\":[\"closed\",\"poisson:0.002\"]"),
+            "{json}"
+        );
+        assert!(json.contains("\"traffic\":\"poisson:0.002\""));
+        assert!(json.contains("\"offered\":4"));
+        assert!(json.contains("\"p99_sojourn\":"));
+        let csv = set.to_csv();
+        assert_eq!(csv.lines().next(), Some(ResultSet::CSV_HEADER_TRAFFIC));
+        assert!(
+            csv.lines()
+                .any(|l| l.starts_with("1S,LLHH,poisson:0.002,real,")),
+            "{csv}"
+        );
+    }
+
+    #[test]
+    fn default_plans_have_no_traffic_serialization() {
+        let set = Plan::new()
+            .scheme("ST")
+            .workload("idct")
+            .scale(100_000)
+            .run(&Session::with_parallelism(1));
+        let json = set.to_json();
+        assert!(!json.contains("\"traffics\""), "no axis array: {json}");
+        assert!(!json.contains("\"traffic\""), "no per-cell field");
+        assert!(!json.contains("\"offered\""), "no open-system metrics");
+        assert_eq!(set.to_csv().lines().next(), Some(ResultSet::CSV_HEADER));
+        // The implicit closed process is still addressable.
+        assert_eq!(set.traffics(), &[TrafficSpec::Closed]);
     }
 
     #[test]

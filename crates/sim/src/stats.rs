@@ -4,6 +4,7 @@ use std::sync::Arc;
 use vliw_core::MergeStats;
 use vliw_mem::CacheStats;
 use vliw_trace::StallBreakdown;
+use vliw_traffic::TrafficStats;
 
 /// Per-software-thread results.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +74,11 @@ pub struct RunStats {
     /// observes — so it always sums to the threads' total stall cycles,
     /// and a full trace's [`StallBreakdown::from_events`] agrees exactly.
     pub stall_breakdown: StallBreakdown,
+    /// Open-system traffic metrics: offered/completed/shed job counts,
+    /// sojourn-time quantiles and mean queue depth. All-zero
+    /// ([`TrafficStats::default`]) for closed (batch) runs, which have no
+    /// arrival process.
+    pub traffic: TrafficStats,
 }
 
 impl RunStats {
@@ -162,6 +168,7 @@ mod tests {
             migrations: 0,
             idle_context_cycles: 0,
             stall_breakdown: StallBreakdown::default(),
+            traffic: TrafficStats::default(),
         }
     }
 

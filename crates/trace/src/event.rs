@@ -158,6 +158,23 @@ pub enum TraceEvent {
         /// Issuing-context bitmask of this cycle.
         to_mask: u8,
     },
+    /// A software thread arrived at the machine (open-system mode): it
+    /// entered the admission queue, or was shed at its door.
+    ThreadArrival {
+        /// Arrival cycle.
+        cycle: u64,
+        /// Arriving software thread.
+        tid: u32,
+        /// Whether the bounded admission queue rejected the arrival.
+        shed: bool,
+    },
+    /// The admission-queue depth changed (open-system mode).
+    QueueDepth {
+        /// Cycle of the change.
+        cycle: u64,
+        /// Queued threads after the change.
+        depth: u32,
+    },
 }
 
 impl TraceEvent {
@@ -171,7 +188,9 @@ impl TraceEvent {
             | TraceEvent::ContextEvict { cycle, .. }
             | TraceEvent::ContextRefill { cycle, .. }
             | TraceEvent::ThreadMigration { cycle, .. }
-            | TraceEvent::MergeTransition { cycle, .. } => cycle,
+            | TraceEvent::MergeTransition { cycle, .. }
+            | TraceEvent::ThreadArrival { cycle, .. }
+            | TraceEvent::QueueDepth { cycle, .. } => cycle,
         }
     }
 
@@ -187,6 +206,8 @@ impl TraceEvent {
             TraceEvent::ContextRefill { .. } => "context-refill",
             TraceEvent::ThreadMigration { .. } => "thread-migration",
             TraceEvent::MergeTransition { .. } => "merge-transition",
+            TraceEvent::ThreadArrival { .. } => "thread-arrival",
+            TraceEvent::QueueDepth { .. } => "queue-depth",
         }
     }
 }
@@ -243,6 +264,15 @@ mod tests {
                 cycle: 8,
                 from_mask: 0b0011,
                 to_mask: 0b0111,
+            },
+            TraceEvent::ThreadArrival {
+                cycle: 9,
+                tid: 2,
+                shed: false,
+            },
+            TraceEvent::QueueDepth {
+                cycle: 10,
+                depth: 3,
             },
         ];
         for (i, e) in events.iter().enumerate() {

@@ -171,6 +171,21 @@ fn export_chrome(trace: &Trace) -> String {
                     to_mask.count_ones()
                 );
             }
+            TraceEvent::ThreadArrival { cycle, tid, shed } => {
+                s.push_str(",{\"ph\":\"i\",\"pid\":0,\"tid\":");
+                let _ = write!(s, "{sched_track},\"ts\":{cycle}");
+                s.push_str(",\"s\":\"p\",\"cat\":\"traffic\",\"name\":");
+                let verb = if shed { "shed" } else { "arrive" };
+                json_string(&mut s, &format!("{verb} {}", trace.thread_name(tid)));
+                let _ = write!(s, ",\"args\":{{\"tid\":{tid},\"shed\":{shed}}}}}");
+            }
+            TraceEvent::QueueDepth { cycle, depth } => {
+                let _ = write!(
+                    s,
+                    ",{{\"ph\":\"C\",\"pid\":0,\"ts\":{cycle},\"name\":\"admission queue\",\
+                     \"args\":{{\"depth\":{depth}}}}}"
+                );
+            }
             _ => {}
         }
     }
@@ -233,6 +248,12 @@ fn json_event(s: &mut String, e: &TraceEvent) {
         } => {
             let _ = write!(s, ",\"from_mask\":{from_mask},\"to_mask\":{to_mask}");
         }
+        TraceEvent::ThreadArrival { tid, shed, .. } => {
+            let _ = write!(s, ",\"tid\":{tid},\"shed\":{shed}");
+        }
+        TraceEvent::QueueDepth { depth, .. } => {
+            let _ = write!(s, ",\"depth\":{depth}");
+        }
     }
     s.push('}');
 }
@@ -262,7 +283,8 @@ fn export_jsonl(trace: &Trace) -> String {
 }
 
 /// The CSV exporter's header.
-pub(crate) const CSV_HEADER: &str = "cycle,event,ctx,tid,kind,addr,is_store,ops,cycles,from,to";
+pub(crate) const CSV_HEADER: &str =
+    "cycle,event,ctx,tid,kind,addr,is_store,ops,cycles,from,to,depth,shed";
 
 /// CSV: every raw event, one row per event; inapplicable columns are empty.
 fn export_csv(trace: &Trace) -> String {
@@ -273,7 +295,7 @@ fn export_csv(trace: &Trace) -> String {
         let _ = write!(s, "{},{}", e.cycle(), e.name());
         match *e {
             TraceEvent::BundleIssue { ctx, tid, ops, .. } => {
-                let _ = writeln!(s, ",{ctx},{tid},,,,{ops},,,");
+                let _ = writeln!(s, ",{ctx},{tid},,,,{ops},,,,,");
             }
             TraceEvent::Stall {
                 ctx,
@@ -282,7 +304,7 @@ fn export_csv(trace: &Trace) -> String {
                 cycles,
                 ..
             } => {
-                let _ = writeln!(s, ",{ctx},{tid},{},,,,{cycles},,", kind.label());
+                let _ = writeln!(s, ",{ctx},{tid},{},,,,{cycles},,,,", kind.label());
             }
             TraceEvent::CacheMiss {
                 ctx,
@@ -291,12 +313,12 @@ fn export_csv(trace: &Trace) -> String {
                 is_store,
                 ..
             } => {
-                let _ = writeln!(s, ",{ctx},,{},{addr},{is_store},,,,", cache.label());
+                let _ = writeln!(s, ",{ctx},,{},{addr},{is_store},,,,,,", cache.label());
             }
             TraceEvent::ContextAdmit { ctx, tid, .. }
             | TraceEvent::ContextEvict { ctx, tid, .. }
             | TraceEvent::ContextRefill { ctx, tid, .. } => {
-                let _ = writeln!(s, ",{ctx},{tid},,,,,,,");
+                let _ = writeln!(s, ",{ctx},{tid},,,,,,,,,");
             }
             TraceEvent::ThreadMigration {
                 tid,
@@ -304,12 +326,18 @@ fn export_csv(trace: &Trace) -> String {
                 to_ctx,
                 ..
             } => {
-                let _ = writeln!(s, ",,{tid},,,,,,{from_ctx},{to_ctx}");
+                let _ = writeln!(s, ",,{tid},,,,,,{from_ctx},{to_ctx},,");
             }
             TraceEvent::MergeTransition {
                 from_mask, to_mask, ..
             } => {
-                let _ = writeln!(s, ",,,,,,,,{from_mask},{to_mask}");
+                let _ = writeln!(s, ",,,,,,,,{from_mask},{to_mask},,");
+            }
+            TraceEvent::ThreadArrival { tid, shed, .. } => {
+                let _ = writeln!(s, ",,{tid},,,,,,,,,{shed}");
+            }
+            TraceEvent::QueueDepth { depth, .. } => {
+                let _ = writeln!(s, ",,,,,,,,,,{depth},");
             }
         }
     }
@@ -431,6 +459,6 @@ mod tests {
             rows += 1;
         }
         assert_eq!(rows, t.events.len());
-        assert!(s.contains("2,stall,0,0,dcache,,,,20,,"), "{s}");
+        assert!(s.contains("2,stall,0,0,dcache,,,,20,,,,"), "{s}");
     }
 }

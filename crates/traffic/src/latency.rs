@@ -1,0 +1,198 @@
+//! Per-thread lifecycle timestamps and exact tail-latency summaries.
+
+/// The three timestamps of one job's life in an open system, from which
+/// every latency metric derives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Lifecycle {
+    /// Cycle the job arrived (entered the admission queue).
+    pub arrival: u64,
+    /// Cycle the job was first installed on a hardware context.
+    pub first_admit: Option<u64>,
+    /// Cycle the job retired its full instruction budget.
+    pub completion: Option<u64>,
+}
+
+impl Lifecycle {
+    /// A job that arrived at `cycle` and has done nothing else yet.
+    pub fn arrived(cycle: u64) -> Self {
+        Lifecycle {
+            arrival: cycle,
+            first_admit: None,
+            completion: None,
+        }
+    }
+
+    /// Queueing delay: arrival → first installation.
+    pub fn wait(&self) -> Option<u64> {
+        self.first_admit.map(|a| a - self.arrival)
+    }
+
+    /// Total time in system: arrival → completion.
+    pub fn sojourn(&self) -> Option<u64> {
+        self.completion.map(|c| c - self.arrival)
+    }
+
+    /// Time from first installation to completion (sojourn − wait).
+    pub fn service(&self) -> Option<u64> {
+        match (self.first_admit, self.completion) {
+            (Some(a), Some(c)) => Some(c - a),
+            _ => None,
+        }
+    }
+}
+
+/// An exact quantile summary over recorded latency samples.
+///
+/// Samples are kept verbatim and quantiles are read by nearest-rank off
+/// a sorted copy — no sketching, no randomization — so the summary is a
+/// pure function of the recorded multiset and its reported bytes cannot
+/// depend on worker count or record order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    samples: Vec<u64>,
+}
+
+impl LatencySummary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency sample (cycles).
+    pub fn record(&mut self, cycles: u64) {
+        self.samples.push(cycles);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Nearest-rank quantile: the smallest sample such that at least
+    /// `q`·len samples are ≤ it. `None` when empty; `q` is clamped to
+    /// `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let rank = (q.clamp(0.0, 1.0) * n as f64).ceil() as usize;
+        Some(sorted[rank.clamp(1, n) - 1])
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&x| x as u128).sum::<u128>() as f64 / self.samples.len() as f64
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+}
+
+/// The open-system block of a run's statistics: job counts and the
+/// latency/queue metrics the exhibits report. All-zero (the `Default`)
+/// for closed runs, so closed-mode serialization is unaffected.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrafficStats {
+    /// Jobs that arrived (admitted into the queue or shed at its door).
+    pub offered: u64,
+    /// Jobs that retired their full instruction budget.
+    pub completed: u64,
+    /// Jobs rejected because the admission queue was full.
+    pub shed: u64,
+    /// Median sojourn time (arrival → completion) in cycles.
+    pub p50_sojourn: u64,
+    /// 95th-percentile sojourn time in cycles.
+    pub p95_sojourn: u64,
+    /// 99th-percentile sojourn time in cycles.
+    pub p99_sojourn: u64,
+    /// Mean sojourn time in cycles.
+    pub mean_sojourn: f64,
+    /// Mean queueing delay (arrival → first installation) in cycles.
+    pub mean_wait: f64,
+    /// Time-averaged admission-queue depth over the run.
+    pub mean_queue_depth: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_decomposes_sojourn() {
+        let l = Lifecycle {
+            arrival: 100,
+            first_admit: Some(130),
+            completion: Some(250),
+        };
+        assert_eq!(l.wait(), Some(30));
+        assert_eq!(l.sojourn(), Some(150));
+        assert_eq!(l.service(), Some(120));
+        assert_eq!(Lifecycle::arrived(5).sojourn(), None);
+    }
+
+    #[test]
+    fn nearest_rank_quantiles_are_exact() {
+        let mut s = LatencySummary::new();
+        for v in [50, 10, 40, 20, 30] {
+            s.record(v);
+        }
+        assert_eq!(s.p50(), Some(30), "rank ⌈0.5·5⌉ = 3rd of sorted");
+        assert_eq!(s.quantile(0.0), Some(10));
+        assert_eq!(s.quantile(1.0), Some(50));
+        assert_eq!(s.p95(), Some(50));
+        assert_eq!(s.p99(), Some(50));
+        assert_eq!(s.mean(), 30.0);
+        assert_eq!(s.max(), Some(50));
+    }
+
+    #[test]
+    fn empty_summary_reports_nothing() {
+        let s = LatencySummary::new();
+        assert_eq!(s.p50(), None);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn summary_is_order_independent() {
+        let mut a = LatencySummary::new();
+        let mut b = LatencySummary::new();
+        for v in [7, 3, 9, 1] {
+            a.record(v);
+        }
+        for v in [1, 9, 3, 7] {
+            b.record(v);
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(a.quantile(q), b.quantile(q));
+        }
+    }
+}

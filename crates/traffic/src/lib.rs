@@ -1,0 +1,38 @@
+//! # vliw-traffic — open-system load generation
+//!
+//! Every simulation used to be a *closed batch*: the machine starts full
+//! of threads and drains, so merge schemes could only be compared by
+//! throughput. This crate supplies the open-system side — the way
+//! serving systems are actually judged:
+//!
+//! * [`TrafficSpec`] — named arrival processes (`closed`, `poisson`,
+//!   `bursty`, `diurnal`) with a compact string grammar and exact
+//!   `Display`/parse round-trips, usable as experiment-grid axis keys.
+//! * [`ArrivalProcess`] — a deterministic infinite stream of arrival
+//!   cycles for a `(spec, seed)` pair. Exponential gaps are sampled with
+//!   pure integer arithmetic (no floats, no `libm`), so streams replay
+//!   bit-identically on every host.
+//! * [`AdmissionQueue`] — the bounded FIFO in front of the OS scheduler:
+//!   arrived-but-unadmitted work waits here, overflow is shed and
+//!   counted, and a time-weighted depth integral backs mean-queue-depth
+//!   reporting.
+//! * [`Lifecycle`] / [`LatencySummary`] / [`TrafficStats`] — per-job
+//!   arrival / first-admit / completion timestamps, exact nearest-rank
+//!   quantiles over the resulting sojourn and wait times (no sketches,
+//!   no RNG — reported bytes are independent of record order and worker
+//!   count), and the aggregate block embedded in run statistics.
+//!
+//! The crate is dependency-free; the simulator (`vliw-sim`) threads it
+//! through its config, OS layer, experiment plans and serialization.
+
+#![deny(missing_docs)]
+
+mod arrivals;
+mod latency;
+mod queue;
+mod spec;
+
+pub use arrivals::ArrivalProcess;
+pub use latency::{LatencySummary, Lifecycle, TrafficStats};
+pub use queue::AdmissionQueue;
+pub use spec::{TrafficError, TrafficSpec, RATE_SCALE};

@@ -1,0 +1,357 @@
+//! The `TrafficSpec` grammar: named arrival processes that parse from and
+//! print back to compact strings, like `vliw_isa::MachineSpec` does for
+//! machine geometries.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Arrival rates are carried as integer **parts-per-million arrivals per
+/// cycle** so specs stay `Copy + Eq + Hash` (usable as grid-axis keys)
+/// and round-trip exactly through their string spelling.
+pub const RATE_SCALE: u32 = 1_000_000;
+
+/// A named arrival process, the open-system counterpart of a machine
+/// geometry: what load the machine is offered, parsed from a compact
+/// spec string.
+///
+/// Grammar (case-insensitive, `_` and `-` interchangeable with nothing —
+/// the names contain neither):
+///
+/// * `closed` — no arrival process: every thread is present at cycle 0
+///   and the run drains the batch (the historical behaviour, and the
+///   default).
+/// * `poisson:RATE` — memoryless arrivals at `RATE` arrivals/cycle
+///   (decimal, resolution 1e-6, at most 1).
+/// * `bursty:RATE:LEN:FACTOR` — arrivals clumped into bursts of `LEN`;
+///   within a burst the instantaneous rate is `RATE×FACTOR`, and the
+///   burst-to-burst gap is stretched so the *long-run* rate stays `RATE`.
+/// * `diurnal:RATE:FACTOR:PERIOD` — a square-wave rate alternating
+///   between `RATE` (off-peak) and `RATE×FACTOR` (peak) every
+///   `PERIOD/2` cycles.
+///
+/// `Display` prints the canonical spelling (minimal decimal rate) and
+/// `FromStr` parses any accepted spelling back to the same value — the
+/// round-trip is property-tested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TrafficSpec {
+    /// Closed system: all threads present at cycle 0 (the default).
+    #[default]
+    Closed,
+    /// Poisson arrivals with the given mean rate.
+    Poisson {
+        /// Mean arrival rate, in arrivals per million cycles.
+        rate_ppm: u32,
+    },
+    /// Bursty arrivals: clumps of `burst_len` at `burst_factor`× the base
+    /// rate, spaced so the long-run rate equals the base rate.
+    Bursty {
+        /// Long-run mean arrival rate, in arrivals per million cycles.
+        rate_ppm: u32,
+        /// Arrivals per burst (≥ 1).
+        burst_len: u32,
+        /// Within-burst rate multiplier (≥ 1).
+        burst_factor: u32,
+    },
+    /// Diurnal arrivals: a square-wave rate alternating off-peak / peak.
+    Diurnal {
+        /// Off-peak arrival rate, in arrivals per million cycles.
+        base_ppm: u32,
+        /// Peak rate multiplier (≥ 1).
+        peak_factor: u32,
+        /// Full period of the square wave, in cycles (≥ 2).
+        period: u64,
+    },
+}
+
+impl TrafficSpec {
+    /// Whether this is the closed (batch) system — no arrival process.
+    pub fn is_closed(&self) -> bool {
+        matches!(self, TrafficSpec::Closed)
+    }
+
+    /// The canonical spelling (same as `Display`), for labels and CSV.
+    pub fn label(&self) -> String {
+        self.to_string()
+    }
+
+    /// Long-run mean offered load in arrivals per cycle (0 when closed).
+    pub fn offered_rate(&self) -> f64 {
+        let scale = f64::from(RATE_SCALE);
+        match *self {
+            TrafficSpec::Closed => 0.0,
+            TrafficSpec::Poisson { rate_ppm } | TrafficSpec::Bursty { rate_ppm, .. } => {
+                f64::from(rate_ppm) / scale
+            }
+            TrafficSpec::Diurnal {
+                base_ppm,
+                peak_factor,
+                ..
+            } => f64::from(base_ppm) * (1.0 + f64::from(peak_factor)) / 2.0 / scale,
+        }
+    }
+
+    /// Example spellings of every process kind (for `--help` texts and
+    /// friendly parse errors).
+    pub fn example_spellings() -> [&'static str; 4] {
+        [
+            "closed",
+            "poisson:0.02",
+            "bursty:0.02:8:4",
+            "diurnal:0.01:4:200000",
+        ]
+    }
+}
+
+/// Why a traffic spec string or parameter set was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TrafficError {
+    /// The spelling names no known arrival process.
+    UnknownSpec(String),
+    /// A known process was given malformed or out-of-range parameters.
+    BadParam(String),
+}
+
+impl fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficError::UnknownSpec(s) => write!(
+                f,
+                "unknown traffic spec {s:?}; expected one of: {}",
+                TrafficSpec::example_spellings().join(", ")
+            ),
+            TrafficError::BadParam(msg) => write!(f, "bad traffic spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {}
+
+/// Format a ppm rate as the canonical minimal decimal (`20000` → `0.02`).
+fn rate_string(ppm: u32) -> String {
+    let int = ppm / RATE_SCALE;
+    let frac = ppm % RATE_SCALE;
+    if frac == 0 {
+        return int.to_string();
+    }
+    let digits = format!("{frac:06}");
+    format!("{int}.{}", digits.trim_end_matches('0'))
+}
+
+/// Parse a decimal arrivals-per-cycle rate into ppm: at most 6 fraction
+/// digits, positive, at most one arrival per cycle.
+fn parse_rate(s: &str) -> Result<u32, TrafficError> {
+    let bad = |msg: &str| TrafficError::BadParam(format!("rate {s:?}: {msg}"));
+    let (int, frac) = match s.split_once('.') {
+        Some((i, f)) => (i, f),
+        None => (s, ""),
+    };
+    if int.is_empty() && frac.is_empty() {
+        return Err(bad("empty"));
+    }
+    if !int.chars().all(|c| c.is_ascii_digit()) || !frac.chars().all(|c| c.is_ascii_digit()) {
+        return Err(bad("not a decimal number"));
+    }
+    if frac.len() > 6 {
+        return Err(bad("resolution is 1e-6 arrivals/cycle"));
+    }
+    let int_part: u32 = if int.is_empty() {
+        0
+    } else {
+        int.parse().map_err(|_| bad("integer part overflows"))?
+    };
+    let mut frac_ppm = 0u32;
+    for (i, c) in frac.chars().enumerate() {
+        frac_ppm += (c as u32 - '0' as u32) * 10u32.pow(5 - i as u32);
+    }
+    let ppm = int_part
+        .checked_mul(RATE_SCALE)
+        .and_then(|x| x.checked_add(frac_ppm))
+        .ok_or_else(|| bad("overflows"))?;
+    if ppm == 0 {
+        return Err(bad("must be positive"));
+    }
+    if ppm > RATE_SCALE {
+        return Err(bad("at most 1 arrival per cycle"));
+    }
+    Ok(ppm)
+}
+
+impl fmt::Display for TrafficSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TrafficSpec::Closed => write!(f, "closed"),
+            TrafficSpec::Poisson { rate_ppm } => write!(f, "poisson:{}", rate_string(rate_ppm)),
+            TrafficSpec::Bursty {
+                rate_ppm,
+                burst_len,
+                burst_factor,
+            } => write!(
+                f,
+                "bursty:{}:{burst_len}:{burst_factor}",
+                rate_string(rate_ppm)
+            ),
+            TrafficSpec::Diurnal {
+                base_ppm,
+                peak_factor,
+                period,
+            } => write!(
+                f,
+                "diurnal:{}:{peak_factor}:{period}",
+                rate_string(base_ppm)
+            ),
+        }
+    }
+}
+
+impl FromStr for TrafficSpec {
+    type Err = TrafficError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.trim().to_ascii_lowercase();
+        let mut parts = norm.split(':');
+        let name = parts.next().unwrap_or("");
+        let args: Vec<&str> = parts.collect();
+        let arity = |n: usize, usage: &str| -> Result<(), TrafficError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(TrafficError::BadParam(format!(
+                    "{name} takes {n} argument(s): {usage}"
+                )))
+            }
+        };
+        let int_arg = |s: &str, what: &str| -> Result<u64, TrafficError> {
+            s.parse::<u64>()
+                .map_err(|_| TrafficError::BadParam(format!("{what} {s:?}: not an integer")))
+                .and_then(|v| {
+                    if v == 0 {
+                        Err(TrafficError::BadParam(format!("{what} must be ≥ 1")))
+                    } else {
+                        Ok(v)
+                    }
+                })
+        };
+        match name {
+            "closed" => {
+                arity(0, "closed")?;
+                Ok(TrafficSpec::Closed)
+            }
+            "poisson" => {
+                arity(1, "poisson:RATE")?;
+                Ok(TrafficSpec::Poisson {
+                    rate_ppm: parse_rate(args[0])?,
+                })
+            }
+            "bursty" => {
+                arity(3, "bursty:RATE:LEN:FACTOR")?;
+                let rate_ppm = parse_rate(args[0])?;
+                let burst_len = int_arg(args[1], "burst length")? as u32;
+                let burst_factor = int_arg(args[2], "burst factor")? as u32;
+                if u64::from(rate_ppm) * u64::from(burst_factor) > u64::from(RATE_SCALE) {
+                    return Err(TrafficError::BadParam(
+                        "within-burst rate RATE×FACTOR exceeds 1 arrival per cycle".into(),
+                    ));
+                }
+                Ok(TrafficSpec::Bursty {
+                    rate_ppm,
+                    burst_len,
+                    burst_factor,
+                })
+            }
+            "diurnal" => {
+                arity(3, "diurnal:RATE:FACTOR:PERIOD")?;
+                let base_ppm = parse_rate(args[0])?;
+                let peak_factor = int_arg(args[1], "peak factor")? as u32;
+                let period = int_arg(args[2], "period")?;
+                if u64::from(base_ppm) * u64::from(peak_factor) > u64::from(RATE_SCALE) {
+                    return Err(TrafficError::BadParam(
+                        "peak rate RATE×FACTOR exceeds 1 arrival per cycle".into(),
+                    ));
+                }
+                if period < 2 {
+                    return Err(TrafficError::BadParam("period must be ≥ 2 cycles".into()));
+                }
+                Ok(TrafficSpec::Diurnal {
+                    base_ppm,
+                    peak_factor,
+                    period,
+                })
+            }
+            _ => Err(TrafficError::UnknownSpec(s.trim().to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_spellings_round_trip() {
+        for s in TrafficSpec::example_spellings() {
+            let spec: TrafficSpec = s.parse().unwrap();
+            assert_eq!(spec.to_string(), s, "canonical spelling is stable");
+            assert_eq!(
+                spec.to_string().parse::<TrafficSpec>().unwrap(),
+                spec,
+                "display re-parses to the same value"
+            );
+        }
+    }
+
+    #[test]
+    fn rates_print_minimally_and_parse_loosely() {
+        assert_eq!(rate_string(20_000), "0.02");
+        assert_eq!(rate_string(1_000_000), "1");
+        assert_eq!(rate_string(12_345), "0.012345");
+        assert_eq!(rate_string(1), "0.000001");
+        assert_eq!(parse_rate("0.020000").unwrap(), 20_000);
+        assert_eq!(parse_rate(".5").unwrap(), 500_000);
+        assert_eq!(parse_rate("1").unwrap(), 1_000_000);
+        assert_eq!(parse_rate("1.").unwrap(), 1_000_000);
+    }
+
+    #[test]
+    fn bad_spellings_get_typed_errors() {
+        assert!(matches!(
+            "open-loop".parse::<TrafficSpec>(),
+            Err(TrafficError::UnknownSpec(_))
+        ));
+        for s in [
+            "poisson",
+            "poisson:0",
+            "poisson:2",
+            "poisson:0.0000001",
+            "poisson:abc",
+            "bursty:0.5:0:2",
+            "bursty:0.5:4:3",
+            "diurnal:0.01:4:1",
+            "closed:1",
+        ] {
+            assert!(
+                matches!(s.parse::<TrafficSpec>(), Err(TrafficError::BadParam(_))),
+                "{s:?} must be rejected as a bad parameter"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_normalizes_case_and_whitespace() {
+        assert_eq!(
+            "  Poisson:0.02 ".parse::<TrafficSpec>().unwrap(),
+            TrafficSpec::Poisson { rate_ppm: 20_000 }
+        );
+    }
+
+    #[test]
+    fn offered_rate_matches_the_long_run_mean() {
+        let p: TrafficSpec = "poisson:0.02".parse().unwrap();
+        assert!((p.offered_rate() - 0.02).abs() < 1e-12);
+        let b: TrafficSpec = "bursty:0.02:8:4".parse().unwrap();
+        assert!((b.offered_rate() - 0.02).abs() < 1e-12);
+        let d: TrafficSpec = "diurnal:0.01:4:200000".parse().unwrap();
+        assert!((d.offered_rate() - 0.025).abs() < 1e-12);
+        assert_eq!(TrafficSpec::Closed.offered_rate(), 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the traffic subsystem: the `TrafficSpec` grammar
+//! round-trips exactly, and the exact-quantile summary is monotone in
+//! the quantile (p50 ≤ p95 ≤ p99) and order-independent.
+
+use proptest::prelude::*;
+use vliw_traffic::{ArrivalProcess, LatencySummary, TrafficSpec, RATE_SCALE};
+
+/// Any valid spec: rates in [1, RATE_SCALE] ppm, parameters in range
+/// (bursty/diurnal peak rates capped at 1 arrival/cycle by construction).
+fn any_spec() -> impl Strategy<Value = TrafficSpec> {
+    prop_oneof![
+        Just(TrafficSpec::Closed),
+        (1u32..RATE_SCALE + 1).prop_map(|rate_ppm| TrafficSpec::Poisson { rate_ppm }),
+        (1u32..10_001, 1u32..33, 1u32..17).prop_map(|(rate_ppm, burst_len, burst_factor)| {
+            TrafficSpec::Bursty {
+                rate_ppm,
+                burst_len,
+                burst_factor,
+            }
+        }),
+        (1u32..10_001, 1u32..17, 2u64..1 << 40).prop_map(|(base_ppm, peak_factor, period)| {
+            TrafficSpec::Diurnal {
+                base_ppm,
+                peak_factor,
+                period,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    /// Display → parse is the identity for every valid spec, and the
+    /// canonical spelling is a fixed point of the round-trip.
+    #[test]
+    fn spec_grammar_round_trips(spec in any_spec()) {
+        let spelled = spec.to_string();
+        let parsed: TrafficSpec = spelled.parse().unwrap_or_else(|e| {
+            panic!("canonical spelling {spelled:?} failed to parse: {e}")
+        });
+        prop_assert_eq!(parsed, spec);
+        prop_assert_eq!(parsed.to_string(), spelled);
+        // Case never matters.
+        prop_assert_eq!(
+            spelled.to_ascii_uppercase().parse::<TrafficSpec>().unwrap(),
+            spec
+        );
+    }
+
+    /// Nearest-rank quantiles are monotone in q — in particular
+    /// p50 ≤ p95 ≤ p99 ≤ max — and bounded by the sample extremes.
+    #[test]
+    fn quantiles_are_monotone(samples in prop::collection::vec(0u64..1 << 48, 1..200)) {
+        let mut s = LatencySummary::new();
+        for &v in &samples {
+            s.record(v);
+        }
+        let p50 = s.p50().unwrap();
+        let p95 = s.p95().unwrap();
+        let p99 = s.p99().unwrap();
+        prop_assert!(p50 <= p95);
+        prop_assert!(p95 <= p99);
+        prop_assert!(p99 <= s.max().unwrap());
+        prop_assert!(s.quantile(0.0).unwrap() <= p50);
+        let lo = *samples.iter().min().unwrap();
+        let hi = *samples.iter().max().unwrap();
+        prop_assert!(p50 >= lo && p99 <= hi);
+        prop_assert!(s.mean() >= lo as f64 && s.mean() <= hi as f64);
+    }
+
+    /// Arrival streams are nondecreasing and a pure function of
+    /// (spec, seed) for every process kind.
+    #[test]
+    fn arrivals_are_deterministic_and_ordered(spec in any_spec(), seed in any::<u64>()) {
+        let a = ArrivalProcess::take_cycles(spec, seed, 64);
+        let b = ArrivalProcess::take_cycles(spec, seed, 64);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        if spec.is_closed() {
+            prop_assert!(a.iter().all(|&c| c == 0));
+        }
+    }
+}

@@ -18,7 +18,11 @@
 //!   drivers;
 //! * [`trace`] — zero-cost cycle-level event tracing: typed events,
 //!   monomorphized sinks (the disabled path compiles to the untraced
-//!   code), timeline analyses, and Chrome-trace/JSONL/CSV exporters.
+//!   code), timeline analyses, and Chrome-trace/JSONL/CSV exporters;
+//! * [`traffic`] — open-system load generation: deterministic arrival
+//!   processes (`poisson`/`bursty`/`diurnal` [`traffic::TrafficSpec`]s),
+//!   the bounded admission queue with shed accounting, and exact
+//!   sojourn/wait latency quantiles.
 //!
 //! ## Quickstart
 //!
@@ -60,4 +64,5 @@ pub use vliw_isa as isa;
 pub use vliw_mem as mem;
 pub use vliw_sim as sim;
 pub use vliw_trace as trace;
+pub use vliw_traffic as traffic;
 pub use vliw_workloads as workloads;

@@ -4,7 +4,7 @@
 //! (determinism + thread conservation under every built-in policy,
 //! per-geometry compilation and pricing).
 
-use vliw_tms::sim::plan::{MachineSpec, MemoryModel, Plan, ResultSet, Session};
+use vliw_tms::sim::plan::{MachineSpec, MemoryModel, Plan, ResultSet, Session, TrafficSpec};
 use vliw_tms::sim::sched::SchedulerSpec;
 
 fn test_plan() -> Plan {
@@ -337,6 +337,124 @@ fn machine_axis_serialization_is_gated_on_explicitness() {
         .starts_with("1S,idct,icount,8x2,real,"));
 }
 
+/// The traffic axis: the full closed/Poisson/bursty grid is deterministic
+/// and byte-identical in JSON/CSV across 1/2/4 workers (open-system
+/// latency quantiles are exact sorted statistics, no RNG in aggregation).
+#[test]
+fn traffic_grid_is_byte_identical_across_worker_counts() {
+    let loads: Vec<TrafficSpec> = ["closed", "poisson:0.002", "bursty:0.001:4:4"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+    let traffic_plan = || {
+        Plan::new()
+            .schemes(["ST", "3SSS"])
+            .workloads(["idct", "LLHH"])
+            .arrivals(loads.clone())
+            .scale(50_000)
+    };
+    let sets: Vec<ResultSet> = [1usize, 2, 4]
+        .iter()
+        .map(|&par| traffic_plan().run(&Session::with_parallelism(par)))
+        .collect();
+    for set in &sets {
+        assert_eq!(set.len(), 2 * 2 * 3);
+        // Keyed lookup hits the documented row-major slot (traffic
+        // between machines and memory axes).
+        for (i, (key, r)) in set.iter().enumerate() {
+            let keyed = set
+                .get_traffic(
+                    key.scheme.name(),
+                    key.workload.name(),
+                    key.traffic,
+                    key.memory,
+                )
+                .unwrap();
+            assert!(std::ptr::eq(keyed, r), "cell {i}");
+            assert!(std::ptr::eq(r, &set.results()[i]), "cell {i}");
+            // Open cells account for every arrival; closed cells stay
+            // all-zero.
+            let t = &r.stats.traffic;
+            if key.traffic.is_closed() {
+                assert_eq!(*t, Default::default(), "cell {i}");
+            } else {
+                assert_eq!(t.offered as usize, key.workload.n_threads(), "cell {i}");
+                assert_eq!(t.completed + t.shed, t.offered, "cell {i}");
+                assert!(
+                    t.p50_sojourn <= t.p95_sojourn && t.p95_sojourn <= t.p99_sojourn,
+                    "cell {i}"
+                );
+            }
+        }
+    }
+    assert_eq!(sets[0].to_json(), sets[1].to_json());
+    assert_eq!(sets[0].to_json(), sets[2].to_json());
+    assert_eq!(sets[0].to_csv(), sets[1].to_csv());
+    assert_eq!(sets[0].to_csv(), sets[2].to_csv());
+    // The closed cell of an explicit axis reproduces the default-plan run
+    // bit-for-bit: the open-system machinery is inert when closed.
+    let default_set = Plan::new()
+        .schemes(["ST", "3SSS"])
+        .workloads(["idct", "LLHH"])
+        .scale(50_000)
+        .run(&Session::with_parallelism(2));
+    for (key, r) in default_set.iter() {
+        let swept = sets[0]
+            .get_traffic(
+                key.scheme.name(),
+                key.workload.name(),
+                TrafficSpec::Closed,
+                key.memory,
+            )
+            .unwrap();
+        assert_eq!(swept.stats.cycles, r.stats.cycles);
+        assert_eq!(swept.stats.total_ops, r.stats.total_ops);
+    }
+}
+
+/// Byte-stability contract of the traffic axis: default (closed) plans
+/// keep the historical serialization format; an explicit axis adds the
+/// `traffic` column/field and the open-system metric columns (composing
+/// with the scheduler and machine axes in header order).
+#[test]
+fn traffic_axis_serialization_is_gated_on_explicitness() {
+    let base = || Plan::new().scheme("1S").workload("idct").scale(100_000);
+    let default_set = base().run(&Session::with_parallelism(1));
+    assert!(!default_set.to_json().contains("\"traffic"));
+    assert!(!default_set.to_json().contains("\"offered\""));
+    assert_eq!(
+        default_set.to_csv().lines().next(),
+        Some(ResultSet::CSV_HEADER)
+    );
+
+    let spec: TrafficSpec = "poisson:0.005".parse().unwrap();
+    let traffic_set = base().arrival(spec).run(&Session::with_parallelism(1));
+    let json = traffic_set.to_json();
+    assert!(json.contains("\"traffics\":[\"poisson:0.005\"]"), "{json}");
+    assert!(json.contains("\"traffic\":\"poisson:0.005\""));
+    assert!(json.contains("\"offered\":1"), "{json}");
+    assert_eq!(
+        traffic_set.to_csv().lines().next(),
+        Some(ResultSet::CSV_HEADER_TRAFFIC)
+    );
+
+    let all = base()
+        .scheduler(SchedulerSpec::Icount)
+        .machine(MachineSpec::Narrow8x2)
+        .arrival(spec)
+        .run(&Session::with_parallelism(1));
+    assert_eq!(
+        all.csv_header(),
+        ResultSet::CSV_HEADER_SCHED_MACHINE_TRAFFIC
+    );
+    assert!(all
+        .to_csv()
+        .lines()
+        .nth(1)
+        .unwrap()
+        .starts_with("1S,idct,icount,8x2,poisson:0.005,real,"));
+}
+
 /// Combined exports shape rows to an imposed column union: a set without
 /// an explicit machine axis can emit the `machine` column (carrying its
 /// default geometry) so it shares a header with a machine-sweeping set,
@@ -352,14 +470,29 @@ fn csv_rows_shaped_emits_forced_axis_columns() {
     assert!(!default_set.to_csv().contains("paper-4x4"));
     // ...but shaped to the union it carries the default geometry, and the
     // row matches the corresponding shared header.
-    let shaped = default_set.csv_rows_shaped(Some("t"), false, true);
+    let shaped = default_set.csv_rows_shaped(Some("t"), false, true, false);
     assert!(shaped.starts_with("t,1S,idct,paper-4x4,real,"), "{shaped}");
     assert_eq!(
-        ResultSet::csv_header_for(false, true),
+        ResultSet::csv_header_for(false, true, false),
         ResultSet::CSV_HEADER_MACHINE
     );
-    let both = default_set.csv_rows_shaped(None, true, true);
+    let both = default_set.csv_rows_shaped(None, true, true, false);
     assert!(both.starts_with("1S,idct,paper-random,paper-4x4,real,"));
+    // Forcing the traffic column on a closed set carries the closed
+    // default plus all-zero open-system metrics.
+    let with_traffic = default_set.csv_rows_shaped(None, false, false, true);
+    assert!(
+        with_traffic.starts_with("1S,idct,closed,real,"),
+        "{with_traffic}"
+    );
+    assert!(
+        with_traffic.trim_end().ends_with(",0,0,0,0,0,0,0"),
+        "{with_traffic}"
+    );
+    assert_eq!(
+        ResultSet::csv_header_for(false, false, true),
+        ResultSet::CSV_HEADER_TRAFFIC
+    );
 }
 
 #[test]
@@ -371,7 +504,7 @@ fn csv_rows_shaped_refuses_to_drop_a_swept_axis() {
         .machines([MachineSpec::Paper4x4, MachineSpec::Narrow8x2])
         .scale(100_000)
         .run(&Session::with_parallelism(1));
-    let _ = set.csv_rows_shaped(None, false, false);
+    let _ = set.csv_rows_shaped(None, false, false, false);
 }
 
 /// The per-thread breakdown helper exposes `RunStats::threads` keyed by
