@@ -1,0 +1,174 @@
+//! Static per-block performance bounds.
+//!
+//! Two numbers per block, both provable from the image alone:
+//!
+//! * `min_cycles` — a resource-theorem lower bound on the block's schedule
+//!   length: with `k` operations of one class on a cluster owning `cap`
+//!   units of it, pigeonhole forces at least `ceil(k / cap)` cycles (and
+//!   likewise for total issue). Any legal schedule, including the
+//!   compiler's, satisfies `n_instrs >= min_cycles`.
+//! * `density` — static operations per instruction, an upper bound on the
+//!   IPC any traversal of the block can contribute (blocks execute start
+//!   to end, one instruction per cycle at best).
+//!
+//! The program-level [`ProgramBounds::ipc_ceiling`] is therefore a sound
+//! upper bound on simulated single-threaded IPC, which the differential
+//! test suite cross-checks against `RunStats` measurements.
+
+use vliw_compiler::Program;
+use vliw_isa::{MachineConfig, OpClass};
+
+/// Static bounds for one block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockBounds {
+    /// Block id.
+    pub block: u32,
+    /// Scheduled length in instructions (= cycles when not stalled).
+    pub n_instrs: usize,
+    /// Total operations in the block.
+    pub n_ops: usize,
+    /// Resource-theorem lower bound on any legal schedule of these ops.
+    pub min_cycles: usize,
+}
+
+impl BlockBounds {
+    /// Static operations per instruction — the block's IPC ceiling.
+    pub fn density(&self) -> f64 {
+        self.n_ops as f64 / self.n_instrs.max(1) as f64
+    }
+}
+
+/// Static bounds for a whole program on one machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramBounds {
+    /// Per-block bounds, indexed by block id.
+    pub blocks: Vec<BlockBounds>,
+    /// The machine's total issue width (clusters × slots).
+    pub total_issue: usize,
+}
+
+impl ProgramBounds {
+    /// Upper bound on single-threaded IPC of any run of this program:
+    /// no traversal can beat the densest block, and nothing beats the
+    /// machine's issue width.
+    pub fn ipc_ceiling(&self) -> f64 {
+        let densest = self
+            .blocks
+            .iter()
+            .map(BlockBounds::density)
+            .fold(0.0f64, f64::max);
+        densest.min(self.total_issue as f64)
+    }
+}
+
+/// Compute static bounds for `program` on `machine`.
+pub fn compute_bounds(machine: &MachineConfig, program: &Program) -> ProgramBounds {
+    let nc = machine.n_clusters as usize;
+    let blocks = program
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(bid, b)| {
+            // Per-(cluster, class) op counts and per-cluster totals.
+            let mut counts = vec![[0usize; 4]; nc];
+            let mut cluster_total = vec![0usize; nc];
+            let mut n_ops = 0usize;
+            for instr in &b.instrs {
+                n_ops += instr.n_ops();
+                for op in instr.ops() {
+                    let c = op.cluster as usize;
+                    if c < nc {
+                        counts[c][op.class().index()] += 1;
+                        cluster_total[c] += 1;
+                    }
+                }
+            }
+            let mut min_cycles = usize::from(n_ops > 0);
+            for c in 0..nc {
+                min_cycles =
+                    min_cycles.max(cluster_total[c].div_ceil(machine.issue_per_cluster as usize));
+                for class in OpClass::ALL {
+                    let cap = machine.class_capacity(c as u8, class) as usize;
+                    let k = counts[c][class.index()];
+                    if k > 0 && cap > 0 {
+                        min_cycles = min_cycles.max(k.div_ceil(cap));
+                    }
+                }
+            }
+            BlockBounds {
+                block: bid as u32,
+                n_instrs: b.instrs.len(),
+                n_ops,
+                min_cycles,
+            }
+        })
+        .collect();
+    ProgramBounds {
+        blocks,
+        total_issue: machine.total_issue(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_compiler::TermKind;
+    use vliw_isa::{Opcode, Operation, Reg, VliwInstruction};
+
+    #[test]
+    fn resource_bound_respects_unit_counts() {
+        // 5 multiplies on one cluster with 2 multipliers → at least 3 cycles.
+        let m = MachineConfig::paper_baseline();
+        let mut ops = Vec::new();
+        for i in 0..5u16 {
+            let mut o = Operation::new(Opcode::Mpy, 0).with_dest(Reg::new(0, i));
+            o.slot = (i % 8) as u8;
+            ops.push(o);
+        }
+        let p = Program::new(
+            "t".into(),
+            vec![(
+                vec![VliwInstruction::from_ops_unchecked(ops)],
+                TermKind::Return,
+            )],
+            0,
+            0,
+            vec![],
+        );
+        let b = compute_bounds(&m, &p);
+        assert_eq!(b.blocks[0].min_cycles, 3);
+        assert_eq!(b.blocks[0].n_ops, 5);
+    }
+
+    #[test]
+    fn ipc_ceiling_caps_at_issue_width() {
+        let m = MachineConfig::paper_baseline();
+        let pb = ProgramBounds {
+            blocks: vec![BlockBounds {
+                block: 0,
+                n_instrs: 1,
+                n_ops: 99,
+                min_cycles: 1,
+            }],
+            total_issue: m.total_issue(),
+        };
+        assert_eq!(pb.ipc_ceiling(), 16.0);
+    }
+
+    #[test]
+    fn compiled_blocks_meet_their_bound() {
+        let m = MachineConfig::paper_baseline();
+        let img = vliw_workloads::build_named("idct", &m).unwrap();
+        let b = compute_bounds(&m, &img.program);
+        for bb in &b.blocks {
+            assert!(
+                bb.n_instrs >= bb.min_cycles,
+                "block {}: {} < {}",
+                bb.block,
+                bb.n_instrs,
+                bb.min_cycles
+            );
+        }
+        assert!(b.ipc_ceiling() > 0.0);
+    }
+}

@@ -1,0 +1,374 @@
+//! Bundle-legality re-verification against the machine geometry.
+//!
+//! This pass re-implements the slot-plan rules from the documented
+//! fixed-slot layout (multipliers on the lowest slots, memory units next,
+//! the branch unit on the highest slot, ALUs everywhere) instead of calling
+//! into `InstrBuilder` — deliberately, so a compiler or builder bug cannot
+//! hide from its own checker. It also re-derives every instruction's merge
+//! signature from its operations and compares it with the precomputed one
+//! the merge hardware trusts.
+
+use crate::diag::{Diagnostic, Location, Rule};
+use vliw_compiler::Program;
+use vliw_isa::{MachineConfig, OpClass, Operation};
+
+/// Independently re-derived slot mask for `class` on `cluster`.
+///
+/// Mirrors the paper's footnote 1 layout contract, not the
+/// `MachineConfig::slot_plan` implementation.
+fn slots_for(machine: &MachineConfig, cluster: u8, class: OpClass) -> u8 {
+    let lo = |n: u8| -> u8 {
+        if n >= 8 {
+            0xFF
+        } else {
+            (1u8 << n) - 1
+        }
+    };
+    match class {
+        OpClass::Alu => lo(machine.issue_per_cluster),
+        OpClass::Mul => lo(machine.muls_per_cluster),
+        OpClass::Mem => lo(machine.mems_per_cluster) << machine.muls_per_cluster,
+        OpClass::Branch => {
+            if machine.branch_clusters & (1 << cluster) != 0 {
+                1u8 << (machine.issue_per_cluster - 1)
+            } else {
+                0
+            }
+        }
+    }
+}
+
+/// Independently re-derived per-cluster capacity of `class`.
+fn capacity(machine: &MachineConfig, cluster: u8, class: OpClass) -> u8 {
+    match class {
+        OpClass::Alu => machine.issue_per_cluster,
+        OpClass::Mul => machine.muls_per_cluster,
+        OpClass::Mem => machine.mems_per_cluster,
+        OpClass::Branch => u8::from(machine.branch_clusters & (1 << cluster) != 0),
+    }
+}
+
+/// Check one operation's intra-op invariants (placement geometry aside).
+fn check_operation(
+    op: &Operation,
+    machine: &MachineConfig,
+    loc: Location,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // Operand locality: sources always on the executing cluster; the
+    // destination too, except for the inter-cluster copy (which, by
+    // design, writes the *other* file).
+    for s in op.src_regs() {
+        if s.cluster != op.cluster {
+            diags.push(Diagnostic::error(
+                Rule::CrossClusterOperand,
+                loc,
+                format!("{} reads {s} from cluster {}", op.opcode, op.cluster),
+            ));
+        } else if s.index >= machine.regs_per_cluster {
+            diags.push(Diagnostic::error(
+                Rule::BadRegister,
+                loc,
+                format!("{s} beyond the {}-register file", machine.regs_per_cluster),
+            ));
+        }
+    }
+    if let Some(d) = op.dest {
+        if d.cluster != op.cluster && op.opcode != vliw_isa::Opcode::Copy {
+            diags.push(Diagnostic::error(
+                Rule::CrossClusterOperand,
+                loc,
+                format!("{} writes {d} from cluster {}", op.opcode, op.cluster),
+            ));
+        }
+        if d.cluster >= machine.n_clusters {
+            diags.push(Diagnostic::error(
+                Rule::BadCluster,
+                loc,
+                format!(
+                    "destination {d} names cluster {} (machine has {})",
+                    d.cluster, machine.n_clusters
+                ),
+            ));
+        } else if d.index >= machine.regs_per_cluster {
+            diags.push(Diagnostic::error(
+                Rule::BadRegister,
+                loc,
+                format!("{d} beyond the {}-register file", machine.regs_per_cluster),
+            ));
+        }
+        if !op.opcode.has_dest() {
+            diags.push(Diagnostic::error(
+                Rule::BadAnnotation,
+                loc,
+                format!("{} cannot write a destination", op.opcode),
+            ));
+        }
+    } else if op.opcode.has_dest() {
+        diags.push(Diagnostic::error(
+            Rule::BadAnnotation,
+            loc,
+            format!("{} lacks its destination register", op.opcode),
+        ));
+    }
+    // Annotations must match the opcode class.
+    match (op.class(), op.mem, op.branch) {
+        (OpClass::Mem, None, _) => diags.push(Diagnostic::error(
+            Rule::BadAnnotation,
+            loc,
+            format!("memory op {} lacks its stream annotation", op.opcode),
+        )),
+        (c, Some(_), _) if c != OpClass::Mem => diags.push(Diagnostic::error(
+            Rule::BadAnnotation,
+            loc,
+            format!("stream annotation on non-memory op {}", op.opcode),
+        )),
+        _ => {}
+    }
+    if let Some(m) = op.mem {
+        if op.class() == OpClass::Mem && m.is_store != op.opcode.is_store() {
+            diags.push(Diagnostic::error(
+                Rule::BadAnnotation,
+                loc,
+                format!("store flag disagrees with opcode {}", op.opcode),
+            ));
+        }
+    }
+    match (op.class(), op.branch) {
+        (OpClass::Branch, None) => diags.push(Diagnostic::error(
+            Rule::BadAnnotation,
+            loc,
+            format!("branch op {} lacks its branch annotation", op.opcode),
+        )),
+        (c, Some(_)) if c != OpClass::Branch => diags.push(Diagnostic::error(
+            Rule::BadAnnotation,
+            loc,
+            format!("branch annotation on non-branch op {}", op.opcode),
+        )),
+        _ => {}
+    }
+    if let Some(b) = op.branch {
+        if b.taken_permille > 1000 {
+            diags.push(Diagnostic::error(
+                Rule::BadAnnotation,
+                loc,
+                format!("taken probability {} > 1000 permille", b.taken_permille),
+            ));
+        }
+    }
+}
+
+/// Re-verify every instruction word of the program against `machine`.
+pub fn check_bundles(machine: &MachineConfig, program: &Program, diags: &mut Vec<Diagnostic>) {
+    for (bid, block) in program.blocks.iter().enumerate() {
+        for (i, instr) in block.instrs.iter().enumerate() {
+            let loc = Location::instr(bid as u32, i);
+            // (cluster, slot) occupancy and per-(cluster, class) counts.
+            let mut taken = [0u8; vliw_isa::MAX_CLUSTERS];
+            let mut counts = [[0u8; 4]; vliw_isa::MAX_CLUSTERS];
+            for op in instr.ops() {
+                if op.cluster >= machine.n_clusters {
+                    diags.push(Diagnostic::error(
+                        Rule::BadCluster,
+                        loc,
+                        format!(
+                            "{} on cluster {} (machine has {})",
+                            op.opcode, op.cluster, machine.n_clusters
+                        ),
+                    ));
+                    continue;
+                }
+                if op.slot >= machine.issue_per_cluster {
+                    diags.push(Diagnostic::error(
+                        Rule::BadSlot,
+                        loc,
+                        format!(
+                            "{} on slot {} (issue width {})",
+                            op.opcode, op.slot, machine.issue_per_cluster
+                        ),
+                    ));
+                    check_operation(op, machine, loc, diags);
+                    continue;
+                }
+                let bit = 1u8 << op.slot;
+                if taken[op.cluster as usize] & bit != 0 {
+                    diags.push(Diagnostic::error(
+                        Rule::DuplicateSlot,
+                        loc,
+                        format!("two operations on cluster {} slot {}", op.cluster, op.slot),
+                    ));
+                }
+                taken[op.cluster as usize] |= bit;
+                if slots_for(machine, op.cluster, op.class()) & bit == 0 {
+                    diags.push(Diagnostic::error(
+                        Rule::ClassSlotMismatch,
+                        loc,
+                        format!(
+                            "{} ({}) cannot execute on cluster {} slot {}",
+                            op.opcode,
+                            op.class(),
+                            op.cluster,
+                            op.slot
+                        ),
+                    ));
+                }
+                counts[op.cluster as usize][op.class().index()] += 1;
+                check_operation(op, machine, loc, diags);
+            }
+            for c in 0..machine.n_clusters {
+                for class in OpClass::ALL {
+                    let have = counts[c as usize][class.index()];
+                    let cap = capacity(machine, c, class);
+                    if have > cap {
+                        diags.push(Diagnostic::error(
+                            Rule::ClassOverCapacity,
+                            loc,
+                            format!("{have} {class} ops on cluster {c} (capacity {cap})"),
+                        ));
+                    }
+                }
+            }
+            check_signature(instr, loc, diags);
+        }
+    }
+}
+
+/// The precomputed merge signature must equal one re-derived from the ops.
+fn check_signature(instr: &vliw_isa::VliwInstruction, loc: Location, diags: &mut Vec<Diagnostic>) {
+    let sig = instr.signature();
+    let mut res = vliw_isa::ResourceVec::zero();
+    let mut mask = 0u8;
+    for op in instr.ops() {
+        if (op.cluster as usize) < vliw_isa::MAX_CLUSTERS {
+            res.bump(op.cluster, op.class());
+            mask |= 1 << op.cluster;
+        }
+    }
+    if sig.n_ops as usize != instr.n_ops() || sig.clusters != mask || sig.res != res {
+        diags.push(Diagnostic::error(
+            Rule::BadSignature,
+            loc,
+            "merge signature disagrees with the instruction's operations".to_string(),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_compiler::TermKind;
+    use vliw_isa::{InstrBuilder, Opcode, Operation, Reg, VliwInstruction};
+
+    fn m() -> MachineConfig {
+        MachineConfig::paper_baseline()
+    }
+
+    fn prog(instrs: Vec<VliwInstruction>) -> Program {
+        Program::new("t".into(), vec![(instrs, TermKind::Return)], 0, 0, vec![])
+    }
+
+    fn diags_for(instrs: Vec<VliwInstruction>) -> Vec<Diagnostic> {
+        let mut d = Vec::new();
+        check_bundles(&m(), &prog(instrs), &mut d);
+        d
+    }
+
+    #[test]
+    fn legal_word_is_clean() {
+        let mach = m();
+        let mut b = InstrBuilder::new(&mach);
+        b.push(
+            Operation::new(Opcode::Add, 0)
+                .with_dest(Reg::new(0, 1))
+                .with_srcs(&[Reg::new(0, 0)]),
+        )
+        .unwrap();
+        b.push(
+            Operation::new(Opcode::Mpy, 1)
+                .with_dest(Reg::new(1, 2))
+                .with_srcs(&[Reg::new(1, 0), Reg::new(1, 1)]),
+        )
+        .unwrap();
+        let d = diags_for(vec![b.build()]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn duplicate_slot_detected() {
+        let a = Operation::new(Opcode::Add, 0).with_dest(Reg::new(0, 1));
+        let mut b = Operation::new(Opcode::Sub, 0).with_dest(Reg::new(0, 2));
+        b.slot = 0; // collide with a (slot 0)
+        let d = diags_for(vec![VliwInstruction::from_ops_unchecked(vec![a, b])]);
+        assert!(d.iter().any(|x| x.rule == Rule::DuplicateSlot), "{d:?}");
+    }
+
+    #[test]
+    fn class_slot_mismatch_detected() {
+        // A multiply on slot 3 (ALU/branch territory on the paper machine).
+        let mut op = Operation::new(Opcode::Mpy, 0).with_dest(Reg::new(0, 1));
+        op.slot = 3;
+        let d = diags_for(vec![VliwInstruction::from_ops_unchecked(vec![op])]);
+        assert!(d.iter().any(|x| x.rule == Rule::ClassSlotMismatch), "{d:?}");
+    }
+
+    #[test]
+    fn cross_cluster_operand_detected() {
+        let mut op = Operation::new(Opcode::Add, 0).with_dest(Reg::new(0, 1));
+        op.srcs[0] = Some(Reg::new(2, 5));
+        let d = diags_for(vec![VliwInstruction::from_ops_unchecked(vec![op])]);
+        assert!(
+            d.iter().any(|x| x.rule == Rule::CrossClusterOperand),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn over_capacity_detected() {
+        // Three muls on one 2-multiplier cluster, at distinct (stolen) slots.
+        let mk = |slot: u8, idx: u16| {
+            let mut o = Operation::new(Opcode::Mpy, 0).with_dest(Reg::new(0, idx));
+            o.slot = slot;
+            o
+        };
+        let d = diags_for(vec![VliwInstruction::from_ops_unchecked(vec![
+            mk(0, 1),
+            mk(1, 2),
+            mk(2, 3),
+        ])]);
+        assert!(d.iter().any(|x| x.rule == Rule::ClassOverCapacity), "{d:?}");
+        assert!(d.iter().any(|x| x.rule == Rule::ClassSlotMismatch), "{d:?}");
+    }
+
+    #[test]
+    fn missing_mem_annotation_detected() {
+        let mut op = Operation::new(Opcode::Ldw, 0).with_dest(Reg::new(0, 1));
+        op.slot = 2;
+        op.srcs[0] = Some(Reg::new(0, 0));
+        let d = diags_for(vec![VliwInstruction::from_ops_unchecked(vec![op])]);
+        assert!(d.iter().any(|x| x.rule == Rule::BadAnnotation), "{d:?}");
+    }
+
+    #[test]
+    fn independent_slot_plan_matches_machine() {
+        // The re-derived plan must agree with the ISA's on every preset —
+        // drift between the two is exactly what this pass exists to catch.
+        for spec in vliw_isa::MachineSpec::presets() {
+            let mach = spec.config();
+            for c in 0..mach.n_clusters {
+                let plan = mach.slot_plan(c);
+                for class in OpClass::ALL {
+                    assert_eq!(
+                        slots_for(&mach, c, class),
+                        plan.slots_for(class),
+                        "{spec} cluster {c} class {class}"
+                    );
+                    assert_eq!(
+                        capacity(&mach, c, class),
+                        mach.class_capacity(c, class),
+                        "{spec} cluster {c} class {class}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! Control-flow-graph reconstruction and structural well-formedness.
+//!
+//! The CFG is rebuilt from the [`Program`]'s terminator descriptors alone —
+//! nothing is taken on faith from the compiler. Structural checks cover
+//! block/entry existence, the contiguous address layout (re-derived from
+//! the encoding rules), terminator target validity, and the agreement
+//! between each block's terminator descriptor and the branch *operation*
+//! the block actually carries (the simulator draws outcomes from the
+//! descriptor, but a merged-core's fetch path sees the operation — the two
+//! must tell the same story).
+
+use crate::diag::{Diagnostic, Location, Rule};
+use vliw_compiler::{Program, TermKind};
+use vliw_isa::{encode, MachineConfig, Opcode};
+
+/// The reconstructed control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successor block ids per block (out-of-range targets are *omitted*
+    /// here and reported as diagnostics; the graph stays indexable).
+    pub succs: Vec<Vec<u32>>,
+    /// Whether each block is reachable from the entry block.
+    pub reachable: Vec<bool>,
+}
+
+/// Rebuild the CFG from terminators. Tolerant of malformed programs:
+/// out-of-range targets and a missing entry simply produce fewer edges.
+pub fn build_cfg(program: &Program) -> Cfg {
+    let nb = program.blocks.len();
+    let mut succs: Vec<Vec<u32>> = Vec::with_capacity(nb);
+    for (bid, b) in program.blocks.iter().enumerate() {
+        let mut s = Vec::new();
+        match b.term {
+            TermKind::FallThrough => {
+                if bid + 1 < nb {
+                    s.push((bid + 1) as u32);
+                }
+            }
+            TermKind::Jump { target } => {
+                if (target as usize) < nb {
+                    s.push(target);
+                }
+            }
+            TermKind::CondBranch { taken, .. } => {
+                if (taken as usize) < nb {
+                    s.push(taken);
+                }
+                if bid + 1 < nb {
+                    s.push((bid + 1) as u32);
+                }
+            }
+            TermKind::Return => {}
+        }
+        succs.push(s);
+    }
+    let mut reachable = vec![false; nb];
+    if (program.entry as usize) < nb {
+        let mut stack = vec![program.entry];
+        reachable[program.entry as usize] = true;
+        while let Some(b) = stack.pop() {
+            for &s in &succs[b as usize] {
+                if !reachable[s as usize] {
+                    reachable[s as usize] = true;
+                    stack.push(s);
+                }
+            }
+        }
+    }
+    Cfg { succs, reachable }
+}
+
+/// Structural checks. Returns `false` when the program is too malformed
+/// for the deeper passes to index into (no blocks / entry out of range).
+pub fn check_structure(
+    machine: &MachineConfig,
+    program: &Program,
+    diags: &mut Vec<Diagnostic>,
+) -> bool {
+    let nb = program.blocks.len();
+    if nb == 0 {
+        diags.push(Diagnostic::error(
+            Rule::NoBlocks,
+            Location::program(),
+            "program has no blocks",
+        ));
+        return false;
+    }
+    if program.entry as usize >= nb {
+        diags.push(Diagnostic::error(
+            Rule::EntryOutOfRange,
+            Location::program(),
+            format!("entry block {} out of range ({nb} blocks)", program.entry),
+        ));
+        return false;
+    }
+
+    let mut expected_addr = 0u64;
+    for (bid, b) in program.blocks.iter().enumerate() {
+        let bid32 = bid as u32;
+        if b.instrs.is_empty() {
+            diags.push(Diagnostic::error(
+                Rule::EmptyBlock,
+                Location::block(bid32),
+                "block has no instructions (nop padding expected)",
+            ));
+        }
+        if b.instrs.len() != b.addrs.len() {
+            diags.push(Diagnostic::error(
+                Rule::LayoutMismatch,
+                Location::block(bid32),
+                format!(
+                    "{} instructions but {} addresses",
+                    b.instrs.len(),
+                    b.addrs.len()
+                ),
+            ));
+        } else {
+            for (i, (&addr, instr)) in b.addrs.iter().zip(&b.instrs).enumerate() {
+                if addr != expected_addr {
+                    diags.push(Diagnostic::error(
+                        Rule::AddressGap,
+                        Location::instr(bid32, i),
+                        format!("address {addr} (expected contiguous {expected_addr})"),
+                    ));
+                    expected_addr = addr; // resynchronise: report each gap once
+                }
+                expected_addr += encode::encoded_size(instr);
+            }
+        }
+
+        match b.term {
+            TermKind::Jump { target } | TermKind::CondBranch { taken: target, .. } => {
+                if target as usize >= nb {
+                    diags.push(Diagnostic::error(
+                        Rule::BadTarget,
+                        Location::block(bid32),
+                        format!("terminator targets block {target} ({nb} blocks)"),
+                    ));
+                }
+            }
+            TermKind::FallThrough | TermKind::Return => {}
+        }
+        let falls_off = match b.term {
+            TermKind::FallThrough => bid + 1 >= nb,
+            TermKind::CondBranch { .. } => bid + 1 >= nb,
+            _ => false,
+        };
+        if falls_off {
+            diags.push(Diagnostic::error(
+                Rule::FallsOffEnd,
+                Location::block(bid32),
+                "control falls through past the last block",
+            ));
+        }
+
+        check_branch_consistency(machine, program, bid, diags);
+    }
+    true
+}
+
+/// The terminator descriptor and the block's branch operation must agree.
+fn check_branch_consistency(
+    machine: &MachineConfig,
+    program: &Program,
+    bid: usize,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let b = &program.blocks[bid];
+    let bid32 = bid as u32;
+    let has_branch_units = machine.branch_clusters != 0;
+    let n = b.instrs.len();
+
+    // Branch ops anywhere but the last instruction are always wrong: the
+    // block's control transfer happens at its end.
+    for (i, instr) in b.instrs.iter().enumerate() {
+        let n_branch = instr
+            .ops()
+            .iter()
+            .filter(|o| o.class() == vliw_isa::OpClass::Branch)
+            .count();
+        if n_branch == 0 {
+            continue;
+        }
+        if !has_branch_units {
+            diags.push(Diagnostic::error(
+                Rule::SpuriousBranchOp,
+                Location::instr(bid32, i),
+                "branch operation on a machine without branch units",
+            ));
+            continue;
+        }
+        if i + 1 != n {
+            diags.push(Diagnostic::error(
+                Rule::SpuriousBranchOp,
+                Location::instr(bid32, i),
+                "branch operation before the block's last instruction",
+            ));
+        } else if n_branch > 1 {
+            diags.push(Diagnostic::error(
+                Rule::SpuriousBranchOp,
+                Location::instr(bid32, i),
+                format!("{n_branch} branch operations in one instruction"),
+            ));
+        }
+    }
+
+    if !has_branch_units {
+        // Control flow is implicit (terminator descriptors only); there is
+        // no operation to cross-check.
+        return;
+    }
+    let last_branch = b.instrs.last().and_then(|i| i.branch_op());
+    let expect = match b.term {
+        TermKind::FallThrough => None,
+        TermKind::Jump { target } => Some((Opcode::Goto, Some(target), Some(1000u16))),
+        TermKind::Return => Some((Opcode::Return, None, Some(1000u16))),
+        TermKind::CondBranch {
+            taken,
+            taken_permille,
+        } => Some((Opcode::Br, Some(taken), Some(taken_permille))),
+    };
+    match (expect, last_branch) {
+        (None, None) => {}
+        (None, Some(op)) => diags.push(Diagnostic::error(
+            Rule::SpuriousBranchOp,
+            Location::instr(bid32, n.saturating_sub(1)),
+            format!("fall-through block carries a {} operation", op.opcode),
+        )),
+        (Some(_), None) => diags.push(Diagnostic::error(
+            Rule::MissingBranchOp,
+            Location::block(bid32),
+            "terminator transfers control but the last instruction has no branch operation",
+        )),
+        (Some((want_opc, want_target, want_permille)), Some(op)) => {
+            let kind_ok = match want_opc {
+                // Either conditional spelling matches a CondBranch.
+                Opcode::Br => matches!(op.opcode, Opcode::Br | Opcode::Brf),
+                other => op.opcode == other,
+            };
+            if !kind_ok {
+                diags.push(Diagnostic::error(
+                    Rule::BranchMismatch,
+                    Location::instr(bid32, n - 1),
+                    format!("terminator expects {want_opc}, operation is {}", op.opcode),
+                ));
+            }
+            if let Some(info) = op.branch {
+                if let Some(t) = want_target {
+                    if info.target != t {
+                        diags.push(Diagnostic::error(
+                            Rule::BranchMismatch,
+                            Location::instr(bid32, n - 1),
+                            format!(
+                                "operation targets block {}, terminator says {t}",
+                                info.target
+                            ),
+                        ));
+                    }
+                }
+                if let Some(p) = want_permille {
+                    if info.taken_permille != p {
+                        diags.push(Diagnostic::error(
+                            Rule::BranchMismatch,
+                            Location::instr(bid32, n - 1),
+                            format!(
+                                "operation taken probability {} permille, terminator says {p}",
+                                info.taken_permille
+                            ),
+                        ));
+                    }
+                }
+            }
+            // A branch op without BranchInfo is reported by the bundle pass.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_isa::{BranchInfo, InstrBuilder, Operation};
+
+    fn m() -> MachineConfig {
+        MachineConfig::paper_baseline()
+    }
+
+    fn block(
+        machine: &MachineConfig,
+        term: TermKind,
+        branch: Option<Opcode>,
+    ) -> Vec<vliw_isa::VliwInstruction> {
+        let mut b = InstrBuilder::new(machine);
+        b.push(Operation::new(Opcode::Add, 0)).unwrap();
+        if let Some(opc) = branch {
+            let info = match term {
+                TermKind::Jump { target } => BranchInfo {
+                    taken_permille: 1000,
+                    target,
+                },
+                TermKind::CondBranch {
+                    taken,
+                    taken_permille,
+                } => BranchInfo {
+                    taken_permille,
+                    target: taken,
+                },
+                _ => BranchInfo {
+                    taken_permille: 1000,
+                    target: 0,
+                },
+            };
+            b.push(Operation::new(opc, 0).with_branch(info)).unwrap();
+        }
+        vec![b.build()]
+    }
+
+    fn program(
+        machine: &MachineConfig,
+        blocks: Vec<(Vec<vliw_isa::VliwInstruction>, TermKind)>,
+    ) -> Program {
+        let _ = machine;
+        Program::new("t".into(), blocks, 0, 0, vec![])
+    }
+
+    #[test]
+    fn clean_two_block_loop() {
+        let mach = m();
+        let t0 = TermKind::CondBranch {
+            taken: 0,
+            taken_permille: 900,
+        };
+        let p = program(
+            &mach,
+            vec![
+                (block(&mach, t0, Some(Opcode::Br)), t0),
+                (
+                    block(&mach, TermKind::Return, Some(Opcode::Return)),
+                    TermKind::Return,
+                ),
+            ],
+        );
+        let mut d = Vec::new();
+        assert!(check_structure(&mach, &p, &mut d));
+        assert!(d.is_empty(), "{d:?}");
+        let cfg = build_cfg(&p);
+        assert_eq!(cfg.succs[0], vec![0, 1]);
+        assert!(cfg.reachable.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn bad_target_and_mismatch_detected() {
+        let mach = m();
+        let t = TermKind::Jump { target: 9 };
+        let p = program(&mach, vec![(block(&mach, t, Some(Opcode::Goto)), t)]);
+        let mut d = Vec::new();
+        check_structure(&mach, &p, &mut d);
+        assert!(d.iter().any(|x| x.rule == Rule::BadTarget), "{d:?}");
+    }
+
+    #[test]
+    fn missing_branch_op_detected() {
+        let mach = m();
+        let p = program(
+            &mach,
+            vec![(block(&mach, TermKind::Return, None), TermKind::Return)],
+        );
+        let mut d = Vec::new();
+        check_structure(&mach, &p, &mut d);
+        assert!(d.iter().any(|x| x.rule == Rule::MissingBranchOp), "{d:?}");
+    }
+
+    #[test]
+    fn branchless_machine_expects_no_branch_ops() {
+        let mach = MachineConfig::new(8, 2).unwrap();
+        assert_eq!(mach.branch_clusters, 0);
+        let p = program(
+            &mach,
+            vec![(block(&mach, TermKind::Return, None), TermKind::Return)],
+        );
+        let mut d = Vec::new();
+        check_structure(&mach, &p, &mut d);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

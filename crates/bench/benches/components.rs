@@ -47,7 +47,7 @@ fn bench_sim_step(c: &mut Criterion) {
             let machine = MachineConfig::paper_baseline();
             let names = ["mcf", "cjpeg", "x264", "idct"];
             for ctx in 0..core.contexts.len() {
-                let img = vliw_workloads::build_named(names[ctx % 4], &machine);
+                let img = vliw_workloads::build_named(names[ctx % 4], &machine).unwrap();
                 let meta = std::sync::Arc::new(vliw_sim::thread::ProgramMeta::of(&img));
                 core.install(ctx, vliw_sim::SoftThread::new(&img, meta, ctx as u64, 7));
             }

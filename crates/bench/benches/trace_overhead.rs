@@ -34,7 +34,7 @@ impl Workload {
             images: ["mcf", "blowfish", "x264", "idct"]
                 .iter()
                 .map(|name| {
-                    let img = vliw_workloads::build_named(name, &machine);
+                    let img = vliw_workloads::build_named(name, &machine).unwrap();
                     let meta = Arc::new(ProgramMeta::of(&img));
                     (img, meta)
                 })

@@ -7,6 +7,7 @@
 //!       [--scheduler NAME] [--machine SPEC] [--arrivals SPEC]
 //!       [--out DIR] [--json PATH] [--csv PATH]
 //!       [--trace PATH] [--trace-format FMT]
+//! paper --lint [--lint-format text|json]
 //!
 //! EXHIBIT: table1 table2 fig4 fig5 fig6 fig9 fig10 fig11 fig12 headline
 //!          geometry trace traffic all   (default: all)
@@ -34,6 +35,13 @@
 //!                  paper's budget — event streams grow with run length)
 //! --trace-format FMT  trace serialization: chrome (trace_event JSON for
 //!                  chrome://tracing / Perfetto; default), jsonl, csv
+//! --lint           standalone mode: run the `vliw-analyze` static verifier
+//!                  over every Table-1 benchmark compiled for every machine
+//!                  preset, print per-image reports, and exit 1 when any
+//!                  Error-severity finding exists (0 otherwise). Runs no
+//!                  simulation and combines only with --lint-format.
+//! --lint-format FMT  lint report rendering: text (default) or json (one
+//!                  machine-readable object, the CI gate's input)
 //! ```
 //!
 //! Exhibit names, `--filter`, `--scheduler`, `--machine`, `--arrivals`,
@@ -102,6 +110,8 @@ fn main() {
     let mut csv_path: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
     let mut trace_format: Option<TraceFormat> = None;
+    let mut lint = false;
+    let mut lint_json: Option<bool> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -186,6 +196,19 @@ fn main() {
                         .unwrap_or_else(|e: vliw_trace::UnknownTraceFormat| die(&e.to_string())),
                 );
             }
+            "--lint" => lint = true,
+            "--lint-format" => {
+                let name = args
+                    .next()
+                    .unwrap_or_else(|| die("--lint-format needs a format name"));
+                lint_json = Some(match name.as_str() {
+                    "text" => false,
+                    "json" => true,
+                    other => die(&format!(
+                        "unknown lint format {other:?}; valid formats: text json"
+                    )),
+                });
+            }
             "--help" | "-h" => {
                 println!("{}", HELP);
                 return;
@@ -193,6 +216,25 @@ fn main() {
             other if !other.starts_with('-') => wanted.push(other.to_string()),
             other => die(&format!("unknown flag {other}")),
         }
+    }
+    if lint_json.is_some() && !lint {
+        die("--lint-format requires --lint");
+    }
+    if lint {
+        // Standalone static-analysis mode: no simulation, no exports.
+        if !wanted.is_empty()
+            || filter.is_some()
+            || scheduler.is_some()
+            || machine.is_some()
+            || arrivals.is_some()
+            || json_path.is_some()
+            || csv_path.is_some()
+            || trace_path.is_some()
+            || trace_format.is_some()
+        {
+            die("--lint is a standalone mode; combine it only with --lint-format");
+        }
+        run_lint(lint_json.unwrap_or(false));
     }
     // Validate every requested name before simulating anything: a typo on
     // the last exhibit must not cost the first nine sweeps.
@@ -453,6 +495,45 @@ fn main() {
     );
 }
 
+/// `--lint`: audit every Table-1 benchmark × machine preset with the
+/// independent `vliw-analyze` verifier. Exit 0 when no Error-severity
+/// finding exists, 1 otherwise (build failures die with exit 2).
+fn run_lint(as_json: bool) -> ! {
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut json = String::from("{\"images\":[");
+    let mut first = true;
+    for spec in MachineSpec::presets() {
+        let machine = spec.config();
+        for bench in vliw_workloads::all_benchmarks() {
+            let img =
+                vliw_workloads::build(bench, &machine).unwrap_or_else(|e| die(&e.to_string()));
+            let report = vliw_analyze::analyze_image(&img, vliw_analyze::AnalyzeOptions::default());
+            errors += report.errors();
+            warnings += report.warnings();
+            if as_json {
+                if !first {
+                    json.push(',');
+                }
+                first = false;
+                json.push_str(&format!(
+                    "{{\"machine\":\"{spec}\",\"report\":{}}}",
+                    report.render_json()
+                ));
+            } else {
+                print!("{spec}/{}", report.render_text());
+            }
+        }
+    }
+    if as_json {
+        json.push_str(&format!("],\"errors\":{errors},\"warnings\":{warnings}}}"));
+        println!("{json}");
+    } else {
+        println!("lint: {errors} error(s), {warnings} warning(s)");
+    }
+    std::process::exit(i32::from(errors > 0));
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}\n{HELP}");
     std::process::exit(2);
@@ -461,6 +542,7 @@ fn die(msg: &str) -> ! {
 const HELP: &str = "usage: paper [EXHIBIT...] [--scale N] [--full] [--threads N] [--filter S] \
 [--scheduler NAME] [--machine SPEC] [--arrivals SPEC] [--out DIR] [--json PATH] [--csv PATH] \
 [--trace PATH] [--trace-format FMT]
+       paper --lint [--lint-format text|json]
 exhibits: table1 table2 fig4 fig5 fig6 fig9 fig10 fig11 fig12 headline geometry trace traffic all
 schedulers: paper-random round-robin icount cluster-affinity
 machines: paper-4x4 2x8 8x2 4x4-lite, or CxI[+muls+mems] (e.g. 3x4, 2x8+1+2)

@@ -3,7 +3,7 @@
 //! `validate → unroll → cluster-assign → schedule → bind registers →
 //! emit instructions → lay out` — the whole VEX-style pipeline in one call.
 
-use crate::cluster::{assign_clusters, ClusteredBlock};
+use crate::cluster::{assign_clusters, ClusteredBlock, ClusteredFunction};
 use crate::ir::{IrFunction, Terminator};
 use crate::program::{Program, TermKind};
 use crate::regalloc::{allocate, RegAssignment};
@@ -18,6 +18,17 @@ pub struct CompileOptions {
     /// as its main ILP-exposure knob, standing in for trace scheduling.
     pub unroll: u32,
     /// Run the (debug-cost) schedule verifier on every block.
+    ///
+    /// **Contract:** the default is `cfg!(debug_assertions)` — debug builds
+    /// verify every schedule, release builds verify *nothing* on this path.
+    /// Release-mode confidence comes from two independent mechanisms
+    /// instead: the CI release tier runs one full compile pass of every
+    /// benchmark × geometry with `verify: true` (catching drift between
+    /// `verify_schedule` and the emitted code), and the compiler-blind
+    /// `vliw-analyze` crate re-checks the *emitted* images from scratch
+    /// (`paper --lint`, or env-gated at `ImageCache` insertion via
+    /// `VLIW_VERIFY_IMAGES=1`). Set this to `true` explicitly when
+    /// compiling untrusted or hand-written IR in release builds.
     pub verify: bool,
 }
 
@@ -63,9 +74,81 @@ pub fn compile(
         };
         blocks.push((instrs, term));
     }
-    let program = Program::new(cf.name.clone(), blocks, cf.entry, cf.n_streams);
+    let live_ins = entry_live_ins(&cf, &ra);
+    let program = Program::new(cf.name.clone(), blocks, cf.entry, cf.n_streams, live_ins);
     program.validate()?;
     Ok(program)
+}
+
+/// Physical registers that may be read before being written on some path
+/// from the entry block — the program's declared live-ins.
+///
+/// Computed by classic backward liveness over the *clustered* virtual code
+/// (the final op list, copies included), then mapped through the register
+/// assignment. Virtual liveness over-approximates physical
+/// uninitialised-readability: the allocator's round-robin reuse only *adds*
+/// physical writes before a read, never removes one, so any physical read
+/// not dominated by a write maps back to a virtual read of a live-in vreg.
+/// That containment is what lets `vliw-analyze` treat "read not covered by
+/// a write and not declared live-in" as a hard error.
+fn entry_live_ins(cf: &ClusteredFunction, ra: &RegAssignment) -> Vec<vliw_isa::Reg> {
+    let n = cf.n_vregs as usize;
+    let nb = cf.blocks.len();
+    // Per-block gen (read before any def in the block, in program order)
+    // and kill (defined anywhere in the block) sets.
+    let mut gen = vec![vec![false; n]; nb];
+    let mut kill = vec![vec![false; n]; nb];
+    for (b, block) in cf.blocks.iter().enumerate() {
+        for op in &block.ops {
+            for s in op.src_iter() {
+                if !kill[b][s.0 as usize] {
+                    gen[b][s.0 as usize] = true;
+                }
+            }
+            if let Some(d) = op.dst {
+                kill[b][d.0 as usize] = true;
+            }
+        }
+        if let Terminator::CondBranch { pred: Some(p), .. } = block.term {
+            if !kill[b][p.0 as usize] {
+                gen[b][p.0 as usize] = true;
+            }
+        }
+    }
+    let succs = |b: usize| -> Vec<usize> {
+        match cf.blocks[b].term {
+            Terminator::FallThrough => vec![b + 1],
+            Terminator::Jump { target } => vec![target as usize],
+            Terminator::CondBranch { taken, .. } => {
+                let mut v = vec![taken as usize];
+                if b + 1 < nb {
+                    v.push(b + 1);
+                }
+                v
+            }
+            Terminator::Return => vec![],
+        }
+    };
+    // Backward fixpoint: live_in = gen ∪ (∪succ live_in − kill).
+    let mut live_in = gen.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..nb).rev() {
+            for s in succs(b) {
+                for v in 0..n {
+                    if live_in[s][v] && !kill[b][v] && !live_in[b][v] {
+                        live_in[b][v] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    (0..n)
+        .filter(|&v| live_in[cf.entry as usize][v])
+        .map(|v| ra.map[v])
+        .collect()
 }
 
 /// Emit the instruction words of one scheduled block.

@@ -5,7 +5,7 @@
 //! I-cache) and terminator descriptors (driving control flow and the
 //! branch-penalty model).
 
-use vliw_isa::{encode, MachineConfig, OpClass, VliwInstruction};
+use vliw_isa::{encode, MachineConfig, OpClass, Reg, VliwInstruction};
 
 /// How a scheduled block ends (mirrors [`crate::ir::Terminator`] minus the
 /// predicate, which is baked into the branch operation).
@@ -85,15 +85,27 @@ pub struct Program {
     pub code_bytes: u64,
     /// Number of memory address streams the program references.
     pub n_streams: u16,
+    /// Physical registers the program may read before writing (sorted,
+    /// deduplicated). The compiler derives this from IR-level liveness at
+    /// the entry block; the simulator does not interpret values, so these
+    /// registers are simply "initialised by the environment". Declared in
+    /// the image so an independent checker (`vliw-analyze`) can prove every
+    /// other read is preceded by a write on all paths from entry.
+    pub live_ins: Vec<Reg>,
 }
 
 impl Program {
     /// Lay out `blocks` contiguously from address 0 and wrap into a program.
+    ///
+    /// `live_ins` declares the registers the program expects its
+    /// environment to initialise (see [`Program::live_ins`]); it is sorted
+    /// and deduplicated here.
     pub fn new(
         name: String,
         blocks: Vec<(Vec<VliwInstruction>, TermKind)>,
         entry: u32,
         n_streams: u16,
+        mut live_ins: Vec<Reg>,
     ) -> Program {
         let mut laid = Vec::with_capacity(blocks.len());
         let mut pc = 0u64;
@@ -106,12 +118,15 @@ impl Program {
                 term,
             });
         }
+        live_ins.sort_unstable();
+        live_ins.dedup();
         Program {
             name,
             blocks: laid,
             entry,
             code_bytes: pc,
             n_streams,
+            live_ins,
         }
     }
 
@@ -213,6 +228,7 @@ mod tests {
             ],
             0,
             0,
+            vec![],
         );
         p.validate().unwrap();
         assert_eq!(p.blocks[0].addrs, vec![0, 8]);
@@ -228,6 +244,7 @@ mod tests {
             vec![(vec![instr(&m, 4), instr(&m, 2)], TermKind::Return)],
             0,
             0,
+            vec![],
         );
         let s = p.stats(&m);
         assert_eq!(s.n_instrs, 2);
@@ -244,6 +261,7 @@ mod tests {
             vec![(vec![instr(&m, 1)], TermKind::Jump { target: 5 })],
             0,
             0,
+            vec![],
         );
         assert!(p.validate().is_err());
     }

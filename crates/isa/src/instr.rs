@@ -117,6 +117,31 @@ impl VliwInstruction {
         self.signature
     }
 
+    /// Wrap raw operations into an instruction **without legality checks**.
+    ///
+    /// The signature is recomputed from the operations (so it is always
+    /// self-consistent), but no slot-plan, cluster-range or operand
+    /// validation happens — the result may be an illegal word for every
+    /// machine. This exists for verification tooling (`vliw-analyze`'s
+    /// mutation harness builds deliberately-corrupt instructions to prove
+    /// the analyzer catches them); production code paths must go through
+    /// [`InstrBuilder`].
+    pub fn from_ops_unchecked(mut ops: Vec<Operation>) -> Self {
+        ops.sort_by_key(|o| (o.cluster, o.slot));
+        let mut res = ResourceVec::zero();
+        let mut mask = 0u8;
+        for op in &ops {
+            res.bump(op.cluster, op.class());
+            mask |= 1 << op.cluster;
+        }
+        let signature = InstrSignature {
+            res,
+            clusters: mask,
+            n_ops: ops.len() as u8,
+        };
+        VliwInstruction { ops, signature }
+    }
+
     /// The conditional/unconditional branch operation, if any.
     pub fn branch_op(&self) -> Option<&Operation> {
         self.ops.iter().find(|o| o.class() == OpClass::Branch)

@@ -406,7 +406,7 @@ mod tests {
 
     fn mk_thread(name: &str, tid: u64) -> SoftThread {
         let m = vliw_isa::MachineConfig::paper_baseline();
-        let img = build_named(name, &m);
+        let img = build_named(name, &m).unwrap();
         let meta = Arc::new(ProgramMeta::of(&img));
         SoftThread::new(&img, meta, tid, 7)
     }

@@ -9,6 +9,7 @@
 
 use crate::sched::SchedulerSpec;
 use std::fmt;
+use vliw_workloads::BuildError;
 
 /// Errors surfaced by the simulation API.
 ///
@@ -23,6 +24,25 @@ pub enum SimError {
     /// A scheduler name matched no built-in policy (see
     /// [`SchedulerSpec::all`] for the valid spellings).
     UnknownScheduler(String),
+    /// Building a benchmark image failed (unknown name or compile error);
+    /// see [`vliw_workloads::BuildError`].
+    Build(BuildError),
+    /// A freshly built image failed `vliw-analyze` static verification at
+    /// [`crate::runner::ImageCache`] insertion (enabled by setting the
+    /// `VLIW_VERIFY_IMAGES` environment variable to a non-empty value
+    /// other than `0`).
+    InvalidImage {
+        /// Benchmark name.
+        benchmark: String,
+        /// The analyzer's rendered text report.
+        report: String,
+    },
+}
+
+impl From<BuildError> for SimError {
+    fn from(e: BuildError) -> Self {
+        SimError::Build(e)
+    }
 }
 
 impl fmt::Display for SimError {
@@ -40,6 +60,13 @@ impl fmt::Display for SimError {
                     write!(f, "{}", s.name())?;
                 }
                 Ok(())
+            }
+            SimError::Build(e) => write!(f, "{e}"),
+            SimError::InvalidImage { benchmark, report } => {
+                write!(
+                    f,
+                    "image {benchmark:?} failed static verification:\n{report}"
+                )
             }
         }
     }

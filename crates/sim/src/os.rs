@@ -651,7 +651,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, n)| {
-                let img = build_named(n, &m);
+                let img = build_named(n, &m).unwrap();
                 let meta = Arc::new(ProgramMeta::of(&img));
                 SoftThread::new(&img, meta, i as u64, seed)
             })

@@ -279,7 +279,8 @@ impl WorkloadRef {
                 let entry = match m {
                     Member::Named(n) => cache.get(n, &cfg.machine),
                     Member::Custom(s) => cache.get_spec(s, &cfg.machine),
-                };
+                }
+                .expect("plan cells are validated up front");
                 SoftThread::new(&entry.0, entry.1.clone(), tid as u64, cfg.seed)
             })
             .collect()

@@ -63,10 +63,16 @@ impl ImageCache {
     /// Get or build the image + metadata for a Table-1 benchmark by name,
     /// compiled for `machine`.
     ///
-    /// Panics when `name` is not in the Table-1 suite; custom specs go
-    /// through [`ImageCache::get_spec`].
-    pub fn get(&self, name: &str, machine: &vliw_isa::MachineConfig) -> CachedImage {
-        let spec = benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    /// Unknown names and compile failures come back as
+    /// [`SimError::Build`] (this used to panic); custom specs go through
+    /// [`ImageCache::get_spec`].
+    pub fn get(
+        &self,
+        name: &str,
+        machine: &vliw_isa::MachineConfig,
+    ) -> Result<CachedImage, SimError> {
+        let spec = benchmark(name)
+            .ok_or_else(|| vliw_workloads::BuildError::UnknownBenchmark(name.to_string()))?;
         self.get_spec(spec, machine)
     }
 
@@ -78,13 +84,32 @@ impl ImageCache {
     /// on the same benchmark may both compile it (compilation is
     /// deterministic, so the results are identical); the first insert wins
     /// and the loser's copy is dropped.
-    pub fn get_spec(&self, spec: &BenchmarkSpec, machine: &vliw_isa::MachineConfig) -> CachedImage {
+    ///
+    /// With the `VLIW_VERIFY_IMAGES` environment variable set (non-empty,
+    /// not `0`), every freshly built image is run through the independent
+    /// `vliw-analyze` verifier before insertion; Error-severity findings
+    /// surface as [`SimError::InvalidImage`]. Cache hits are never
+    /// re-verified (images are immutable once inserted).
+    pub fn get_spec(
+        &self,
+        spec: &BenchmarkSpec,
+        machine: &vliw_isa::MachineConfig,
+    ) -> Result<CachedImage, SimError> {
         let key = (spec.name.clone(), machine.clone());
         if let Some(hit) = self.map.lock().get(&key) {
             Self::check_identity(&hit.0, spec, machine);
-            return hit.clone();
+            return Ok(hit.clone());
         }
-        let img = build(spec, machine);
+        let img = build(spec, machine)?;
+        if verify_images_enabled() {
+            let report = vliw_analyze::analyze_image(&img, vliw_analyze::AnalyzeOptions::default());
+            if report.errors() > 0 {
+                return Err(SimError::InvalidImage {
+                    benchmark: spec.name.to_string(),
+                    report: report.render_text(),
+                });
+            }
+        }
         let meta = Arc::new(ProgramMeta::of(&img));
         let built: CachedImage = Arc::new((img, meta));
         let cached = self.map.lock().entry(key).or_insert(built).clone();
@@ -92,7 +117,7 @@ impl ImageCache {
         // same spec for the same geometry, or the loser would silently run
         // the winner's image.
         Self::check_identity(&cached.0, spec, machine);
-        cached
+        Ok(cached)
     }
 
     /// The cache-identity invariant: an entry serves a request only when
@@ -118,26 +143,44 @@ impl ImageCache {
     }
 }
 
+/// Whether `VLIW_VERIFY_IMAGES` asks for static verification at cache
+/// insertion (non-empty and not `0`; sampled once per process).
+fn verify_images_enabled() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| {
+        std::env::var("VLIW_VERIFY_IMAGES").is_ok_and(|v| !v.is_empty() && v != "0")
+    })
+}
+
 /// Instantiate the software threads of a benchmark list (Table-1 names,
 /// `'static` or not).
-pub fn make_threads(cache: &ImageCache, cfg: &SimConfig, names: &[&str]) -> Vec<SoftThread> {
+pub fn make_threads(
+    cache: &ImageCache,
+    cfg: &SimConfig,
+    names: &[&str],
+) -> Result<Vec<SoftThread>, SimError> {
     names
         .iter()
         .enumerate()
         .map(|(tid, name)| {
-            let entry = cache.get(name, &cfg.machine);
-            SoftThread::new(&entry.0, entry.1.clone(), tid as u64, cfg.seed)
+            let entry = cache.get(name, &cfg.machine)?;
+            Ok(SoftThread::new(
+                &entry.0,
+                entry.1.clone(),
+                tid as u64,
+                cfg.seed,
+            ))
         })
         .collect()
 }
 
 /// Run one benchmark alone (the paper's Table-1 single-thread setup).
 ///
-/// Errors are typed [`SimError`]s rather than panics; a single named
-/// benchmark always admits one thread, so today the only failure mode is
-/// reserved for future validation (the signature matches [`run_mix`]).
+/// Errors are typed [`SimError`]s rather than panics: an unknown name or
+/// compile failure surfaces as [`SimError::Build`], a verification failure
+/// (under `VLIW_VERIFY_IMAGES`) as [`SimError::InvalidImage`].
 pub fn run_single(cache: &ImageCache, cfg: &SimConfig, name: &str) -> Result<RunResult, SimError> {
-    let threads = make_threads(cache, cfg, &[name]);
+    let threads = make_threads(cache, cfg, &[name])?;
     let stats = Machine::new(cfg, threads)?.run();
     Ok(RunResult {
         scheme: cfg.scheme.name().to_string(),
@@ -155,7 +198,7 @@ pub fn run_mix(
     cfg: &SimConfig,
     mix: &WorkloadMix,
 ) -> Result<RunResult, SimError> {
-    let threads = make_threads(cache, cfg, &mix.members);
+    let threads = make_threads(cache, cfg, &mix.members)?;
     let stats = Machine::new(cfg, threads)?.run();
     Ok(RunResult {
         scheme: cfg.scheme.name().to_string(),
@@ -300,13 +343,28 @@ mod tests {
         let cache = ImageCache::new();
         let paper = vliw_isa::MachineSpec::Paper4x4.config();
         let narrow = vliw_isa::MachineSpec::Narrow8x2.config();
-        let a = cache.get("idct", &paper);
-        let b = cache.get("idct", &narrow);
+        let a = cache.get("idct", &paper).unwrap();
+        let b = cache.get("idct", &narrow).unwrap();
         assert!(!Arc::ptr_eq(&a, &b), "geometries must not share images");
         assert_eq!(a.0.machine, paper);
         assert_eq!(b.0.machine, narrow);
         // Same geometry still hits.
-        assert!(Arc::ptr_eq(&a, &cache.get("idct", &paper)));
+        assert!(Arc::ptr_eq(&a, &cache.get("idct", &paper).unwrap()));
+    }
+
+    #[test]
+    fn unknown_benchmark_is_a_typed_error() {
+        let cache = ImageCache::new();
+        let cfg = SimConfig::paper(catalog::by_name("ST").unwrap(), 1000);
+        let err = run_single(&cache, &cfg, "no-such-kernel").unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                SimError::Build(vliw_workloads::BuildError::UnknownBenchmark(n))
+                    if n == "no-such-kernel"
+            ),
+            "{err}"
+        );
     }
 
     #[test]
@@ -315,8 +373,8 @@ mod tests {
         let machine = vliw_isa::MachineConfig::paper_baseline();
         let mut spec = vliw_workloads::benchmark("idct").unwrap().clone();
         spec.name = format!("idct-variant-{}", 1).into();
-        let a = cache.get_spec(&spec, &machine);
-        let b = cache.get_spec(&spec, &machine);
+        let a = cache.get_spec(&spec, &machine).unwrap();
+        let b = cache.get_spec(&spec, &machine).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
     }
 }

@@ -326,7 +326,7 @@ mod tests {
 
     fn thread_pair() -> (SoftThread, MemSystem) {
         let m = MachineConfig::paper_baseline();
-        let img = build_named("gsmencode", &m);
+        let img = build_named("gsmencode", &m).unwrap();
         let meta = Arc::new(ProgramMeta::of(&img));
         let t = SoftThread::new(&img, meta, 0, 42);
         (t, MemSystem::new(MemConfig::paper_baseline()))
@@ -386,7 +386,7 @@ mod tests {
     #[test]
     fn distinct_tids_have_distinct_address_spaces() {
         let m = MachineConfig::paper_baseline();
-        let img = build_named("bzip2", &m);
+        let img = build_named("bzip2", &m).unwrap();
         let meta = Arc::new(ProgramMeta::of(&img));
         let a = SoftThread::new(&img, meta.clone(), 0, 42);
         let b = SoftThread::new(&img, meta, 1, 42);

@@ -44,7 +44,7 @@ fn my_benchmark(taps: u32) -> BenchmarkSpec {
 fn main() {
     let machine = MachineConfig::paper_baseline();
     let spec = my_benchmark(4);
-    let image = build(&spec, &machine);
+    let image = build(&spec, &machine).expect("custom spec compiles for the paper machine");
     let stats = image.program.stats(&machine);
     println!(
         "compiled '{}': {} instrs, {} ops, density {:.2} ops/instr, {} bytes",

@@ -22,7 +22,11 @@
 //! * [`traffic`] — open-system load generation: deterministic arrival
 //!   processes (`poisson`/`bursty`/`diurnal` [`traffic::TrafficSpec`]s),
 //!   the bounded admission queue with shed accounting, and exact
-//!   sojourn/wait latency quantiles.
+//!   sojourn/wait latency quantiles;
+//! * [`analyze`] — compiler-independent static verification of compiled
+//!   images: CFG/bundle/dataflow/stream checks as typed diagnostics, plus
+//!   per-block static performance bounds (`paper --lint` and the
+//!   `VLIW_VERIFY_IMAGES` cache gate are built on it).
 //!
 //! ## Quickstart
 //!
@@ -57,6 +61,7 @@
 //! assert!(icount > 0.0);
 //! ```
 
+pub use vliw_analyze as analyze;
 pub use vliw_compiler as compiler;
 pub use vliw_core as core;
 pub use vliw_hwcost as hwcost;

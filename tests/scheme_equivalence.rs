@@ -82,7 +82,7 @@ fn eight_thread_extension_ranks() {
     let run = |name: &str| {
         let scheme = parser::parse(name).unwrap();
         let cfg = SimConfig::paper(scheme, 5000);
-        let threads = runner::make_threads(&cache, &cfg, &pool);
+        let threads = runner::make_threads(&cache, &cfg, &pool).unwrap();
         vliw_tms::sim::os::Machine::new(&cfg, threads)
             .unwrap()
             .run()
