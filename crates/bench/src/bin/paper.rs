@@ -4,13 +4,14 @@
 //!
 //! ```text
 //! paper [EXHIBIT...] [--scale N] [--full] [--threads N] [--filter S]
-//!       [--scheduler NAME] [--machine SPEC] [--arrivals SPEC]
+//!       [--scheduler NAME] [--machine SPEC] [--arrivals SPEC] [--fleet SPEC]
 //!       [--out DIR] [--json PATH] [--csv PATH]
 //!       [--trace PATH] [--trace-format FMT]
 //! paper --lint [--lint-format text|json]
+//! paper --list
 //!
 //! EXHIBIT: table1 table2 fig4 fig5 fig6 fig9 fig10 fig11 fig12 headline
-//!          geometry trace traffic all   (default: all)
+//!          geometry trace traffic fleet all   (default: all)
 //! --scale N        divide the paper's 100M-instruction budget by N (default 20)
 //! --full           the paper's full run lengths (scale 1); slow
 //! --threads N      rayon worker threads for simulation sweeps (default:
@@ -26,6 +27,16 @@
 //!                  arrival process instead of the closed batch default
 //!                  (poisson:RATE, bursty:RATE:LEN:FACTOR,
 //!                  diurnal:RATE:PEAK:PERIOD, or closed)
+//! --fleet SPEC     run the simulated exhibits on a *fleet* of machines
+//!                  behind a dispatcher instead of one machine: each
+//!                  arriving thread is routed to one machine's admission
+//!                  queue (grammar: ENTRY[/ENTRY...][@POLICY] where ENTRY
+//!                  is MACHINESPEC[*COUNT]; e.g. paper-4x4*2,
+//!                  paper-4x4*2/2x8@least-queued; preset: edge; policies:
+//!                  round-robin, least-queued, affinity)
+//! --list           print every exhibit, scheme, scheduler policy, machine
+//!                  preset, fleet preset, dispatcher policy and grammar
+//!                  the harness understands, then exit
 //! --out DIR        CSV output directory for rendered exhibits (default: results/)
 //! --json PATH      also write the raw simulation result sets as one JSON file
 //! --csv PATH       also write the raw simulation result sets as one CSV file
@@ -54,32 +65,38 @@
 //!
 //! The `--json`/`--csv` exports cover the simulated exhibits (table1, fig4,
 //! fig6, the shared fig10 sweep behind fig10/fig11/fig12/headline, the
-//! geometry sweep, and the traffic sweep); static exhibits (table2, fig5,
-//! fig9) have no simulation results. Both exports are byte-identical across
-//! `--threads` values: the sweep grid is deterministic and ordered. Without
-//! `--scheduler`/`--machine`/`--arrivals` the export bytes equal the
-//! historical (pre-axis) format; with any, a `scheduler`/`machine`/
-//! `traffic` column/field is added (the traffic column brings the
-//! open-system metric columns with it). The `geometry` exhibit always
-//! sweeps the machine presets (`--machine` adds the named geometry to its
-//! sweep) and the `traffic` exhibit always sweeps its Poisson load ladder
-//! (`--arrivals` adds the named process), so a combined `--csv` that
-//! captures either carries that column on *every* row — one header must
-//! fit all sets, so rows are shaped to the union of the captured axes.
+//! geometry sweep, the traffic sweep, and the fleet sweep); static exhibits
+//! (table2, fig5, fig9) have no simulation results. Both exports are
+//! byte-identical across `--threads` values: the sweep grid is
+//! deterministic and ordered. Without
+//! `--scheduler`/`--machine`/`--arrivals`/`--fleet` the export bytes equal
+//! the historical (pre-axis) format; with any, a `scheduler`/`machine`/
+//! `traffic`/`fleet` column/field is added (the traffic column brings the
+//! open-system metric columns with it, the fleet column the fleet metric
+//! columns). The `geometry` exhibit always sweeps the machine presets
+//! (`--machine` adds the named geometry to its sweep), the `traffic`
+//! exhibit always sweeps its Poisson load ladder (`--arrivals` adds the
+//! named process), and the `fleet` exhibit always sweeps its fleet ladder
+//! (`--fleet` adds the named fleet), so a combined `--csv` that captures
+//! any carries that column on *every* row — one header must fit all sets,
+//! so rows are shaped to the union of the captured axes.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use vliw_bench::figures;
 use vliw_bench::Exhibit;
 use vliw_sim::experiments;
-use vliw_sim::plan::{MachineSpec, Plan, ResultSet, Session, TrafficError, TrafficSpec};
+use vliw_sim::plan::{
+    DispatcherSpec, FleetError, FleetSpec, MachineSpec, Plan, ResultSet, Session, TrafficError,
+    TrafficSpec,
+};
 use vliw_sim::sched::SchedulerSpec;
 use vliw_trace::TraceFormat;
 
 /// Every exhibit name the harness understands, in render order.
-const EXHIBITS: [&str; 13] = [
+const EXHIBITS: [&str; 14] = [
     "table1", "table2", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "fig12", "headline",
-    "geometry", "trace", "traffic",
+    "geometry", "trace", "traffic", "fleet",
 ];
 
 /// The plan behind a simulated exhibit (what `--trace` probes), `None` for
@@ -93,6 +110,7 @@ fn plan_for(name: &str, scale: u64) -> Option<Plan> {
         "geometry" => Some(experiments::geometry_plan(scale)),
         "trace" => Some(experiments::trace_plan(scale)),
         "traffic" => Some(experiments::traffic_plan(scale)),
+        "fleet" => Some(experiments::fleet_plan(scale)),
         _ => None,
     }
 }
@@ -106,6 +124,8 @@ fn main() {
     let mut scheduler: Option<SchedulerSpec> = None;
     let mut machine: Option<MachineSpec> = None;
     let mut arrivals: Option<TrafficSpec> = None;
+    let mut fleet: Option<FleetSpec> = None;
+    let mut list = false;
     let mut json_path: Option<PathBuf> = None;
     let mut csv_path: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
@@ -169,6 +189,22 @@ fn main() {
                         .unwrap_or_else(|e: TrafficError| die(&e.to_string())),
                 );
             }
+            "--fleet" => {
+                let name = args
+                    .next()
+                    .unwrap_or_else(|| die("--fleet needs a fleet spec"));
+                let spec: FleetSpec = name
+                    .parse()
+                    .unwrap_or_else(|e: FleetError| die(&e.to_string()));
+                if let Some(bad) = spec.machines().iter().find(|m| !m.runs_full_suite()) {
+                    die(&format!(
+                        "fleet member {bad} cannot run the benchmark suite (it needs at \
+                         least one multiplier and one memory unit per cluster)"
+                    ));
+                }
+                fleet = Some(spec);
+            }
+            "--list" => list = true,
             "--out" => {
                 out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
             }
@@ -217,6 +253,11 @@ fn main() {
             other => die(&format!("unknown flag {other}")),
         }
     }
+    if list {
+        // Standalone catalog mode: print what the harness understands.
+        print_list();
+        return;
+    }
     if lint_json.is_some() && !lint {
         die("--lint-format requires --lint");
     }
@@ -227,6 +268,7 @@ fn main() {
             || scheduler.is_some()
             || machine.is_some()
             || arrivals.is_some()
+            || fleet.is_some()
             || json_path.is_some()
             || csv_path.is_some()
             || trace_path.is_some()
@@ -287,11 +329,12 @@ fn main() {
     });
     let trace_format = trace_format.unwrap_or(TraceFormat::Chrome);
 
-    // Apply --scheduler/--machine/--arrivals to a simulated exhibit's plan
-    // (None = the paper's defaults and the historical export byte format).
-    // For the geometry exhibit, whose plan already sweeps the machine
-    // presets, --machine *adds* the named geometry; likewise --arrivals on
-    // the traffic exhibit's load ladder (both axes dedup).
+    // Apply --scheduler/--machine/--arrivals/--fleet to a simulated
+    // exhibit's plan (None = the paper's defaults and the historical export
+    // byte format). For the geometry exhibit, whose plan already sweeps the
+    // machine presets, --machine *adds* the named geometry; likewise
+    // --arrivals on the traffic exhibit's load ladder and --fleet on the
+    // fleet exhibit's ladder (every axis dedups).
     let with_axes = |plan: Plan| {
         let plan = match scheduler {
             Some(spec) => plan.scheduler(spec),
@@ -301,14 +344,18 @@ fn main() {
             Some(spec) => plan.machine(spec),
             None => plan,
         };
-        match arrivals {
+        let plan = match arrivals {
             Some(spec) => plan.arrival(spec),
+            None => plan,
+        };
+        match &fleet {
+            Some(spec) => plan.fleet(spec.clone()),
             None => plan,
         }
     };
 
     println!(
-        "vliw-tms paper harness — scale 1/{scale} of the paper's run length, {par} rayon workers{}{}{}\n",
+        "vliw-tms paper harness — scale 1/{scale} of the paper's run length, {par} rayon workers{}{}{}{}\n",
         match scheduler {
             Some(s) => format!(", {s} scheduler"),
             None => String::new(),
@@ -319,6 +366,10 @@ fn main() {
         },
         match arrivals {
             Some(t) => format!(", {t} arrivals"),
+            None => String::new(),
+        },
+        match &fleet {
+            Some(f) => format!(", {f} fleet"),
             None => String::new(),
         }
     );
@@ -382,6 +433,14 @@ fn main() {
                 let ex = figures::traffic_from(&experiments::traffic_data(&set));
                 if export {
                     captured.push(("traffic", set));
+                }
+                vec![ex]
+            }
+            "fleet" => {
+                let set = with_axes(experiments::fleet_plan(scale)).run(&session);
+                let ex = figures::fleet_from(&experiments::fleet_data(&set));
+                if export {
+                    captured.push(("fleet", set));
                 }
                 vec![ex]
             }
@@ -472,14 +531,22 @@ fn main() {
             || captured
                 .iter()
                 .any(|(_, set)| set.machine_axis_is_explicit());
+        let with_fleet =
+            fleet.is_some() || captured.iter().any(|(_, set)| set.fleet_axis_is_explicit());
         let with_traffic = arrivals.is_some()
             || captured
                 .iter()
                 .any(|(_, set)| set.traffic_axis_is_explicit());
-        let header = ResultSet::csv_header_for(with_sched, with_machine, with_traffic);
+        let header = ResultSet::csv_header_for(with_sched, with_machine, with_fleet, with_traffic);
         let mut s = format!("exhibit,{header}\n");
         for (id, set) in &captured {
-            s.push_str(&set.csv_rows_shaped(Some(id), with_sched, with_machine, with_traffic));
+            s.push_str(&set.csv_rows_shaped(
+                Some(id),
+                with_sched,
+                with_machine,
+                with_fleet,
+                with_traffic,
+            ));
         }
         if let Err(err) = std::fs::write(path, s) {
             eprintln!("warning: could not write {}: {err}", path.display());
@@ -534,18 +601,73 @@ fn run_lint(as_json: bool) -> ! {
     std::process::exit(i32::from(errors > 0));
 }
 
+/// `--list`: print every name the harness accepts, one catalog per line
+/// group, drawn from the same sources the validators use (so the listing
+/// can never drift from what actually parses).
+fn print_list() {
+    println!("exhibits:");
+    for e in EXHIBITS {
+        let kind = if plan_for(e, 1).is_some() {
+            "simulated"
+        } else {
+            "static"
+        };
+        println!("  {e:<10} {kind}");
+    }
+    println!("\nschemes (--filter'd exhibits pick their own; plans accept any):");
+    println!(
+        "  ST 1C {}",
+        vliw_core::catalog::paper_scheme_names().join(" ")
+    );
+    println!("\nschedulers (--scheduler):");
+    for s in SchedulerSpec::all() {
+        println!("  {s}");
+    }
+    println!("\nmachine presets (--machine; also CxI[+muls+mems], e.g. 3x4, 2x8+1+2):");
+    for m in MachineSpec::presets() {
+        let c = m.config();
+        println!(
+            "  {:<10} {} clusters x {}-issue, {} muls, {} mems",
+            m.to_string(),
+            c.n_clusters,
+            c.issue_per_cluster,
+            c.muls_per_cluster,
+            c.mems_per_cluster
+        );
+    }
+    println!("\narrival processes (--arrivals):");
+    println!("  closed  poisson:RATE  bursty:RATE:LEN:FACTOR  diurnal:RATE:PEAK:PERIOD");
+    println!(
+        "\nfleet presets (--fleet; also ENTRY[/ENTRY...][@POLICY], ENTRY = MACHINESPEC[*COUNT]):"
+    );
+    for (name, spec) in FleetSpec::presets() {
+        println!("  {name:<10} = {spec}  ({} machines)", spec.n_machines());
+    }
+    println!("\ndispatcher policies (@POLICY):");
+    for d in DispatcherSpec::all() {
+        println!("  {d}");
+    }
+    println!("\ntrace formats (--trace-format):");
+    println!("  chrome  jsonl  csv");
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}\n{HELP}");
     std::process::exit(2);
 }
 
 const HELP: &str = "usage: paper [EXHIBIT...] [--scale N] [--full] [--threads N] [--filter S] \
-[--scheduler NAME] [--machine SPEC] [--arrivals SPEC] [--out DIR] [--json PATH] [--csv PATH] \
-[--trace PATH] [--trace-format FMT]
+[--scheduler NAME] [--machine SPEC] [--arrivals SPEC] [--fleet SPEC] [--out DIR] [--json PATH] \
+[--csv PATH] [--trace PATH] [--trace-format FMT]
        paper --lint [--lint-format text|json]
-exhibits: table1 table2 fig4 fig5 fig6 fig9 fig10 fig11 fig12 headline geometry trace traffic all
+       paper --list
+exhibits: table1 table2 fig4 fig5 fig6 fig9 fig10 fig11 fig12 headline geometry trace traffic \
+fleet all
 schedulers: paper-random round-robin icount cluster-affinity
 machines: paper-4x4 2x8 8x2 4x4-lite, or CxI[+muls+mems] (e.g. 3x4, 2x8+1+2)
 arrivals: closed, poisson:RATE, bursty:RATE:LEN:FACTOR, diurnal:RATE:PEAK:PERIOD \
 (RATE in arrivals/cycle, e.g. poisson:0.02)
-trace formats: chrome jsonl csv (default chrome)";
+fleets: ENTRY[/ENTRY...][@POLICY] with ENTRY = MACHINESPEC[*COUNT] (e.g. paper-4x4*2, \
+paper-4x4*2/2x8@least-queued), preset: edge; policies: round-robin least-queued affinity
+trace formats: chrome jsonl csv (default chrome)
+see `paper --list` for every name the harness accepts";

@@ -401,6 +401,66 @@ pub fn traffic_from(d: &experiments::TrafficData) -> Exhibit {
     }
 }
 
+/// Fleet exhibit (beyond the paper): the fleet ladder under one saturating
+/// arrival process — homogeneous scaling plus the dispatcher showdown on
+/// the heterogeneous edge mix.
+pub fn fleet_exhibit(scale: u64, par: usize) -> Exhibit {
+    fleet_from(&experiments::fleet_exhibit(scale, par))
+}
+
+/// Render the fleet exhibit from precomputed per-fleet rows.
+pub fn fleet_from(d: &experiments::FleetData) -> Exhibit {
+    let mut t = TextTable::new(&[
+        "fleet",
+        "machines",
+        "dispatcher",
+        "offered",
+        "completed",
+        "shed",
+        "routed",
+        "p50 sojourn",
+        "p95 sojourn",
+        "p99 sojourn",
+        "IPC",
+    ]);
+    for r in &d.rows {
+        let routed = r
+            .routed
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join("/");
+        t.row(vec![
+            r.fleet.label(),
+            r.machines.to_string(),
+            r.dispatcher.clone(),
+            r.offered.to_string(),
+            r.completed.to_string(),
+            r.shed.to_string(),
+            routed,
+            r.p50.to_string(),
+            r.p95.to_string(),
+            r.p99.to_string(),
+            f2(r.ipc),
+        ]);
+    }
+    Exhibit {
+        id: "fleet".into(),
+        text: format!(
+            "Fleet dispatch — tail latency vs fleet shape (beyond the paper)\n\
+             (12-job LLHH-x3 stream at {} on the {} scheme; each arrival is\n\
+             routed to one machine's admission queue by the dispatcher; routed\n\
+             lists per-machine job counts in fleet order; run length floored\n\
+             at 1/{} of the paper's budget)\n{}",
+            experiments::FLEET_ARRIVALS,
+            experiments::FLEET_SCHEME,
+            experiments::FLEET_SCALE_FLOOR,
+            t.render()
+        ),
+        csv: t.to_csv(),
+    }
+}
+
 /// Sanity check on workload mix sizes used in this module.
 pub fn n_benchmarks() -> usize {
     all_benchmarks().len()
@@ -442,5 +502,19 @@ mod tests {
             assert!(ex.csv.contains(scheme), "missing {scheme}");
         }
         assert!(ex.csv.lines().next().unwrap().contains("p99 sojourn"));
+    }
+
+    #[test]
+    fn fleet_exhibit_renders_the_ladder() {
+        let ex = fleet_exhibit(5_000, 8);
+        assert_eq!(ex.id, "fleet");
+        assert!(ex.text.contains("Fleet dispatch"));
+        for fleet in experiments::FLEET_LADDER {
+            assert!(ex.csv.contains(fleet), "missing {fleet}:\n{}", ex.csv);
+        }
+        for policy in ["round-robin", "least-queued", "affinity"] {
+            assert!(ex.text.contains(policy), "missing {policy}:\n{}", ex.text);
+        }
+        assert!(ex.csv.lines().next().unwrap().contains("routed"));
     }
 }

@@ -11,7 +11,9 @@
 //! All drivers take a `scale` divisor (1 = the paper's full
 //! 100M-instruction runs).
 
-use crate::plan::{MachineSpec, MemoryModel, Plan, ResultSet, Session, TrafficSpec, WorkloadRef};
+use crate::plan::{
+    FleetSpec, MachineSpec, MemoryModel, Plan, ResultSet, Session, TrafficSpec, WorkloadRef,
+};
 use crate::sched::SchedulerSpec;
 use std::sync::Arc;
 use vliw_core::catalog;
@@ -558,6 +560,133 @@ pub fn traffic_exhibit(scale: u64, parallelism: usize) -> TrafficData {
     traffic_data(&traffic_plan(scale).run(&Session::with_parallelism(parallelism)))
 }
 
+/// Scheme of the fleet exhibit: the headline hybrid, judged at fleet scale.
+pub const FLEET_SCHEME: &str = "2SC3";
+
+/// Fleet ladder of the fleet exhibit (canonical [`FleetSpec`] spellings):
+/// a homogeneous scaling arc (one, two, four paper machines) followed by
+/// the heterogeneous `edge` mix under each dispatcher policy, so one table
+/// shows both how tail latency falls with machine count and which policy
+/// wins when the lanes differ.
+pub const FLEET_LADDER: [&str; 6] = [
+    "paper-4x4",
+    "paper-4x4*2",
+    "paper-4x4*4",
+    "edge@round-robin",
+    "edge@least-queued",
+    "edge",
+];
+
+/// Arrival process of the fleet exhibit: the traffic exhibit's saturating
+/// point — heavy enough to shed jobs on a single machine, light enough
+/// that a four-machine fleet absorbs everything.
+pub const FLEET_ARRIVALS: &str = "poisson:0.0005";
+
+/// Run-length floor for the fleet exhibit (same open-system reasoning as
+/// [`TRAFFIC_SCALE_FLOOR`]).
+pub const FLEET_SCALE_FLOOR: u64 = TRAFFIC_SCALE_FLOOR;
+
+/// One row of the fleet exhibit: a fleet spelling with its routing split,
+/// admission outcome and sojourn-latency tail.
+#[derive(Debug, Clone)]
+pub struct FleetRow {
+    /// Canonical fleet spelling.
+    pub fleet: FleetSpec,
+    /// Machines in the fleet.
+    pub machines: usize,
+    /// Dispatcher policy name.
+    pub dispatcher: String,
+    /// Jobs that arrived fleet-wide.
+    pub offered: u64,
+    /// Jobs admitted and run to completion, summed over lanes.
+    pub completed: u64,
+    /// Jobs dropped at full per-lane admission queues.
+    pub shed: u64,
+    /// Per-machine routed counts, in fleet order.
+    pub routed: Vec<u64>,
+    /// Median fleet-wide sojourn (arrival → completion), cycles.
+    pub p50: u64,
+    /// 95th-percentile fleet-wide sojourn, cycles.
+    pub p95: u64,
+    /// 99th-percentile fleet-wide sojourn, cycles.
+    pub p99: u64,
+    /// Fleet IPC (summed ops over the longest lane's span).
+    pub ipc: f64,
+}
+
+/// Fleet-exhibit data: one row per fleet, in [`FLEET_LADDER`] order.
+#[derive(Debug, Clone)]
+pub struct FleetData {
+    /// Run-length floor actually used (see [`fleet_plan`]).
+    pub scale: u64,
+    /// Per-fleet rows.
+    pub rows: Vec<FleetRow>,
+}
+
+/// The fleet sweep (beyond the paper): the [`FLEET_LADDER`] under one
+/// saturating arrival process on the 12-job [`traffic_workload`], at the
+/// headline [`FLEET_SCHEME`] — the dispatcher showdown the ROADMAP's
+/// serving-stack north star calls for. `scale` is floored at
+/// [`FLEET_SCALE_FLOOR`].
+pub fn fleet_plan(scale: u64) -> Plan {
+    Plan::new()
+        .scheme(FLEET_SCHEME)
+        .workload(traffic_workload())
+        .fleets(
+            FLEET_LADDER
+                .iter()
+                .map(|s| s.parse().expect("ladder spellings are canonical")),
+        )
+        .arrival(
+            FLEET_ARRIVALS
+                .parse()
+                .expect("ladder spelling is canonical"),
+        )
+        .scale(scale.max(FLEET_SCALE_FLOOR))
+}
+
+/// Project an executed [`fleet_plan`] sweep into exhibit rows by keyed
+/// lookup. Works on any plan whose fleet axis is explicit — the `paper`
+/// binary passes [`fleet_plan`] with the CLI's axes applied.
+pub fn fleet_data(set: &ResultSet) -> FleetData {
+    let mut rows = Vec::new();
+    for scheme in set.schemes() {
+        for fleet in set.fleets() {
+            let r = set
+                .get_fleet(scheme.name(), "LLHH-x3", fleet, MemoryModel::Real)
+                .expect("fleet grid covers every scheme x fleet");
+            let t = &r.stats.traffic;
+            let fs = r
+                .stats
+                .fleet
+                .as_ref()
+                .expect("fleet cells always carry FleetStats");
+            rows.push(FleetRow {
+                fleet: fleet.clone(),
+                machines: fleet.n_machines(),
+                dispatcher: fleet.dispatcher.name().to_string(),
+                offered: t.offered,
+                completed: t.completed,
+                shed: t.shed,
+                routed: fs.machines.iter().map(|m| m.routed).collect(),
+                p50: t.p50_sojourn,
+                p95: t.p95_sojourn,
+                p99: t.p99_sojourn,
+                ipc: r.ipc(),
+            });
+        }
+    }
+    FleetData {
+        scale: set.scale(),
+        rows,
+    }
+}
+
+/// Regenerate the fleet exhibit.
+pub fn fleet_exhibit(scale: u64, parallelism: usize) -> FleetData {
+    fleet_data(&fleet_plan(scale).run(&Session::with_parallelism(parallelism)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -691,6 +820,33 @@ mod tests {
         // The floor engages below it.
         assert_eq!(traffic_plan(1).jobs().len(), 12);
         assert_eq!(traffic_exhibit(u64::MAX, 2).scale, u64::MAX);
+    }
+
+    #[test]
+    fn fleet_exhibit_climbs_the_ladder() {
+        let d = fleet_exhibit(5_000, 4);
+        assert_eq!(d.scale, FLEET_SCALE_FLOOR);
+        assert_eq!(d.rows.len(), FLEET_LADDER.len());
+        for (r, spec) in d.rows.iter().zip(FLEET_LADDER) {
+            assert_eq!(r.fleet.label(), spec, "ladder spellings are canonical");
+            assert_eq!(r.offered, 12, "{spec}: 12-job stream");
+            assert_eq!(r.completed + r.shed, r.offered, "{spec}: conservation");
+            assert_eq!(r.routed.len(), r.machines, "{spec}");
+            assert_eq!(r.routed.iter().sum::<u64>(), r.offered, "{spec}");
+            assert!(r.p50 <= r.p95 && r.p95 <= r.p99, "{spec}");
+            assert!(r.ipc > 0.0, "{spec}");
+        }
+        // More machines can only help the tail at fixed offered load.
+        let one = &d.rows[0];
+        let four = &d.rows[2];
+        assert_eq!(four.machines, 4);
+        assert!(
+            four.p95 <= one.p95,
+            "4 machines p95 {} vs 1 machine {}",
+            four.p95,
+            one.p95
+        );
+        assert!(four.shed <= one.shed);
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod core;
 pub mod error;
 pub mod events;
 pub mod experiments;
+pub mod fleet;
 pub mod os;
 pub mod plan;
 pub mod runner;
@@ -73,9 +74,11 @@ pub mod thread;
 pub use crate::core::{Core, CoreModel};
 pub use config::SimConfig;
 pub use error::SimError;
+pub use fleet::{run_fleet, run_fleet_traced};
 pub use plan::{MachineSpec, MemoryModel, Plan, ResultSet, SchemeRef, Session, WorkloadRef};
 pub use runner::{run_mix, run_single, RunResult};
 pub use sched::{Scheduler, SchedulerSpec};
 pub use stats::RunStats;
 pub use thread::SoftThread;
+pub use vliw_fleet::{Dispatcher, DispatcherSpec, FleetSpec, FleetStats, MachineLaneStats};
 pub use vliw_trace::{StallBreakdown, Trace, TraceEvent, TraceFormat, TraceSink, TraceSpec};

@@ -90,6 +90,24 @@ pub struct Machine {
     /// Filled at the end of an open run; stays `Default` (all zeros) in
     /// closed mode.
     traffic_stats: TrafficStats,
+    /// Fleet-lane mode (see [`Machine::open_lane`]): the lane's persistent
+    /// OS event queue, carried across `lane_advance` calls so timeslice
+    /// expiries keep their phase between external stepping boundaries.
+    /// `None` for self-driving (non-lane) machines.
+    lane_events: Option<EventQueue<OsEvent>>,
+}
+
+/// What one fleet lane hands back at collection time: its run statistics
+/// plus the raw latency multisets, so the fleet driver can merge exact
+/// fleet-wide quantiles instead of averaging per-machine quantiles.
+#[derive(Debug)]
+pub struct LaneOutcome {
+    /// The lane's own statistics (traffic block included, `fleet: None`).
+    pub stats: RunStats,
+    /// Sojourn samples (arrival → completion) of the lane's completed jobs.
+    pub sojourns: LatencySummary,
+    /// Wait samples (arrival → first installation) of the lane's jobs.
+    pub waits: LatencySummary,
 }
 
 impl Machine {
@@ -150,6 +168,7 @@ impl Machine {
             lifecycles,
             completed: Vec::new(),
             traffic_stats: TrafficStats::default(),
+            lane_events: None,
         })
     }
 
@@ -414,17 +433,14 @@ impl Machine {
                 wait.record(w);
             }
         }
-        self.traffic_stats = TrafficStats {
-            offered: self.queue.offered(),
-            completed: self.completed.len() as u64,
-            shed: self.queue.shed(),
-            p50_sojourn: sojourn.p50().unwrap_or(0),
-            p95_sojourn: sojourn.p95().unwrap_or(0),
-            p99_sojourn: sojourn.p99().unwrap_or(0),
-            mean_sojourn: sojourn.mean(),
-            mean_wait: wait.mean(),
-            mean_queue_depth: self.queue.mean_depth(end),
-        };
+        self.traffic_stats = TrafficStats::summarize(
+            self.queue.offered(),
+            self.completed.len() as u64,
+            self.queue.shed(),
+            &sojourn,
+            &wait,
+            self.queue.mean_depth(end),
+        );
         self.collect()
     }
 
@@ -537,6 +553,183 @@ impl Machine {
         self.core.budget_reached = false;
     }
 
+    // ------------------------------------------------------------------
+    // Fleet-lane API: external stepping for the fleet driver.
+    //
+    // A *lane* is one machine of a fleet. Unlike the self-driving entry
+    // points above, a lane starts empty (arrivals come from the fleet's
+    // shared arrival process, routed by a dispatcher) and is advanced in
+    // bounded steps by `vliw_sim::fleet::run_fleet`, which interleaves
+    // `lane_advance` (parallel across machines) with `lane_inject`
+    // (sequential routing decisions). Every lane method is deterministic,
+    // so the driver's output is byte-identical regardless of how many
+    // workers advance the lanes.
+    // ------------------------------------------------------------------
+
+    /// Build an *empty* open-mode machine to be driven as a fleet lane:
+    /// no staged arrivals (threads enter only through [`Machine::lane_inject`]),
+    /// a bounded admission queue, and a persistent timeslice event queue.
+    ///
+    /// The configured [`SimConfig::traffic`] is ignored — the fleet owns
+    /// the arrival process; each lane behaves open-system (every admitted
+    /// job retires its own budget and completes individually).
+    pub fn open_lane(cfg: &SimConfig) -> Machine {
+        let scheduler = cfg.scheduler.build(cfg.seed);
+        let sched_name: Arc<str> = scheduler.name().into();
+        let mut lane_events: EventQueue<OsEvent> = EventQueue::new();
+        lane_events.schedule(cfg.timeslice.max(1), OsEvent::TimesliceExpiry);
+        Machine {
+            core: Core::new(cfg),
+            pool: Vec::new(),
+            scheduler,
+            sched_name,
+            groups: affinity_groups(&cfg.scheme),
+            timeslice: cfg.timeslice.max(1),
+            max_cycles: cfg.max_cycles,
+            context_switches: 0,
+            migrations: 0,
+            idle_context_cycles: 0,
+            issue_width: cfg.machine.total_issue() as u32,
+            trace_spec: cfg.trace,
+            instr_budget: cfg.instr_budget,
+            traffic: cfg.traffic,
+            staged: VecDeque::new(),
+            queue: AdmissionQueue::bounded(QUEUE_CAP_PER_CONTEXT * cfg.n_contexts()),
+            lifecycles: Vec::new(),
+            completed: Vec::new(),
+            traffic_stats: TrafficStats::default(),
+            lane_events: Some(lane_events),
+        }
+    }
+
+    /// Advance the lane to (at most) cycle `to`: run the core, retire
+    /// completed jobs, handle due timeslice expiries, and admit queued
+    /// jobs — the open-system loop under an external cycle ceiling. A
+    /// fully idle lane still advances its clock, so independent lanes
+    /// stay in lockstep between arrivals.
+    pub fn lane_advance(&mut self, to: u64) {
+        let to = to.min(self.max_cycles);
+        let mut os_events = self
+            .lane_events
+            .take()
+            .expect("lane_advance on a non-lane machine");
+        while self.core.cycle() < to {
+            let next_event = os_events
+                .peek_cycle()
+                .expect("a timeslice expiry is always scheduled");
+            let limit = next_event.min(to);
+            let idle = self.core.idle_contexts() as u64;
+            let before = self.core.cycle();
+            self.core.run_traced(limit, &mut NullSink);
+            self.idle_context_cycles += idle * (self.core.cycle() - before);
+            if self.core.budget_reached {
+                self.retire_completed(&mut NullSink);
+                self.admit_waiting(&mut NullSink);
+                continue;
+            }
+            while os_events
+                .peek_cycle()
+                .is_some_and(|c| c <= self.core.cycle())
+            {
+                let (at, event) = os_events.pop().expect("peeked event still queued");
+                debug_assert_eq!(event, OsEvent::TimesliceExpiry);
+                self.quantum_expired(&mut NullSink);
+                os_events.schedule(at + self.timeslice, OsEvent::TimesliceExpiry);
+            }
+            self.admit_waiting(&mut NullSink);
+        }
+        self.lane_events = Some(os_events);
+    }
+
+    /// Inject an arriving thread (routed here by the fleet dispatcher) at
+    /// the lane's *current* cycle: offer it to the bounded admission queue
+    /// (or shed it), then admit and install as the multiprogramming limit
+    /// allows. Returns whether the thread was shed at the queue's door.
+    pub fn lane_inject(&mut self, t: SoftThread) -> bool {
+        let now = self.core.cycle();
+        let tid = t.tid;
+        if self.lifecycles.len() <= tid as usize {
+            self.lifecycles.resize(tid as usize + 1, None);
+        }
+        let shed = match self.queue.offer(now, t) {
+            Ok(()) => {
+                self.lifecycles[tid as usize] = Some(Lifecycle::arrived(now));
+                false
+            }
+            Err(_shed) => true,
+        };
+        self.admit_waiting(&mut NullSink);
+        shed
+    }
+
+    /// Drain the lane: advance expiry by expiry until nothing is queued,
+    /// pooled, or installed (or `max_cycles` caps the run).
+    pub fn lane_run_to_completion(&mut self) {
+        while self.core.cycle() < self.max_cycles && !self.lane_is_drained() {
+            let next = self
+                .lane_events
+                .as_ref()
+                .expect("lane_run_to_completion on a non-lane machine")
+                .peek_cycle()
+                .expect("a timeslice expiry is always scheduled");
+            self.lane_advance(next);
+        }
+    }
+
+    /// Whether the lane holds no work: empty queue, empty pool, and no
+    /// installed threads.
+    pub fn lane_is_drained(&self) -> bool {
+        self.queue.is_empty()
+            && self.pool.is_empty()
+            && self.core.contexts.iter().all(Option::is_none)
+    }
+
+    /// Threads waiting in the lane's admission queue (dispatcher signal).
+    pub fn lane_queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Threads admitted and not yet completed: installed plus pooled
+    /// (dispatcher signal).
+    pub fn lane_in_flight(&self) -> usize {
+        self.core.contexts.iter().filter(|c| c.is_some()).count() + self.pool.len()
+    }
+
+    /// The lane's current cycle.
+    pub fn lane_cycle(&self) -> u64 {
+        self.core.cycle()
+    }
+
+    /// Summarize and collect the lane: its own [`RunStats`] (traffic block
+    /// filled from this lane's counters) plus the raw latency multisets
+    /// for exact fleet-wide quantile merging.
+    pub fn lane_collect(mut self) -> LaneOutcome {
+        let end = self.core.cycle();
+        let mut sojourns = LatencySummary::new();
+        let mut waits = LatencySummary::new();
+        for lc in self.lifecycles.iter().flatten() {
+            if let Some(s) = lc.sojourn() {
+                sojourns.record(s);
+            }
+            if let Some(w) = lc.wait() {
+                waits.record(w);
+            }
+        }
+        self.traffic_stats = TrafficStats::summarize(
+            self.queue.offered(),
+            self.completed.len() as u64,
+            self.queue.shed(),
+            &sojourns,
+            &waits,
+            self.queue.mean_depth(end),
+        );
+        LaneOutcome {
+            stats: self.collect(),
+            sojourns,
+            waits,
+        }
+    }
+
     /// Run to completion collecting a [`Trace`] alongside the statistics.
     ///
     /// The sink kind follows [`SimConfig::with_trace`]:
@@ -632,6 +825,7 @@ impl Machine {
             idle_context_cycles: self.idle_context_cycles,
             stall_breakdown,
             traffic: self.traffic_stats,
+            fleet: None,
         }
     }
 }
@@ -969,6 +1163,92 @@ mod tests {
             .events
             .iter()
             .any(|e| matches!(e, TraceEvent::QueueDepth { .. })));
+    }
+
+    #[test]
+    fn aborted_open_run_reports_zero_quantiles_cleanly() {
+        // Regression (quantile edge case): a run cut off before any job
+        // completes has an empty sojourn multiset; the summary must be
+        // all-zero quantiles, not nearest-rank over an empty set. The
+        // conservation law is intentionally NOT asserted here — it holds
+        // only at full drain, and this run aborts at `max_cycles`.
+        let mut cfg = SimConfig::paper(catalog::by_name("ST").unwrap(), 20_000)
+            .with_traffic("poisson:0.01".parse().unwrap());
+        cfg.max_cycles = 500;
+        let stats = Machine::new(&cfg, threads(&["mcf", "bzip2", "x264"], 5))
+            .unwrap()
+            .run();
+        let t = &stats.traffic;
+        assert_eq!(t.completed, 0, "500 cycles must not complete a budget");
+        assert_eq!((t.p50_sojourn, t.p95_sojourn, t.p99_sojourn), (0, 0, 0));
+        assert_eq!(t.mean_sojourn, 0.0);
+    }
+
+    #[test]
+    fn lane_stepping_conserves_and_completes() {
+        // Drive one machine through the fleet-lane API by hand: inject
+        // arrivals at fixed cycles, drain, and check the open-system
+        // accounting (conservation, per-job budgets) still holds.
+        let cfg = SimConfig::paper(catalog::smt_cascade(4), 20_000);
+        let mut lane = Machine::open_lane(&cfg);
+        assert!(lane.lane_is_drained());
+        let ts = threads(&["mcf", "bzip2", "x264", "idct"], 11);
+        let mut shed = 0u64;
+        for (i, t) in ts.into_iter().enumerate() {
+            lane.lane_advance(i as u64 * 1000);
+            shed += u64::from(lane.lane_inject(t));
+        }
+        assert!(lane.lane_in_flight() > 0);
+        lane.lane_run_to_completion();
+        assert!(lane.lane_is_drained());
+        let out = lane.lane_collect();
+        let t = &out.stats.traffic;
+        assert_eq!(t.offered, 4);
+        assert_eq!(t.shed, shed);
+        assert_eq!(t.completed + t.shed, t.offered, "no job may vanish");
+        assert_eq!(out.sojourns.len() as u64, t.completed);
+        // Every admitted job retired its own full budget.
+        let finished = out
+            .stats
+            .threads
+            .iter()
+            .filter(|th| th.instrs >= cfg.instr_budget)
+            .count() as u64;
+        assert_eq!(finished, t.completed);
+    }
+
+    #[test]
+    fn lane_stepping_is_deterministic_and_step_size_independent() {
+        // The same arrivals injected at the same cycles must produce
+        // identical stats no matter how the advances in between are
+        // chopped up (the driver's parallel phases rely on this).
+        let cfg = SimConfig::paper(catalog::by_name("2SC3").unwrap(), 10_000);
+        let run = |chunks: u64| {
+            let mut lane = Machine::open_lane(&cfg);
+            let ts = threads(&["mcf", "cjpeg", "x264"], 3);
+            for (i, t) in ts.into_iter().enumerate() {
+                let target = (i as u64 + 1) * 2_500;
+                // Advance in `chunks` equal steps instead of one jump.
+                for step in 1..=chunks {
+                    lane.lane_advance(lane.lane_cycle().max(target * step / chunks));
+                }
+                lane.lane_advance(target);
+                lane.lane_inject(t);
+            }
+            lane.lane_run_to_completion();
+            lane.lane_collect()
+        };
+        let (a, b) = (run(1), run(7));
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+        assert_eq!(a.stats.total_ops, b.stats.total_ops);
+        assert_eq!(
+            format!("{:?}", a.stats.traffic),
+            format!("{:?}", b.stats.traffic)
+        );
+        assert_eq!(
+            format!("{:?}", a.stats.threads),
+            format!("{:?}", b.stats.threads)
+        );
     }
 
     #[test]

@@ -72,6 +72,7 @@ use vliw_hwcost::{scheme_cost, SchemeCost};
 use vliw_trace::{Trace, TraceSpec};
 use vliw_workloads::{benchmark, mixes, BenchmarkSpec, WorkloadMix};
 
+pub use vliw_fleet::{DispatcherSpec, FleetError, FleetSpec};
 pub use vliw_isa::MachineSpec;
 pub use vliw_traffic::{TrafficError, TrafficSpec};
 
@@ -269,6 +270,22 @@ impl WorkloadRef {
         self.members.iter().map(|m| m.name()).collect()
     }
 
+    /// Compile member `idx` for an explicit machine geometry (the fleet
+    /// driver compiles each member for the machine it is routed to, not
+    /// the plan's reference machine).
+    pub(crate) fn image_for(
+        &self,
+        idx: usize,
+        cache: &ImageCache,
+        machine: &vliw_isa::MachineConfig,
+    ) -> crate::runner::CachedImage {
+        match &self.members[idx] {
+            Member::Named(n) => cache.get(n, machine),
+            Member::Custom(s) => cache.get_spec(s, machine),
+        }
+        .expect("plan cells are validated up front")
+    }
+
     /// Instantiate the software threads (worker-side; compile results come
     /// from the shared cache).
     fn threads(&self, cache: &ImageCache, cfg: &SimConfig) -> Vec<SoftThread> {
@@ -329,6 +346,10 @@ pub struct JobKey {
     pub scheduler: SchedulerSpec,
     /// The machine geometry simulated.
     pub machine: MachineSpec,
+    /// The machine fleet the cell ran on (`None` = the ordinary
+    /// single-machine cell; `Some` = the whole workload was dispatched
+    /// across the fleet's machines — see [`crate::fleet::run_fleet`]).
+    pub fleet: Option<FleetSpec>,
     /// The arrival process driving the cell.
     pub traffic: TrafficSpec,
     /// The memory model used.
@@ -386,6 +407,7 @@ pub struct Plan {
     workloads: Vec<WorkloadRef>,
     schedulers: Vec<SchedulerSpec>,
     machines: Vec<MachineSpec>,
+    fleets: Vec<FleetSpec>,
     traffics: Vec<TrafficSpec>,
     axes: Vec<MemoryModel>,
     scale: u64,
@@ -405,6 +427,7 @@ impl Plan {
             workloads: Vec::new(),
             schedulers: Vec::new(),
             machines: Vec::new(),
+            fleets: Vec::new(),
             traffics: Vec::new(),
             axes: Vec::new(),
             scale: 20,
@@ -503,6 +526,33 @@ impl Plan {
     pub fn machines<I: IntoIterator<Item = MachineSpec>>(mut self, machines: I) -> Self {
         for m in machines {
             self = self.machine(m);
+        }
+        self
+    }
+
+    /// Add one machine fleet to the fleet axis (duplicates — by label —
+    /// are ignored). A fleet cell dispatches the whole workload across
+    /// the fleet's machines through its dispatcher policy instead of
+    /// running on one machine (see [`crate::fleet::run_fleet`]); the
+    /// cell's [`JobKey::machine`] then only serves as the *reference*
+    /// geometry for routing width hints. A plan that never names a fleet
+    /// runs single-machine cells only, with unchanged (pre-axis)
+    /// serialization bytes; an explicit axis adds a `fleet` column/field
+    /// plus the fleet metric columns to the exhibits. Specs usually come
+    /// from the string grammar:
+    /// `"paper-4x4*2/2x8@least-queued".parse().unwrap()`.
+    pub fn fleet(mut self, fleet: FleetSpec) -> Self {
+        if !self.fleets.iter().any(|f| f.label() == fleet.label()) {
+            self.fleets.push(fleet);
+        }
+        self
+    }
+
+    /// Add several fleets (e.g. a ladder of fleet sizes for a scaling
+    /// curve).
+    pub fn fleets<I: IntoIterator<Item = FleetSpec>>(mut self, fleets: I) -> Self {
+        for f in fleets {
+            self = self.fleet(f);
         }
         self
     }
@@ -613,6 +663,16 @@ impl Plan {
         }
     }
 
+    /// The fleet axis this plan actually sweeps: `[None]` (plain
+    /// single-machine cells) when the plan named no fleet.
+    fn effective_fleets(&self) -> Vec<Option<FleetSpec>> {
+        if self.fleets.is_empty() {
+            vec![None]
+        } else {
+            self.fleets.iter().cloned().map(Some).collect()
+        }
+    }
+
     /// The traffic axis this plan actually sweeps.
     fn effective_traffics(&self) -> Vec<TrafficSpec> {
         if self.traffics.is_empty() {
@@ -624,10 +684,11 @@ impl Plan {
 
     /// Expand the plan into its deterministic job grid, row-major: schemes
     /// outermost, then workloads, then schedulers, then machines, then
-    /// traffic, memory models innermost.
+    /// fleets, then traffic, memory models innermost.
     pub fn jobs(&self) -> Vec<JobKey> {
         let scheds = self.effective_schedulers();
         let machines = self.effective_machines();
+        let fleets = self.effective_fleets();
         let traffics = self.effective_traffics();
         let axes = self.effective_axes();
         let mut out = Vec::with_capacity(
@@ -635,6 +696,7 @@ impl Plan {
                 * self.workloads.len()
                 * scheds.len()
                 * machines.len()
+                * fleets.len()
                 * traffics.len()
                 * axes.len(),
         );
@@ -642,16 +704,19 @@ impl Plan {
             for workload in &self.workloads {
                 for &scheduler in &scheds {
                     for &machine in &machines {
-                        for &traffic in &traffics {
-                            for &memory in &axes {
-                                out.push(JobKey {
-                                    scheme: scheme.clone(),
-                                    workload: workload.clone(),
-                                    scheduler,
-                                    machine,
-                                    traffic,
-                                    memory,
-                                });
+                        for fleet in &fleets {
+                            for &traffic in &traffics {
+                                for &memory in &axes {
+                                    out.push(JobKey {
+                                        scheme: scheme.clone(),
+                                        workload: workload.clone(),
+                                        scheduler,
+                                        machine,
+                                        fleet: fleet.clone(),
+                                        traffic,
+                                        memory,
+                                    });
+                                }
                             }
                         }
                     }
@@ -809,12 +874,21 @@ impl Plan {
     }
 
     /// Execute one cell untraced (the zero-cost monomorphized path).
+    ///
+    /// Fleet cells run single-threaded internally (`parallelism = 1`):
+    /// the plan's rayon fan-out is *across* cells, and nesting worker
+    /// pools would oversubscribe without changing any output byte.
     fn run_cell(&self, cache: &ImageCache, key: &JobKey) -> RunResult {
         let cfg = self.config_for(key);
-        let threads = key.workload.threads(cache, &cfg);
-        let stats = Machine::new(&cfg, threads)
-            .expect("WorkloadRef guarantees at least one member thread")
-            .run();
+        let stats = match &key.fleet {
+            Some(fleet) => crate::fleet::run_fleet(cache, &cfg, fleet, &key.workload, 1),
+            None => {
+                let threads = key.workload.threads(cache, &cfg);
+                Machine::new(&cfg, threads)
+                    .expect("WorkloadRef guarantees at least one member thread")
+                    .run()
+            }
+        };
         RunResult {
             scheme: key.scheme.name().to_string(),
             workload: key.workload.name().to_string(),
@@ -825,10 +899,15 @@ impl Plan {
     /// Execute one cell with trace collection.
     fn run_cell_traced(&self, cache: &ImageCache, key: &JobKey) -> (RunResult, Trace) {
         let cfg = self.config_for(key);
-        let threads = key.workload.threads(cache, &cfg);
-        let (stats, trace) = Machine::new(&cfg, threads)
-            .expect("WorkloadRef guarantees at least one member thread")
-            .run_with_trace();
+        let (stats, trace) = match &key.fleet {
+            Some(fleet) => crate::fleet::run_fleet_traced(cache, &cfg, fleet, &key.workload, 1),
+            None => {
+                let threads = key.workload.threads(cache, &cfg);
+                Machine::new(&cfg, threads)
+                    .expect("WorkloadRef guarantees at least one member thread")
+                    .run_with_trace()
+            }
+        };
         (
             RunResult {
                 scheme: key.scheme.name().to_string(),
@@ -848,6 +927,7 @@ impl Plan {
             sched_axis_explicit: !self.schedulers.is_empty(),
             machines: self.effective_machines(),
             machine_axis_explicit: !self.machines.is_empty(),
+            fleets: self.fleets.clone(),
             traffics: self.effective_traffics(),
             traffic_axis_explicit: !self.traffics.is_empty(),
             axes: self.effective_axes(),
@@ -884,6 +964,11 @@ pub struct ResultSet {
     /// Whether the plan named machines explicitly. Gates the `machine`
     /// column/field exactly like `sched_axis_explicit`.
     machine_axis_explicit: bool,
+    /// Fleets of the grid — *empty* (not a default singleton) when the
+    /// plan named none: there is no default fleet, and emptiness doubles
+    /// as the explicitness gate for the `fleet` column/field and the
+    /// fleet metric columns.
+    fleets: Vec<FleetSpec>,
     traffics: Vec<TrafficSpec>,
     /// Whether the plan named arrival processes explicitly. Gates the
     /// `traffic` column/field *and* the open-system metric columns, so
@@ -944,31 +1029,60 @@ impl ResultSet {
         "scheme,workload,scheduler,machine,traffic,memory,ipc,cycles,\
          instrs,ops,offered,completed,shed,p50_sojourn,p95_sojourn,p99_sojourn,mean_queue_depth";
 
+    /// The fleet metric columns appended (with the `fleet` key column)
+    /// when the plan named fleets explicitly. `fleet_routed`/`fleet_shed`
+    /// are slash-joined per-machine counts in fleet order; the sojourn
+    /// quantiles are fleet-wide (merged sample multisets, not averaged
+    /// per-machine quantiles).
+    pub const CSV_FLEET_METRICS: &'static str =
+        ",fleet_machines,fleet_routed,fleet_shed,fleet_p50_sojourn,fleet_p95_sojourn,\
+         fleet_p99_sojourn";
+
     /// The CSV header for a given column shape (see
-    /// [`ResultSet::csv_rows_shaped`]).
-    pub const fn csv_header_for(
+    /// [`ResultSet::csv_rows_shaped`]), composed column group by column
+    /// group instead of enumerating every axis combination: the key
+    /// columns in grid-axis order (`scheme,workload`, then one optional
+    /// key column per explicit axis, then `memory`), the always-on
+    /// metrics, then each explicit axis's metric group. Every pre-fleet
+    /// shape reproduces its legacy constant byte-for-byte
+    /// ([`ResultSet::CSV_HEADER`] through
+    /// [`ResultSet::CSV_HEADER_SCHED_MACHINE_TRAFFIC`]).
+    pub fn csv_header_for(
         with_sched: bool,
         with_machine: bool,
+        with_fleet: bool,
         with_traffic: bool,
-    ) -> &'static str {
-        match (with_sched, with_machine, with_traffic) {
-            (false, false, false) => Self::CSV_HEADER,
-            (true, false, false) => Self::CSV_HEADER_SCHED,
-            (false, true, false) => Self::CSV_HEADER_MACHINE,
-            (true, true, false) => Self::CSV_HEADER_SCHED_MACHINE,
-            (false, false, true) => Self::CSV_HEADER_TRAFFIC,
-            (true, false, true) => Self::CSV_HEADER_SCHED_TRAFFIC,
-            (false, true, true) => Self::CSV_HEADER_MACHINE_TRAFFIC,
-            (true, true, true) => Self::CSV_HEADER_SCHED_MACHINE_TRAFFIC,
+    ) -> String {
+        let mut h = String::from("scheme,workload");
+        if with_sched {
+            h.push_str(",scheduler");
         }
+        if with_machine {
+            h.push_str(",machine");
+        }
+        if with_fleet {
+            h.push_str(",fleet");
+        }
+        if with_traffic {
+            h.push_str(",traffic");
+        }
+        h.push_str(",memory,ipc,cycles,instrs,ops");
+        if with_traffic {
+            h.push_str(Self::CSV_TRAFFIC_METRICS);
+        }
+        if with_fleet {
+            h.push_str(Self::CSV_FLEET_METRICS);
+        }
+        h
     }
 
     /// The CSV header matching this set's [`ResultSet::to_csv`] /
     /// [`ResultSet::csv_rows`] output.
-    pub fn csv_header(&self) -> &'static str {
+    pub fn csv_header(&self) -> String {
         Self::csv_header_for(
             self.sched_axis_explicit,
             self.machine_axis_explicit,
+            !self.fleets.is_empty(),
             self.traffic_axis_explicit,
         )
     }
@@ -992,6 +1106,14 @@ impl ResultSet {
         self.traffic_axis_explicit
     }
 
+    /// Whether the plan named fleets explicitly (what gates the `fleet`
+    /// column/field and the fleet metric columns in this set's own
+    /// serialization). Unlike the other axes there is no default fleet:
+    /// a non-explicit fleet axis means plain single-machine cells.
+    pub fn fleet_axis_is_explicit(&self) -> bool {
+        !self.fleets.is_empty()
+    }
+
     /// Schemes of the grid, in plan order.
     pub fn schemes(&self) -> &[SchemeRef] {
         &self.schemes
@@ -1012,6 +1134,12 @@ impl ResultSet {
     /// `[Paper4x4]` when the plan named none).
     pub fn machines(&self) -> &[MachineSpec] {
         &self.machines
+    }
+
+    /// Fleets of the grid, in plan order — *empty* when the plan named
+    /// none (there is no default fleet).
+    pub fn fleets(&self) -> &[FleetSpec] {
+        &self.fleets
     }
 
     /// Arrival processes of the grid, in plan order (the default
@@ -1058,6 +1186,7 @@ impl ResultSet {
         workload: &str,
         scheduler: SchedulerSpec,
         machine: MachineSpec,
+        fleet: Option<&FleetSpec>,
         traffic: TrafficSpec,
         memory: MemoryModel,
     ) -> Option<usize> {
@@ -1065,12 +1194,27 @@ impl ResultSet {
         let w = self.workloads.iter().position(|x| x.name() == workload)?;
         let c = self.schedulers.iter().position(|&x| x == scheduler)?;
         let m = self.machines.iter().position(|&x| x == machine)?;
+        // The fleet stride is 1 even when no fleet axis exists (`None`
+        // addresses the sole implicit lane); an explicit fleet must be
+        // part of the grid.
+        let f = match fleet {
+            None => {
+                if self.fleets.is_empty() {
+                    0
+                } else {
+                    return None;
+                }
+            }
+            Some(fl) => self.fleets.iter().position(|x| x == fl)?,
+        };
         let t = self.traffics.iter().position(|&x| x == traffic)?;
         let a = self.axes.iter().position(|&x| x == memory)?;
         Some(
-            (((((s * self.workloads.len() + w) * self.schedulers.len() + c)
+            ((((((s * self.workloads.len() + w) * self.schedulers.len() + c)
                 * self.machines.len()
                 + m)
+                * self.fleets.len().max(1)
+                + f)
                 * self.traffics.len())
                 + t)
                 * self.axes.len()
@@ -1151,8 +1295,9 @@ impl ResultSet {
         )
     }
 
-    /// Keyed lookup of one cell by its full grid key, every axis
-    /// explicit.
+    /// Keyed lookup of one cell by its full grid key, every axis except
+    /// the fleet explicit (first fleet for fleet-swept sets; see
+    /// [`ResultSet::get_fleet`]).
     #[allow(clippy::too_many_arguments)]
     pub fn get_full(
         &self,
@@ -1163,8 +1308,36 @@ impl ResultSet {
         traffic: TrafficSpec,
         memory: MemoryModel,
     ) -> Option<&RunResult> {
-        self.results
-            .get(self.position(scheme, workload, scheduler, machine, traffic, memory)?)
+        self.results.get(self.position(
+            scheme,
+            workload,
+            scheduler,
+            machine,
+            self.fleets.first(),
+            traffic,
+            memory,
+        )?)
+    }
+
+    /// Keyed lookup of one cell by fleet (first scheduler, machine and
+    /// traffic spec). Only fleets the plan named resolve; `None` for
+    /// everything else.
+    pub fn get_fleet(
+        &self,
+        scheme: &str,
+        workload: &str,
+        fleet: &FleetSpec,
+        memory: MemoryModel,
+    ) -> Option<&RunResult> {
+        self.results.get(self.position(
+            scheme,
+            workload,
+            *self.schedulers.first()?,
+            *self.machines.first()?,
+            Some(fleet),
+            *self.traffics.first()?,
+            memory,
+        )?)
     }
 
     /// IPC of one cell (first scheduler and machine; see
@@ -1194,6 +1367,19 @@ impl ResultSet {
         memory: MemoryModel,
     ) -> Option<f64> {
         self.get_machine(scheme, workload, machine, memory)
+            .map(RunResult::ipc)
+    }
+
+    /// IPC of one cell, fleet included (aggregate operations per cycle
+    /// across the fleet's machines over the fleet's makespan).
+    pub fn ipc_fleet(
+        &self,
+        scheme: &str,
+        workload: &str,
+        fleet: &FleetSpec,
+        memory: MemoryModel,
+    ) -> Option<f64> {
+        self.get_fleet(scheme, workload, fleet, memory)
             .map(RunResult::ipc)
     }
 
@@ -1236,22 +1422,25 @@ impl ResultSet {
     pub fn iter(&self) -> impl Iterator<Item = (JobKey, &RunResult)> + '_ {
         let na = self.axes.len();
         let nt = self.traffics.len();
+        let nf = self.fleets.len().max(1);
         let nm = self.machines.len();
         let nc = self.schedulers.len();
         let nw = self.workloads.len();
         self.results.iter().enumerate().map(move |(i, r)| {
             let a = i % na;
             let t = (i / na) % nt;
-            let m = (i / (na * nt)) % nm;
-            let c = (i / (na * nt * nm)) % nc;
-            let w = (i / (na * nt * nm * nc)) % nw;
-            let s = i / (na * nt * nm * nc * nw);
+            let f = (i / (na * nt)) % nf;
+            let m = (i / (na * nt * nf)) % nm;
+            let c = (i / (na * nt * nf * nm)) % nc;
+            let w = (i / (na * nt * nf * nm * nc)) % nw;
+            let s = i / (na * nt * nf * nm * nc * nw);
             (
                 JobKey {
                     scheme: self.schemes[s].clone(),
                     workload: self.workloads[w].clone(),
                     scheduler: self.schedulers[c],
                     machine: self.machines[m],
+                    fleet: self.fleets.get(f).cloned(),
                     traffic: self.traffics[t],
                     memory: self.axes[a],
                 },
@@ -1349,6 +1538,27 @@ impl ResultSet {
                     None
                 } else {
                     Some((t, xs.iter().sum::<f64>() / xs.len() as f64))
+                }
+            })
+            .collect()
+    }
+
+    /// Mean IPC of every fleet (plan order) for one scheme on one memory
+    /// axis (first scheduler, machine and traffic spec) — the
+    /// fleet-scaling view. Empty for sets without a fleet axis.
+    pub fn fleet_means(&self, scheme: &str, memory: MemoryModel) -> Vec<(FleetSpec, f64)> {
+        self.fleets
+            .iter()
+            .filter_map(|f| {
+                let xs: Vec<f64> = self
+                    .workloads
+                    .iter()
+                    .filter_map(|w| self.ipc_fleet(scheme, w.name(), f, memory))
+                    .collect();
+                if xs.is_empty() {
+                    None
+                } else {
+                    Some((f.clone(), xs.iter().sum::<f64>() / xs.len() as f64))
                 }
             })
             .collect()
@@ -1458,6 +1668,15 @@ impl ResultSet {
                 json_string(&mut s, &m.label());
             }
         }
+        if !self.fleets.is_empty() {
+            s.push_str("],\"fleets\":[");
+            for (i, f) in self.fleets.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                json_string(&mut s, &f.label());
+            }
+        }
         if self.traffic_axis_explicit {
             s.push_str("],\"traffics\":[");
             for (i, t) in self.traffics.iter().enumerate() {
@@ -1490,6 +1709,10 @@ impl ResultSet {
             if self.machine_axis_explicit {
                 s.push_str(",\"machine\":");
                 json_string(&mut s, &key.machine.label());
+            }
+            if let Some(fleet) = &key.fleet {
+                s.push_str(",\"fleet\":");
+                json_string(&mut s, &fleet.label());
             }
             if self.traffic_axis_explicit {
                 s.push_str(",\"traffic\":");
@@ -1531,6 +1754,43 @@ impl ResultSet {
                     t.mean_queue_depth,
                 );
             }
+            if let Some(fs) = r.stats.fleet.as_ref().filter(|_| key.fleet.is_some()) {
+                let _ = write!(s, ",\"fleet_machines\":{}", fs.n_machines());
+                s.push_str(",\"fleet_routed\":[");
+                for (j, m) in fs.machines.iter().enumerate() {
+                    if j > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "{}", m.routed);
+                }
+                s.push_str("],\"fleet_shed\":[");
+                for (j, m) in fs.machines.iter().enumerate() {
+                    if j > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "{}", m.shed);
+                }
+                s.push_str("],\"fleet_utilization\":[");
+                for (j, m) in fs.machines.iter().enumerate() {
+                    if j > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "{}", m.utilization);
+                }
+                s.push_str("],\"fleet_ipc\":[");
+                for (j, m) in fs.machines.iter().enumerate() {
+                    if j > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "{}", m.ipc);
+                }
+                let t = &r.stats.traffic;
+                let _ = write!(
+                    s,
+                    "],\"fleet_p50_sojourn\":{},\"fleet_p95_sojourn\":{},\"fleet_p99_sojourn\":{}",
+                    t.p50_sojourn, t.p95_sojourn, t.p99_sojourn,
+                );
+            }
             s.push_str(",\"threads\":[");
             for (j, t) in r.stats.threads.iter().enumerate() {
                 if j > 0 {
@@ -1560,7 +1820,7 @@ impl ResultSet {
     /// grid cell in row-major order. Byte-deterministic like
     /// [`ResultSet::to_json`].
     pub fn to_csv(&self) -> String {
-        let mut s = String::from(self.csv_header());
+        let mut s = self.csv_header();
         s.push('\n');
         s.push_str(&self.csv_rows(None));
         s
@@ -1577,6 +1837,7 @@ impl ResultSet {
             exhibit,
             self.sched_axis_explicit,
             self.machine_axis_explicit,
+            !self.fleets.is_empty(),
             self.traffic_axis_explicit,
         )
     }
@@ -1594,11 +1855,13 @@ impl ResultSet {
         exhibit: Option<&str>,
         with_sched: bool,
         with_machine: bool,
+        with_fleet: bool,
         with_traffic: bool,
     ) -> String {
         assert!(
             (with_sched || !self.sched_axis_explicit)
                 && (with_machine || !self.machine_axis_explicit)
+                && (with_fleet || self.fleets.is_empty())
                 && (with_traffic || !self.traffic_axis_explicit),
             "cannot drop a swept axis column: rows of different cells would collide"
         );
@@ -1618,6 +1881,16 @@ impl ResultSet {
             }
             if with_machine {
                 s.push_str(&key.machine.label());
+                s.push(',');
+            }
+            if with_fleet {
+                // A non-fleet cell in a forced-fleet-column export is its
+                // own singleton fleet: label it by its machine (which is
+                // exactly the one-machine fleet grammar spelling).
+                match &key.fleet {
+                    Some(f) => s.push_str(&csv_field(&f.label())),
+                    None => s.push_str(&key.machine.label()),
+                }
                 s.push(',');
             }
             if with_traffic {
@@ -1646,6 +1919,40 @@ impl ResultSet {
                     t.p99_sojourn,
                     t.mean_queue_depth,
                 );
+            }
+            if with_fleet {
+                let t = &r.stats.traffic;
+                match r.stats.fleet.as_ref() {
+                    Some(fs) => {
+                        let joined = |f: fn(&vliw_fleet::MachineLaneStats) -> u64| {
+                            fs.machines
+                                .iter()
+                                .map(|m| f(m).to_string())
+                                .collect::<Vec<_>>()
+                                .join("/")
+                        };
+                        let _ = write!(
+                            s,
+                            ",{},{},{},{},{},{}",
+                            fs.n_machines(),
+                            joined(|m| m.routed),
+                            joined(|m| m.shed),
+                            t.p50_sojourn,
+                            t.p95_sojourn,
+                            t.p99_sojourn,
+                        );
+                    }
+                    // Non-fleet cell: one machine, no routing or shedding
+                    // to report; the sojourn quantiles are the cell's own
+                    // (all-zero for closed cells).
+                    None => {
+                        let _ = write!(
+                            s,
+                            ",1,,,{},{},{}",
+                            t.p50_sojourn, t.p95_sojourn, t.p99_sojourn,
+                        );
+                    }
+                }
             }
             s.push('\n');
         }

@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 use vliw_core::MergeStats;
+use vliw_fleet::FleetStats;
 use vliw_mem::CacheStats;
 use vliw_trace::StallBreakdown;
 use vliw_traffic::TrafficStats;
@@ -79,6 +80,10 @@ pub struct RunStats {
     /// ([`TrafficStats::default`]) for closed (batch) runs, which have no
     /// arrival process.
     pub traffic: TrafficStats,
+    /// Fleet-mode accounting: per-machine routing/utilization/IPC, in
+    /// fleet order. `None` for every single-machine run, so non-fleet
+    /// serialization is byte-identical to the pre-fleet code.
+    pub fleet: Option<FleetStats>,
 }
 
 impl RunStats {
@@ -169,6 +174,7 @@ mod tests {
             idle_context_cycles: 0,
             stall_breakdown: StallBreakdown::default(),
             traffic: TrafficStats::default(),
+            fleet: None,
         }
     }
 

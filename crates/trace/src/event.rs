@@ -175,6 +175,16 @@ pub enum TraceEvent {
         /// Queued threads after the change.
         depth: u32,
     },
+    /// The fleet dispatcher routed an arriving thread to a machine
+    /// (fleet mode): the thread then hits that machine's admission queue.
+    RoutedTo {
+        /// Routing (arrival) cycle.
+        cycle: u64,
+        /// Routed software thread.
+        tid: u32,
+        /// Receiving machine's index in fleet order.
+        to: u32,
+    },
 }
 
 impl TraceEvent {
@@ -190,7 +200,8 @@ impl TraceEvent {
             | TraceEvent::ThreadMigration { cycle, .. }
             | TraceEvent::MergeTransition { cycle, .. }
             | TraceEvent::ThreadArrival { cycle, .. }
-            | TraceEvent::QueueDepth { cycle, .. } => cycle,
+            | TraceEvent::QueueDepth { cycle, .. }
+            | TraceEvent::RoutedTo { cycle, .. } => cycle,
         }
     }
 
@@ -208,6 +219,7 @@ impl TraceEvent {
             TraceEvent::MergeTransition { .. } => "merge-transition",
             TraceEvent::ThreadArrival { .. } => "thread-arrival",
             TraceEvent::QueueDepth { .. } => "queue-depth",
+            TraceEvent::RoutedTo { .. } => "routed-to",
         }
     }
 }
@@ -273,6 +285,11 @@ mod tests {
             TraceEvent::QueueDepth {
                 cycle: 10,
                 depth: 3,
+            },
+            TraceEvent::RoutedTo {
+                cycle: 11,
+                tid: 2,
+                to: 1,
             },
         ];
         for (i, e) in events.iter().enumerate() {

@@ -254,6 +254,9 @@ fn json_event(s: &mut String, e: &TraceEvent) {
         TraceEvent::QueueDepth { depth, .. } => {
             let _ = write!(s, ",\"depth\":{depth}");
         }
+        TraceEvent::RoutedTo { tid, to, .. } => {
+            let _ = write!(s, ",\"tid\":{tid},\"to\":{to}");
+        }
     }
     s.push('}');
 }
@@ -338,6 +341,9 @@ fn export_csv(trace: &Trace) -> String {
             }
             TraceEvent::QueueDepth { depth, .. } => {
                 let _ = writeln!(s, ",,,,,,,,,,{depth},");
+            }
+            TraceEvent::RoutedTo { tid, to, .. } => {
+                let _ = writeln!(s, ",,{tid},,,,,,,{to},,");
             }
         }
     }

@@ -63,6 +63,18 @@ impl LatencySummary {
         self.samples.push(cycles);
     }
 
+    /// The recorded samples, in record order.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Fold another summary's samples into this one (fleet drivers merge
+    /// per-machine summaries into one fleet-wide multiset; quantiles are
+    /// order-independent, so merge order cannot change any report).
+    pub fn absorb(&mut self, other: &LatencySummary) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
     /// Number of recorded samples.
     pub fn len(&self) -> usize {
         self.samples.len()
@@ -141,6 +153,36 @@ pub struct TrafficStats {
     pub mean_queue_depth: f64,
 }
 
+impl TrafficStats {
+    /// Summarize one run's counts and latency multisets into the exhibit
+    /// metrics.
+    ///
+    /// This is the single place quantiles are read off the summaries, and
+    /// it is total: a run where every arrival was shed (zero completions,
+    /// empty `sojourns`) reports zero quantiles and zero means cleanly
+    /// rather than leaning on nearest-rank over an empty set.
+    pub fn summarize(
+        offered: u64,
+        completed: u64,
+        shed: u64,
+        sojourns: &LatencySummary,
+        waits: &LatencySummary,
+        mean_queue_depth: f64,
+    ) -> TrafficStats {
+        TrafficStats {
+            offered,
+            completed,
+            shed,
+            p50_sojourn: sojourns.p50().unwrap_or(0),
+            p95_sojourn: sojourns.p95().unwrap_or(0),
+            p99_sojourn: sojourns.p99().unwrap_or(0),
+            mean_sojourn: sojourns.mean(),
+            mean_wait: waits.mean(),
+            mean_queue_depth,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +221,55 @@ mod tests {
         assert_eq!(s.p50(), None);
         assert_eq!(s.mean(), 0.0);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn absorb_merges_sample_multisets() {
+        let mut a = LatencySummary::new();
+        a.record(10);
+        a.record(30);
+        let mut b = LatencySummary::new();
+        b.record(20);
+        a.absorb(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.p50(), Some(20));
+        assert_eq!(a.samples(), &[10, 30, 20]);
+        // Absorbing an empty summary is a no-op.
+        a.absorb(&LatencySummary::new());
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn summarize_handles_zero_completions_cleanly() {
+        // Regression: a fully-shed run (every arrival rejected) has empty
+        // latency multisets; the summary must be all-zero metrics, not a
+        // quantile over an empty set.
+        let s =
+            TrafficStats::summarize(7, 0, 7, &LatencySummary::new(), &LatencySummary::new(), 0.0);
+        assert_eq!(s.offered, 7);
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.shed, 7);
+        assert_eq!((s.p50_sojourn, s.p95_sojourn, s.p99_sojourn), (0, 0, 0));
+        assert_eq!(s.mean_sojourn, 0.0);
+        assert_eq!(s.mean_wait, 0.0);
+        assert_eq!(s.completed + s.shed, s.offered, "conservation at the edge");
+    }
+
+    #[test]
+    fn summarize_reads_quantiles_off_the_multisets() {
+        let mut sojourns = LatencySummary::new();
+        let mut waits = LatencySummary::new();
+        for v in [100, 200, 300, 400, 500] {
+            sojourns.record(v);
+            waits.record(v / 10);
+        }
+        let s = TrafficStats::summarize(6, 5, 1, &sojourns, &waits, 1.5);
+        assert_eq!(s.p50_sojourn, 300);
+        assert_eq!(s.p95_sojourn, 500);
+        assert_eq!(s.p99_sojourn, 500);
+        assert_eq!(s.mean_sojourn, 300.0);
+        assert_eq!(s.mean_wait, 30.0);
+        assert_eq!(s.mean_queue_depth, 1.5);
     }
 
     #[test]

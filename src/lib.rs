@@ -23,6 +23,11 @@
 //!   processes (`poisson`/`bursty`/`diurnal` [`traffic::TrafficSpec`]s),
 //!   the bounded admission queue with shed accounting, and exact
 //!   sojourn/wait latency quantiles;
+//! * [`fleet`] — fleet-scale simulation: the [`fleet::FleetSpec`] grammar
+//!   naming heterogeneous machine sets (`paper-4x4*2/2x8@least-queued`),
+//!   deterministic [`fleet::Dispatcher`] routing policies, and per-machine
+//!   [`fleet::FleetStats`] (driven by `sim::run_fleet` and the
+//!   `Plan::fleet` axis);
 //! * [`analyze`] — compiler-independent static verification of compiled
 //!   images: CFG/bundle/dataflow/stream checks as typed diagnostics, plus
 //!   per-block static performance bounds (`paper --lint` and the
@@ -64,6 +69,7 @@
 pub use vliw_analyze as analyze;
 pub use vliw_compiler as compiler;
 pub use vliw_core as core;
+pub use vliw_fleet as fleet;
 pub use vliw_hwcost as hwcost;
 pub use vliw_isa as isa;
 pub use vliw_mem as mem;

@@ -470,17 +470,17 @@ fn csv_rows_shaped_emits_forced_axis_columns() {
     assert!(!default_set.to_csv().contains("paper-4x4"));
     // ...but shaped to the union it carries the default geometry, and the
     // row matches the corresponding shared header.
-    let shaped = default_set.csv_rows_shaped(Some("t"), false, true, false);
+    let shaped = default_set.csv_rows_shaped(Some("t"), false, true, false, false);
     assert!(shaped.starts_with("t,1S,idct,paper-4x4,real,"), "{shaped}");
     assert_eq!(
-        ResultSet::csv_header_for(false, true, false),
+        ResultSet::csv_header_for(false, true, false, false),
         ResultSet::CSV_HEADER_MACHINE
     );
-    let both = default_set.csv_rows_shaped(None, true, true, false);
+    let both = default_set.csv_rows_shaped(None, true, true, false, false);
     assert!(both.starts_with("1S,idct,paper-random,paper-4x4,real,"));
     // Forcing the traffic column on a closed set carries the closed
     // default plus all-zero open-system metrics.
-    let with_traffic = default_set.csv_rows_shaped(None, false, false, true);
+    let with_traffic = default_set.csv_rows_shaped(None, false, false, false, true);
     assert!(
         with_traffic.starts_with("1S,idct,closed,real,"),
         "{with_traffic}"
@@ -490,7 +490,7 @@ fn csv_rows_shaped_emits_forced_axis_columns() {
         "{with_traffic}"
     );
     assert_eq!(
-        ResultSet::csv_header_for(false, false, true),
+        ResultSet::csv_header_for(false, false, false, true),
         ResultSet::CSV_HEADER_TRAFFIC
     );
 }
@@ -504,7 +504,7 @@ fn csv_rows_shaped_refuses_to_drop_a_swept_axis() {
         .machines([MachineSpec::Paper4x4, MachineSpec::Narrow8x2])
         .scale(100_000)
         .run(&Session::with_parallelism(1));
-    let _ = set.csv_rows_shaped(None, false, false, false);
+    let _ = set.csv_rows_shaped(None, false, false, false, false);
 }
 
 /// The per-thread breakdown helper exposes `RunStats::threads` keyed by
@@ -664,4 +664,114 @@ fn traced_cells_conserve_and_export_byte_identically() {
     assert_eq!(exports[0], exports[2], "1 vs 4 workers");
     // The chrome export is structurally a trace_event JSON document.
     assert!(exports[0][0].starts_with("{\"traceEvents\":["));
+}
+
+/// The fleet axis (PR 9): a schemes x fleets grid under one arrival
+/// process serializes byte-identically across worker counts, keyed
+/// `get_fleet` lookup agrees with `iter`, and arrivals are conserved
+/// fleet-wide (`completed + shed == offered`, routing counts sum to
+/// offered).
+#[test]
+fn fleet_grid_is_worker_count_independent_and_conserves_arrivals() {
+    use vliw_tms::sim::plan::FleetSpec;
+    let fleets: Vec<FleetSpec> = ["paper-4x4*2", "edge@least-queued"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+    let plan = || {
+        Plan::new()
+            .schemes(["1S", "2SC3"])
+            .workload("LLHH")
+            .fleets(fleets.iter().cloned())
+            .arrival("poisson:0.001".parse().unwrap())
+            .scale(50_000)
+    };
+    let sets: Vec<ResultSet> = [1usize, 2, 4]
+        .iter()
+        .map(|&par| plan().run(&Session::with_parallelism(par)))
+        .collect();
+    for set in &sets[1..] {
+        assert_eq!(sets[0].to_json(), set.to_json(), "JSON across workers");
+        assert_eq!(sets[0].to_csv(), set.to_csv(), "CSV across workers");
+    }
+    let set = &sets[0];
+    assert!(set.fleet_axis_is_explicit());
+    assert_eq!(set.len(), 2 * 2);
+    for (key, r) in set.iter() {
+        let fleet = key.fleet.as_ref().expect("every cell is a fleet cell");
+        let keyed = set
+            .get_fleet(key.scheme.name(), key.workload.name(), fleet, key.memory)
+            .unwrap();
+        assert!(std::ptr::eq(keyed, r), "keyed lookup hits the iter slot");
+        let fs = r
+            .stats
+            .fleet
+            .as_ref()
+            .expect("fleet cells carry FleetStats");
+        assert_eq!(fs.n_machines(), fleet.n_machines());
+        assert!(fs.conserves_arrivals());
+        assert_eq!(
+            r.stats.traffic.completed + r.stats.traffic.shed,
+            r.stats.traffic.offered,
+            "{}/{}: fleet-wide conservation",
+            key.scheme.name(),
+            fleet.label()
+        );
+        assert_eq!(
+            fs.routed_total(),
+            r.stats.traffic.offered,
+            "every arrival is routed exactly once"
+        );
+        // The summed machine width shows up in the merged stats.
+        let width: usize = fleet
+            .machines()
+            .iter()
+            .map(|m| m.config().total_issue())
+            .sum();
+        assert_eq!(r.stats.issue_width as usize, width);
+    }
+    // The fleet column and metric columns appear, keyed by canonical label.
+    let csv = set.to_csv();
+    let header = csv.lines().next().unwrap().to_string();
+    assert!(header.contains(",fleet,"), "{header}");
+    assert!(header.ends_with(",fleet_machines,fleet_routed,fleet_shed,fleet_p50_sojourn,fleet_p95_sojourn,fleet_p99_sojourn"), "{header}");
+    assert!(csv.contains("paper-4x4*2"), "{csv}");
+    assert!(set
+        .to_json()
+        .contains("\"fleets\":[\"paper-4x4*2\",\"edge@least-queued\"]"));
+}
+
+/// The fleet axis stays out of every default export: a plan that never
+/// names a fleet serializes without a fleet column/field (the historical
+/// byte format), and `RunStats::fleet` is `None` on single-machine cells.
+#[test]
+fn fleet_axis_stays_out_of_default_bytes() {
+    let set = Plan::new()
+        .scheme("1S")
+        .workload("idct")
+        .scale(100_000)
+        .run(&Session::with_parallelism(1));
+    assert!(!set.fleet_axis_is_explicit());
+    assert!(
+        !set.to_csv().contains("fleet"),
+        "no fleet column by default"
+    );
+    assert!(
+        !set.to_json().contains("fleet"),
+        "no fleet field by default"
+    );
+    assert!(set.results()[0].stats.fleet.is_none());
+    // Shaped to a forced fleet union, the cell carries its single machine
+    // as a singleton fleet (a machine spec is a valid fleet spelling) and
+    // all-degenerate fleet metrics.
+    let shaped = set.csv_rows_shaped(None, false, false, true, false);
+    assert!(shaped.starts_with("1S,idct,paper-4x4,real,"), "{shaped}");
+    let n_commas_header = ResultSet::csv_header_for(false, false, true, false)
+        .matches(',')
+        .count();
+    assert_eq!(
+        shaped.trim_end().matches(',').count(),
+        n_commas_header,
+        "shaped row matches the forced-fleet header: {shaped}"
+    );
 }
