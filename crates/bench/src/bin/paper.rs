@@ -7,6 +7,8 @@
 //!       [--scheduler NAME] [--machine SPEC] [--arrivals SPEC] [--fleet SPEC]
 //!       [--out DIR] [--json PATH] [--csv PATH]
 //!       [--trace PATH] [--trace-format FMT]
+//!       [--metrics PATH] [--metrics-format prom|json] [--metrics-timings]
+//!       [--progress]
 //! paper --lint [--lint-format text|json]
 //! paper --list
 //!
@@ -53,6 +55,22 @@
 //!                  simulation and combines only with --lint-format.
 //! --lint-format FMT  lint report rendering: text (default) or json (one
 //!                  machine-readable object, the CI gate's input)
+//! --metrics PATH   run the simulated exhibits through the harness telemetry
+//!                  registry and write the sweep report to PATH. The
+//!                  deterministic metric class (cells, cycles, waste, queue
+//!                  and idle-span structure, cache economics, fleet lane
+//!                  accounting) is byte-identical across --threads values
+//!                  and core models; wall-clock timings are excluded unless
+//!                  --metrics-timings is given
+//! --metrics-format FMT  report rendering: prom (Prometheus text
+//!                  exposition; default) or json
+//! --metrics-timings  include the timing metric class (per-cell wall time,
+//!                  compile/simulate split, cache build/verify time, live
+//!                  probe counts) in the --metrics report; these values are
+//!                  nondeterministic by nature
+//! --progress       stderr heartbeat while sweeps run: cells done/total,
+//!                  cells/sec, ETA, image-cache hit-rate (never stdout, so
+//!                  piped exhibit output is unaffected)
 //! ```
 //!
 //! Exhibit names, `--filter`, `--scheduler`, `--machine`, `--arrivals`,
@@ -132,6 +150,10 @@ fn main() {
     let mut trace_format: Option<TraceFormat> = None;
     let mut lint = false;
     let mut lint_json: Option<bool> = None;
+    let mut metrics_path: Option<PathBuf> = None;
+    let mut metrics_json: Option<bool> = None;
+    let mut metrics_timings = false;
+    let mut progress = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -232,6 +254,25 @@ fn main() {
                         .unwrap_or_else(|e: vliw_trace::UnknownTraceFormat| die(&e.to_string())),
                 );
             }
+            "--metrics" => {
+                metrics_path = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| die("--metrics needs a path")),
+                ));
+            }
+            "--metrics-format" => {
+                let name = args
+                    .next()
+                    .unwrap_or_else(|| die("--metrics-format needs a format name"));
+                metrics_json = Some(match name.as_str() {
+                    "prom" => false,
+                    "json" => true,
+                    other => die(&format!(
+                        "unknown metrics format {other:?}; valid formats: prom json"
+                    )),
+                });
+            }
+            "--metrics-timings" => metrics_timings = true,
+            "--progress" => progress = true,
             "--lint" => lint = true,
             "--lint-format" => {
                 let name = args
@@ -273,10 +314,20 @@ fn main() {
             || csv_path.is_some()
             || trace_path.is_some()
             || trace_format.is_some()
+            || metrics_path.is_some()
+            || metrics_json.is_some()
+            || metrics_timings
+            || progress
         {
             die("--lint is a standalone mode; combine it only with --lint-format");
         }
         run_lint(lint_json.unwrap_or(false));
+    }
+    if metrics_json.is_some() && metrics_path.is_none() {
+        die("--metrics-format requires --metrics");
+    }
+    if metrics_timings && metrics_path.is_none() {
+        die("--metrics-timings requires --metrics");
     }
     // Validate every requested name before simulating anything: a typo on
     // the last exhibit must not cost the first nine sweeps.
@@ -328,6 +379,26 @@ fn main() {
         target
     });
     let trace_format = trace_format.unwrap_or(TraceFormat::Chrome);
+
+    // Same up-front writability contract as --trace: a bad --metrics
+    // parent directory must die before any sweep runs.
+    if let Some(path) = &metrics_path {
+        if let Err(err) = std::fs::write(path, b"") {
+            die(&format!("cannot write --metrics {}: {err}", path.display()));
+        }
+    }
+    // One registry for the whole invocation: every metered plan registers
+    // the same schema idempotently and the deterministic class accumulates
+    // across exhibits in grid order.
+    let registry = if metrics_path.is_some() || progress {
+        let reg = vliw_sim::telemetry::Registry::new();
+        if progress {
+            reg.enable_progress();
+        }
+        Some(reg)
+    } else {
+        None
+    };
 
     // Apply --scheduler/--machine/--arrivals/--fleet to a simulated
     // exhibit's plan (None = the paper's defaults and the historical export
@@ -382,10 +453,18 @@ fn main() {
     let export = json_path.is_some() || csv_path.is_some();
     let mut captured: Vec<(&'static str, ResultSet)> = Vec::new();
     let mut fig10: Option<experiments::Fig10Data> = None;
+    // Run a plan through the telemetry registry when one is active, the
+    // zero-cost NullTelemetry path otherwise.
+    let run_plan = |plan: Plan| -> ResultSet {
+        match &registry {
+            Some(reg) => plan.run_metered(&session, reg),
+            None => plan.run(&session),
+        }
+    };
     for name in &wanted {
         let exhibits: Vec<Exhibit> = match name.as_str() {
             "table1" => {
-                let set = with_axes(experiments::table1_plan(scale)).run(&session);
+                let set = run_plan(with_axes(experiments::table1_plan(scale)));
                 let ex = figures::table1_from(&experiments::table1_rows(&set));
                 if export {
                     captured.push(("table1", set));
@@ -394,7 +473,7 @@ fn main() {
             }
             "table2" => vec![figures::table2()],
             "fig4" => {
-                let set = with_axes(experiments::fig4_plan(scale)).run(&session);
+                let set = run_plan(with_axes(experiments::fig4_plan(scale)));
                 let ex = figures::fig4_from(&experiments::fig4_data(&set));
                 if export {
                     captured.push(("fig4", set));
@@ -403,7 +482,7 @@ fn main() {
             }
             "fig5" => vec![figures::fig5()],
             "fig6" => {
-                let set = with_axes(experiments::fig6_plan(scale)).run(&session);
+                let set = run_plan(with_axes(experiments::fig6_plan(scale)));
                 let ex = figures::fig6_from(&experiments::fig6_data(&set));
                 if export {
                     captured.push(("fig6", set));
@@ -412,7 +491,7 @@ fn main() {
             }
             "fig9" => vec![figures::fig9()],
             "geometry" => {
-                let set = with_axes(experiments::geometry_plan(scale)).run(&session);
+                let set = run_plan(with_axes(experiments::geometry_plan(scale)));
                 let ex = figures::geometry_from(&experiments::geometry_data(&set));
                 if export {
                     captured.push(("geometry", set));
@@ -429,7 +508,7 @@ fn main() {
                 vec![ex]
             }
             "traffic" => {
-                let set = with_axes(experiments::traffic_plan(scale)).run(&session);
+                let set = run_plan(with_axes(experiments::traffic_plan(scale)));
                 let ex = figures::traffic_from(&experiments::traffic_data(&set));
                 if export {
                     captured.push(("traffic", set));
@@ -437,7 +516,7 @@ fn main() {
                 vec![ex]
             }
             "fleet" => {
-                let set = with_axes(experiments::fleet_plan(scale)).run(&session);
+                let set = run_plan(with_axes(experiments::fleet_plan(scale)));
                 let ex = figures::fleet_from(&experiments::fleet_data(&set));
                 if export {
                     captured.push(("fleet", set));
@@ -446,7 +525,7 @@ fn main() {
             }
             "fig10" | "fig11" | "fig12" | "headline" => {
                 let d = fig10.get_or_insert_with(|| {
-                    let set = with_axes(experiments::fig10_plan(scale)).run(&session);
+                    let set = run_plan(with_axes(experiments::fig10_plan(scale)));
                     let d = experiments::fig10_data(&set);
                     if export {
                         captured.push(("fig10", set));
@@ -537,7 +616,16 @@ fn main() {
             || captured
                 .iter()
                 .any(|(_, set)| set.traffic_axis_is_explicit());
-        let header = ResultSet::csv_header_for(with_sched, with_machine, with_fleet, with_traffic);
+        let with_telemetry = captured
+            .iter()
+            .any(|(_, set)| set.telemetry_axis_is_explicit());
+        let header = ResultSet::csv_header_for(
+            with_sched,
+            with_machine,
+            with_fleet,
+            with_traffic,
+            with_telemetry,
+        );
         let mut s = format!("exhibit,{header}\n");
         for (id, set) in &captured {
             s.push_str(&set.csv_rows_shaped(
@@ -546,12 +634,26 @@ fn main() {
                 with_machine,
                 with_fleet,
                 with_traffic,
+                with_telemetry,
             ));
         }
         if let Err(err) = std::fs::write(path, s) {
             eprintln!("warning: could not write {}: {err}", path.display());
         } else {
             println!("raw result sets (CSV) written to {}", path.display());
+        }
+    }
+    if let (Some(path), Some(reg)) = (&metrics_path, &registry) {
+        let report = reg.report();
+        let (body, label) = if metrics_json.unwrap_or(false) {
+            (report.to_json(metrics_timings), "json")
+        } else {
+            (report.to_prom(metrics_timings), "prom")
+        };
+        if let Err(err) = std::fs::write(path, body) {
+            eprintln!("warning: could not write {}: {err}", path.display());
+        } else {
+            println!("telemetry metrics ({label}) written to {}", path.display());
         }
     }
 
@@ -658,7 +760,8 @@ fn die(msg: &str) -> ! {
 
 const HELP: &str = "usage: paper [EXHIBIT...] [--scale N] [--full] [--threads N] [--filter S] \
 [--scheduler NAME] [--machine SPEC] [--arrivals SPEC] [--fleet SPEC] [--out DIR] [--json PATH] \
-[--csv PATH] [--trace PATH] [--trace-format FMT]
+[--csv PATH] [--trace PATH] [--trace-format FMT] [--metrics PATH] [--metrics-format prom|json] \
+[--metrics-timings] [--progress]
        paper --lint [--lint-format text|json]
        paper --list
 exhibits: table1 table2 fig4 fig5 fig6 fig9 fig10 fig11 fig12 headline geometry trace traffic \

@@ -25,6 +25,7 @@
 
 use crate::config::SimConfig;
 use crate::events::WakeupSet;
+use crate::stats::EngineStats;
 use crate::thread::SoftThread;
 use vliw_core::{eval::CompiledScheme, MergeEvaluator, MergeStats, PortInput, PriorityRotator};
 use vliw_mem::MemSystem;
@@ -111,6 +112,13 @@ pub struct Core {
     total_instrs: u64,
     vertical_waste_cycles: u64,
     horizontal_waste_slots: u64,
+    /// Length of the idle (nothing-issued) span currently in progress —
+    /// grown by the same `ops == 0` condition that feeds
+    /// `vertical_waste_cycles` (and in closed form by `skip_idle`), so
+    /// span accounting is identical under both core models.
+    idle_run: u64,
+    /// Completed idle-span statistics (queue fields unused at core level).
+    idle_spans: EngineStats,
     /// Set when any thread crosses the instruction budget.
     pub budget_reached: bool,
     instr_budget: u64,
@@ -139,6 +147,8 @@ impl Core {
             total_instrs: 0,
             vertical_waste_cycles: 0,
             horizontal_waste_slots: 0,
+            idle_run: 0,
+            idle_spans: EngineStats::default(),
             budget_reached: false,
             instr_budget: cfg.instr_budget,
         }
@@ -285,8 +295,13 @@ impl Core {
         self.total_ops += u64::from(ops);
         if ops == 0 {
             self.vertical_waste_cycles += 1;
+            self.idle_run += 1;
         } else {
             self.horizontal_waste_slots += u64::from(self.issue_width - ops);
+            if self.idle_run > 0 {
+                self.idle_spans.record_idle_span(self.idle_run);
+                self.idle_run = 0;
+            }
         }
         self.cycle += 1;
         StepOutcome {
@@ -386,8 +401,20 @@ impl Core {
         self.last_issued_mask = 0;
         self.merge_stats.record_idle(k);
         self.vertical_waste_cycles += k;
+        self.idle_run += k;
         self.rotator.advance_idle(k);
         self.cycle = target;
+    }
+
+    /// Idle-span statistics with the in-progress trailing span flushed.
+    /// Call once when collecting final run statistics (flushing is
+    /// idempotent only because the run has ended).
+    pub(crate) fn take_idle_spans(&mut self) -> EngineStats {
+        if self.idle_run > 0 {
+            self.idle_spans.record_idle_span(self.idle_run);
+            self.idle_run = 0;
+        }
+        self.idle_spans
     }
 }
 

@@ -45,6 +45,32 @@ impl<T> Entry<T> {
     }
 }
 
+/// Lifetime health counters of an [`EventQueue`]: how much traffic it saw
+/// and how deep it ever grew. Pushes/pops/depth are functions of the
+/// simulated schedule only (never of wall time or worker count), so these
+/// feed the *deterministic* class of the telemetry registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Total events ever scheduled.
+    pub pushes: u64,
+    /// Total events ever popped.
+    pub pops: u64,
+    /// High-water mark of the number of simultaneously scheduled events.
+    pub depth_max: u64,
+}
+
+/// Lifetime counters of a [`WakeupSet`]: timer churn (arms supersede, so
+/// arms ≥ pops). Model-*dependent* — the cycle-accurate oracle never
+/// consults or re-arms the wakeup set — so these stay core-internal and
+/// are never exported through `RunStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WakeupStats {
+    /// Total `arm` calls (including re-arms that supersede a live timer).
+    pub arms: u64,
+    /// Total `cancel` calls (including no-op cancels of disarmed contexts).
+    pub cancels: u64,
+}
+
 /// A deterministic min-heap of timed events.
 ///
 /// Pops come out ordered by `cycle`; events scheduled for the same cycle
@@ -56,6 +82,7 @@ impl<T> Entry<T> {
 pub struct EventQueue<T> {
     heap: Vec<Entry<T>>,
     next_seq: u64,
+    stats: QueueStats,
 }
 
 impl<T> EventQueue<T> {
@@ -64,6 +91,7 @@ impl<T> EventQueue<T> {
         EventQueue {
             heap: Vec::new(),
             next_seq: 0,
+            stats: QueueStats::default(),
         }
     }
 
@@ -72,7 +100,13 @@ impl<T> EventQueue<T> {
         EventQueue {
             heap: Vec::with_capacity(n),
             next_seq: 0,
+            stats: QueueStats::default(),
         }
+    }
+
+    /// Lifetime traffic/depth counters (survive [`Self::clear`]).
+    pub fn stats(&self) -> QueueStats {
+        self.stats
     }
 
     /// Number of scheduled (not yet popped) events.
@@ -101,6 +135,8 @@ impl<T> EventQueue<T> {
             seq,
             payload,
         });
+        self.stats.pushes += 1;
+        self.stats.depth_max = self.stats.depth_max.max(self.heap.len() as u64);
         self.sift_up(self.heap.len() - 1);
         seq
     }
@@ -123,6 +159,7 @@ impl<T> EventQueue<T> {
         let last = self.heap.len() - 1;
         self.heap.swap(0, last);
         let e = self.heap.pop().expect("non-empty");
+        self.stats.pops += 1;
         if !self.heap.is_empty() {
             self.sift_down(0);
         }
@@ -192,6 +229,8 @@ pub struct WakeupSet {
     seq: Vec<u64>,
     /// Monotone arm counter feeding `seq`.
     next_seq: u64,
+    /// Lifetime arm/cancel churn (core-internal; see [`WakeupStats`]).
+    stats: WakeupStats,
 }
 
 impl WakeupSet {
@@ -202,7 +241,14 @@ impl WakeupSet {
             armed: vec![false; n],
             seq: vec![0; n],
             next_seq: 0,
+            stats: WakeupStats::default(),
         }
+    }
+
+    /// Lifetime arm/cancel counters. Model-dependent (the cycle-accurate
+    /// oracle never touches the wakeup set), hence not part of `RunStats`.
+    pub fn stats(&self) -> WakeupStats {
+        self.stats
     }
 
     /// Number of contexts tracked.
@@ -218,12 +264,14 @@ impl WakeupSet {
         self.armed[ctx] = true;
         self.seq[ctx] = self.next_seq;
         self.next_seq += 1;
+        self.stats.arms += 1;
     }
 
     /// Cancel `ctx`'s wakeup (no-op when disarmed).
     #[inline]
     pub fn cancel(&mut self, ctx: usize) {
         self.armed[ctx] = false;
+        self.stats.cancels += 1;
     }
 
     /// Is `ctx` armed?
@@ -345,6 +393,43 @@ mod tests {
         assert_eq!(w.pop_next(), Some((10, 1)));
         assert_eq!(w.pop_next(), Some((10, 2)));
         assert_eq!(w.pop_next(), None);
+    }
+
+    #[test]
+    fn queue_stats_count_traffic_and_depth() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.stats(), QueueStats::default());
+        q.schedule(3, 'a');
+        q.schedule(1, 'b');
+        q.schedule(2, 'c');
+        assert_eq!(q.stats().pushes, 3);
+        assert_eq!(q.stats().depth_max, 3);
+        q.pop();
+        q.pop();
+        q.schedule(9, 'd'); // depth back to 2 — high-water stays 3
+        let s = q.stats();
+        assert_eq!((s.pushes, s.pops, s.depth_max), (4, 2, 3));
+        q.clear();
+        assert_eq!(q.stats().depth_max, 3, "lifetime stats survive clear");
+    }
+
+    #[test]
+    fn wakeup_stats_count_arm_and_cancel_churn() {
+        let mut w = WakeupSet::new(2);
+        w.arm(0, 10);
+        w.arm(0, 20); // superseding re-arm still counts
+        w.arm(1, 5);
+        w.cancel(0);
+        w.cancel(0); // no-op cancel counts too (call-site churn)
+        assert_eq!(
+            w.stats(),
+            WakeupStats {
+                arms: 3,
+                cancels: 2
+            }
+        );
+        assert_eq!(w.pop_next(), Some((5, 1)));
+        assert_eq!(w.stats().arms, 3, "pops are not arms");
     }
 
     #[test]

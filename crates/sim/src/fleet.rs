@@ -213,6 +213,12 @@ fn merge(
         stall_breakdown.add(StallKind::BranchBubble, t.branch_stall_cycles);
     }
     let sum = |f: fn(&RunStats) -> u64| outcomes.iter().map(|o| f(&o.stats)).sum::<u64>();
+    // Engine health rolls up across lanes: sums for queue traffic and
+    // span counts, maxima for the high-water marks.
+    let mut engine = crate::stats::EngineStats::default();
+    for o in &outcomes {
+        engine.absorb(&o.stats.engine);
+    }
     let traffic = TrafficStats::summarize(
         offered,
         completed,
@@ -253,6 +259,10 @@ fn merge(
         fleet: Some(FleetStats {
             machines: lane_stats,
         }),
+        engine,
+        cache_hits: 0,
+        cache_misses: 0,
+        trace_dropped: 0,
     }
 }
 

@@ -56,6 +56,16 @@
 //! [`trace`] crate (stall breakdowns, occupancy timelines, Chrome-trace/
 //! JSONL/CSV serialization).
 
+//!
+//! **Telemetry** — the sweep layer is likewise generic over a
+//! [`telemetry::Telemetry`] sink: [`Plan::run_metered`](plan::Plan::run_metered)
+//! records per-cell wall time, the compile/simulate split, image-cache
+//! economics and engine-health counters into a [`telemetry::Registry`]
+//! whose deterministic class exports byte-stably ([`metrics`] holds the
+//! schema and the post-hoc harvest). The default paths monomorphize
+//! [`telemetry::NullTelemetry`] and compile to the pre-telemetry code.
+
+pub use vliw_telemetry as telemetry;
 pub use vliw_trace as trace;
 
 pub mod config;
@@ -64,6 +74,7 @@ pub mod error;
 pub mod events;
 pub mod experiments;
 pub mod fleet;
+pub mod metrics;
 pub mod os;
 pub mod plan;
 pub mod runner;

@@ -19,7 +19,7 @@
 use crate::config::SimConfig;
 use crate::core::Core;
 use crate::error::SimError;
-use crate::events::EventQueue;
+use crate::events::{EventQueue, QueueStats};
 use crate::sched::{affinity_groups, SchedView, Scheduler, ThreadView};
 use crate::stats::{RunStats, ThreadStats};
 use crate::thread::SoftThread;
@@ -95,6 +95,10 @@ pub struct Machine {
     /// expiries keep their phase between external stepping boundaries.
     /// `None` for self-driving (non-lane) machines.
     lane_events: Option<EventQueue<OsEvent>>,
+    /// OS event-queue counters harvested at the end of a self-driving run
+    /// (the queue itself is a run-loop local); merged into
+    /// [`crate::stats::EngineStats`] at collection.
+    os_queue_stats: QueueStats,
 }
 
 /// What one fleet lane hands back at collection time: its run statistics
@@ -169,6 +173,7 @@ impl Machine {
             completed: Vec::new(),
             traffic_stats: TrafficStats::default(),
             lane_events: None,
+            os_queue_stats: QueueStats::default(),
         })
     }
 
@@ -374,6 +379,7 @@ impl Machine {
                 os_events.schedule(expired + self.timeslice, OsEvent::TimesliceExpiry);
             }
         }
+        self.os_queue_stats = os_events.stats();
         self.collect()
     }
 
@@ -441,6 +447,7 @@ impl Machine {
             &wait,
             self.queue.mean_depth(end),
         );
+        self.os_queue_stats = os_events.stats();
         self.collect()
     }
 
@@ -599,6 +606,7 @@ impl Machine {
             completed: Vec::new(),
             traffic_stats: TrafficStats::default(),
             lane_events: Some(lane_events),
+            os_queue_stats: QueueStats::default(),
         }
     }
 
@@ -746,7 +754,7 @@ impl Machine {
             .collect();
         threads.sort_by_key(|&(tid, _)| tid);
         let n_contexts = self.core.contexts.len() as u8;
-        let (stats, events, dropped) = match self.trace_spec {
+        let (mut stats, events, dropped) = match self.trace_spec {
             TraceSpec::Ring(capacity) => {
                 let mut sink = RingSink::new(capacity);
                 let stats = self.run_traced(&mut sink);
@@ -759,6 +767,9 @@ impl Machine {
                 (stats, sink.into_events(), 0)
             }
         };
+        // Surface ring-sink drops on the stats too, so exports can report
+        // them without carrying the whole trace around.
+        stats.trace_dropped = dropped;
         let trace = Trace {
             events,
             n_contexts,
@@ -771,6 +782,15 @@ impl Machine {
 
     /// Gather statistics from the core and all threads.
     fn collect(mut self) -> RunStats {
+        // Engine health: the core's idle-span structure (trailing span
+        // flushed) plus whichever OS event queue drove the run — the
+        // run-loop local (harvested into `os_queue_stats`) or the lane's
+        // persistent queue.
+        let mut engine = self.core.take_idle_spans();
+        engine.absorb_queue(self.os_queue_stats);
+        if let Some(q) = &self.lane_events {
+            engine.absorb_queue(q.stats());
+        }
         for ctx in 0..self.core.contexts.len() {
             if let Some(t) = self.core.evict(ctx) {
                 self.pool.push(t);
@@ -826,6 +846,10 @@ impl Machine {
             stall_breakdown,
             traffic: self.traffic_stats,
             fleet: None,
+            engine,
+            cache_hits: 0,
+            cache_misses: 0,
+            trace_dropped: 0,
         }
     }
 }

@@ -69,6 +69,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use vliw_core::{catalog, MergeScheme, PriorityPolicy};
 use vliw_hwcost::{scheme_cost, SchemeCost};
+use vliw_telemetry::Telemetry;
 use vliw_trace::{Trace, TraceSpec};
 use vliw_workloads::{benchmark, mixes, BenchmarkSpec, WorkloadMix};
 
@@ -176,6 +177,14 @@ impl Member {
         match self {
             Member::Named(n) => n,
             Member::Custom(s) => &s.name,
+        }
+    }
+
+    /// The member's name as the shared `Arc` the image cache keys on.
+    fn name_arc(&self) -> Arc<str> {
+        match self {
+            Member::Named(n) => n.clone(),
+            Member::Custom(s) => s.name.clone(),
         }
     }
 }
@@ -289,13 +298,26 @@ impl WorkloadRef {
     /// Instantiate the software threads (worker-side; compile results come
     /// from the shared cache).
     fn threads(&self, cache: &ImageCache, cfg: &SimConfig) -> Vec<SoftThread> {
+        self.threads_metered(cache, cfg, &vliw_telemetry::NullTelemetry)
+    }
+
+    /// [`WorkloadRef::threads`] through the cache's metered lookups, so
+    /// compile/verify wall time and live probe hits flow into `t`'s timing
+    /// class. Monomorphizes to `threads` under
+    /// [`vliw_telemetry::NullTelemetry`].
+    fn threads_metered<T: Telemetry>(
+        &self,
+        cache: &ImageCache,
+        cfg: &SimConfig,
+        t: &T,
+    ) -> Vec<SoftThread> {
         self.members
             .iter()
             .enumerate()
             .map(|(tid, m)| {
                 let entry = match m {
-                    Member::Named(n) => cache.get(n, &cfg.machine),
-                    Member::Custom(s) => cache.get_spec(s, &cfg.machine),
+                    Member::Named(n) => cache.get_metered(n, &cfg.machine, t),
+                    Member::Custom(s) => cache.get_spec_metered(s, &cfg.machine, t),
                 }
                 .expect("plan cells are validated up front");
                 SoftThread::new(&entry.0, entry.1.clone(), tid as u64, cfg.seed)
@@ -755,10 +777,86 @@ impl Plan {
     /// Run the grid against an explicit cache and worker count (the
     /// lower-level form [`runner::run_sweep`] also uses).
     pub fn run_with(&self, cache: &ImageCache, parallelism: usize) -> ResultSet {
+        self.run_metered_with(cache, parallelism, &vliw_telemetry::NullTelemetry)
+    }
+
+    /// [`Plan::run`] with harness telemetry: per-cell wall time and the
+    /// compile/simulate split (timing class), plus the full deterministic
+    /// schema of [`crate::metrics`] harvested post-hoc from the results in
+    /// row-major grid order — so the deterministic export is byte-stable
+    /// across worker counts and core models. The returned set marks its
+    /// telemetry axis explicit, which gates the cache/trace metric
+    /// columns in CSV/JSON exactly like the other optional axes.
+    pub fn run_metered<T: Telemetry>(&self, session: &Session, t: &T) -> ResultSet {
+        self.run_metered_with(session.cache(), session.parallelism(), t)
+    }
+
+    /// [`Plan::run_metered`] against an explicit cache and worker count.
+    /// With [`vliw_telemetry::NullTelemetry`] this *is* [`Plan::run_with`]
+    /// (every emission site monomorphizes away — differentially
+    /// benchmarked in `benches/telemetry.rs`).
+    pub fn run_metered_with<T: Telemetry>(
+        &self,
+        cache: &ImageCache,
+        parallelism: usize,
+        t: &T,
+    ) -> ResultSet {
         self.validate();
+        crate::metrics::register_schema(t);
         let jobs = self.jobs();
-        let results = runner::run_jobs(jobs, |key| self.run_cell(cache, key), parallelism);
-        self.result_set(results)
+        if T::ENABLED {
+            t.cells_planned(jobs.len() as u64);
+            t.counter_add(crate::metrics::names::CELLS_TOTAL, jobs.len() as u64);
+        }
+        // Image-cache economics are harvested as *deltas* over this run:
+        // misses = distinct images built (map-size delta), hits = the
+        // remaining lookups. Both ingredients are commutative sums, so the
+        // split is exact and worker-count independent by construction.
+        let requests_before = cache.requests();
+        let unique_before = cache.len() as u64;
+        let refs: Vec<&JobKey> = jobs.iter().collect();
+        let mut results = runner::run_jobs_metered(
+            refs,
+            |key| self.run_cell_metered(cache, key, t),
+            parallelism,
+            t,
+            cache,
+        );
+        self.attribute_cache(&jobs, &mut results);
+        if T::ENABLED {
+            use crate::metrics::names::{CACHE_HITS, CACHE_MISSES, CACHE_REQUESTS};
+            let requests = cache.requests() - requests_before;
+            let misses = cache.len() as u64 - unique_before;
+            t.counter_add(CACHE_REQUESTS, requests);
+            t.counter_add(CACHE_MISSES, misses);
+            t.counter_add(CACHE_HITS, requests - misses);
+            let refs: Vec<&RunResult> = results.iter().collect();
+            crate::metrics::harvest(&refs, t);
+        }
+        self.result_set_telemetry(results, T::ENABLED)
+    }
+
+    /// Statically attribute image-cache economics to cells: walk the grid
+    /// row-major and charge each member's `(benchmark, machine)` key a
+    /// *miss* on its first appearance and a *hit* after — the plan-level
+    /// compile footprint, independent of which rayon worker actually
+    /// compiled what. Fleet cells are charged their reference-geometry
+    /// hint compiles; per-lane compiles for routed geometries are counted
+    /// in the registry's delta-derived totals but not attributed to cells
+    /// (routing is an execution outcome, not a plan property).
+    fn attribute_cache(&self, jobs: &[JobKey], results: &mut [RunResult]) {
+        let mut seen: std::collections::HashSet<(Arc<str>, vliw_isa::MachineConfig)> =
+            std::collections::HashSet::new();
+        for (key, r) in jobs.iter().zip(results.iter_mut()) {
+            let machine = key.machine.config();
+            for m in key.workload.members.iter() {
+                if seen.insert((m.name_arc(), machine.clone())) {
+                    r.stats.cache_misses += 1;
+                } else {
+                    r.stats.cache_hits += 1;
+                }
+            }
+        }
     }
 
     /// Run the whole grid with per-cell tracing, invoking `hook` once per
@@ -826,12 +924,14 @@ impl Plan {
                 }
             }
         });
-        self.result_set(
-            results
-                .into_iter()
-                .map(|r| r.expect("every grid cell completed"))
-                .collect(),
-        )
+        let mut results: Vec<RunResult> = results
+            .into_iter()
+            .map(|r| r.expect("every grid cell completed"))
+            .collect();
+        // Attributed after the streaming hooks ran: cache economics are a
+        // grid property, not a trace property.
+        self.attribute_cache(&jobs, &mut results);
+        self.result_set(results)
     }
 
     /// Run *one* cell of the grid with tracing, returning its result and
@@ -896,6 +996,42 @@ impl Plan {
         }
     }
 
+    /// [`Plan::run_cell`] with timing-class telemetry: the compile share
+    /// (metered cache lookups) and the simulate share of the cell's wall
+    /// time. Fleet cells compile inside the driver per routed lane, so
+    /// the whole cell is accounted as simulate time there.
+    fn run_cell_metered<T: Telemetry>(&self, cache: &ImageCache, key: &JobKey, t: &T) -> RunResult {
+        if !T::ENABLED {
+            return self.run_cell(cache, key);
+        }
+        use crate::metrics::names::{CELL_COMPILE_NS, CELL_SIMULATE_NS};
+        let cfg = self.config_for(key);
+        let stats = match &key.fleet {
+            Some(fleet) => {
+                let start = t.now_ns();
+                let stats = crate::fleet::run_fleet(cache, &cfg, fleet, &key.workload, 1);
+                t.observe(CELL_SIMULATE_NS, t.now_ns().saturating_sub(start));
+                stats
+            }
+            None => {
+                let compile_start = t.now_ns();
+                let threads = key.workload.threads_metered(cache, &cfg, t);
+                let sim_start = t.now_ns();
+                t.observe(CELL_COMPILE_NS, sim_start.saturating_sub(compile_start));
+                let stats = Machine::new(&cfg, threads)
+                    .expect("WorkloadRef guarantees at least one member thread")
+                    .run();
+                t.observe(CELL_SIMULATE_NS, t.now_ns().saturating_sub(sim_start));
+                stats
+            }
+        };
+        RunResult {
+            scheme: key.scheme.name().to_string(),
+            workload: key.workload.name().to_string(),
+            stats,
+        }
+    }
+
     /// Execute one cell with trace collection.
     fn run_cell_traced(&self, cache: &ImageCache, key: &JobKey) -> (RunResult, Trace) {
         let cfg = self.config_for(key);
@@ -920,7 +1056,14 @@ impl Plan {
 
     /// Wrap executed results into the keyed [`ResultSet`].
     fn result_set(&self, results: Vec<RunResult>) -> ResultSet {
+        self.result_set_telemetry(results, false)
+    }
+
+    /// [`Plan::result_set`] with an explicit telemetry-axis flag (set by
+    /// the metered entry points when their sink is enabled).
+    fn result_set_telemetry(&self, results: Vec<RunResult>, telemetry_explicit: bool) -> ResultSet {
         ResultSet {
+            telemetry_explicit,
             schemes: self.schemes.clone(),
             workloads: self.workloads.clone(),
             schedulers: self.effective_schedulers(),
@@ -975,6 +1118,10 @@ pub struct ResultSet {
     /// closed plans keep their historical bytes.
     traffic_axis_explicit: bool,
     axes: Vec<MemoryModel>,
+    /// Whether the set came from a metered run with an enabled sink.
+    /// Gates the telemetry metric columns (cache hits/misses, trace
+    /// drops) so default runs keep their historical bytes.
+    telemetry_explicit: bool,
     scale: u64,
     priority: PriorityPolicy,
     seed: Option<u64>,
@@ -1038,6 +1185,13 @@ impl ResultSet {
         ",fleet_machines,fleet_routed,fleet_shed,fleet_p50_sojourn,fleet_p95_sojourn,\
          fleet_p99_sojourn";
 
+    /// The telemetry metric columns appended when the set came from a
+    /// metered run ([`Plan::run_metered`] with an enabled sink):
+    /// statically-attributed image-cache economics and ring-sink trace
+    /// drops. No key column — telemetry is a property of the run, not an
+    /// axis with swept values.
+    pub const CSV_TELEMETRY_METRICS: &'static str = ",cache_hits,cache_misses,trace_dropped";
+
     /// The CSV header for a given column shape (see
     /// [`ResultSet::csv_rows_shaped`]), composed column group by column
     /// group instead of enumerating every axis combination: the key
@@ -1052,6 +1206,7 @@ impl ResultSet {
         with_machine: bool,
         with_fleet: bool,
         with_traffic: bool,
+        with_telemetry: bool,
     ) -> String {
         let mut h = String::from("scheme,workload");
         if with_sched {
@@ -1073,6 +1228,9 @@ impl ResultSet {
         if with_fleet {
             h.push_str(Self::CSV_FLEET_METRICS);
         }
+        if with_telemetry {
+            h.push_str(Self::CSV_TELEMETRY_METRICS);
+        }
         h
     }
 
@@ -1084,6 +1242,7 @@ impl ResultSet {
             self.machine_axis_explicit,
             !self.fleets.is_empty(),
             self.traffic_axis_explicit,
+            self.telemetry_explicit,
         )
     }
 
@@ -1112,6 +1271,14 @@ impl ResultSet {
     /// a non-explicit fleet axis means plain single-machine cells.
     pub fn fleet_axis_is_explicit(&self) -> bool {
         !self.fleets.is_empty()
+    }
+
+    /// Whether this set came from a metered run with an enabled telemetry
+    /// sink (what gates the telemetry metric columns in this set's own
+    /// serialization). Like the fleet axis there is no key column — the
+    /// flag only adds metric columns.
+    pub fn telemetry_axis_is_explicit(&self) -> bool {
+        self.telemetry_explicit
     }
 
     /// Schemes of the grid, in plan order.
@@ -1791,6 +1958,13 @@ impl ResultSet {
                     t.p50_sojourn, t.p95_sojourn, t.p99_sojourn,
                 );
             }
+            if self.telemetry_explicit {
+                let _ = write!(
+                    s,
+                    ",\"cache_hits\":{},\"cache_misses\":{},\"trace_dropped\":{}",
+                    r.stats.cache_hits, r.stats.cache_misses, r.stats.trace_dropped,
+                );
+            }
             s.push_str(",\"threads\":[");
             for (j, t) in r.stats.threads.iter().enumerate() {
                 if j > 0 {
@@ -1839,6 +2013,7 @@ impl ResultSet {
             self.machine_axis_explicit,
             !self.fleets.is_empty(),
             self.traffic_axis_explicit,
+            self.telemetry_explicit,
         )
     }
 
@@ -1857,12 +2032,14 @@ impl ResultSet {
         with_machine: bool,
         with_fleet: bool,
         with_traffic: bool,
+        with_telemetry: bool,
     ) -> String {
         assert!(
             (with_sched || !self.sched_axis_explicit)
                 && (with_machine || !self.machine_axis_explicit)
                 && (with_fleet || self.fleets.is_empty())
-                && (with_traffic || !self.traffic_axis_explicit),
+                && (with_traffic || !self.traffic_axis_explicit)
+                && (with_telemetry || !self.telemetry_explicit),
             "cannot drop a swept axis column: rows of different cells would collide"
         );
         let mut s = String::new();
@@ -1953,6 +2130,13 @@ impl ResultSet {
                         );
                     }
                 }
+            }
+            if with_telemetry {
+                let _ = write!(
+                    s,
+                    ",{},{},{}",
+                    r.stats.cache_hits, r.stats.cache_misses, r.stats.trace_dropped,
+                );
             }
             s.push('\n');
         }

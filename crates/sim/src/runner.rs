@@ -13,7 +13,9 @@ use crate::thread::{ProgramMeta, SoftThread};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use vliw_telemetry::Telemetry;
 use vliw_workloads::{benchmark, build, BenchmarkImage, BenchmarkSpec, WorkloadMix};
 
 /// Result of one run: what was run, with which scheme, and the stats.
@@ -52,12 +54,35 @@ pub type CachedImage = Arc<(BenchmarkImage, Arc<ProgramMeta>)>;
 #[derive(Default)]
 pub struct ImageCache {
     map: Mutex<HashMap<(Arc<str>, vliw_isa::MachineConfig), CachedImage>>,
+    /// Total lookups served, hit or miss. A commutative sum, so the value
+    /// after a parallel sweep is independent of worker count and interleaving
+    /// (unlike a hit/miss split, which depends on who compiles first).
+    requests: AtomicU64,
 }
 
 impl ImageCache {
     /// Create an empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Total lookups served so far (hits and misses alike). Deterministic
+    /// for a fixed job set regardless of worker count.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct `(benchmark, machine)` images currently cached.
+    /// Together with [`ImageCache::requests`] this yields a worker-count
+    /// independent hit/miss split: misses = unique images built, hits =
+    /// requests − misses.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Whether the cache holds no images yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
     }
 
     /// Get or build the image + metadata for a Table-1 benchmark by name,
@@ -95,14 +120,62 @@ impl ImageCache {
         spec: &BenchmarkSpec,
         machine: &vliw_isa::MachineConfig,
     ) -> Result<CachedImage, SimError> {
+        self.get_spec_metered(spec, machine, &vliw_telemetry::NullTelemetry)
+    }
+
+    /// [`ImageCache::get`] with timing-class telemetry: compile and verify
+    /// wall time plus live probe hit/miss counts. The live probe split is
+    /// scheduling-dependent under parallelism, which is why it lives in the
+    /// timing class; the deterministic hit/miss split is derived post-hoc
+    /// from [`ImageCache::requests`] and [`ImageCache::len`].
+    pub fn get_metered<T: Telemetry>(
+        &self,
+        name: &str,
+        machine: &vliw_isa::MachineConfig,
+        t: &T,
+    ) -> Result<CachedImage, SimError> {
+        let spec = benchmark(name)
+            .ok_or_else(|| vliw_workloads::BuildError::UnknownBenchmark(name.to_string()))?;
+        self.get_spec_metered(spec, machine, t)
+    }
+
+    /// [`ImageCache::get_spec`] with timing-class telemetry (see
+    /// [`ImageCache::get_metered`]).
+    pub fn get_spec_metered<T: Telemetry>(
+        &self,
+        spec: &BenchmarkSpec,
+        machine: &vliw_isa::MachineConfig,
+        t: &T,
+    ) -> Result<CachedImage, SimError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
         let key = (spec.name.clone(), machine.clone());
         if let Some(hit) = self.map.lock().get(&key) {
+            if T::ENABLED {
+                t.counter_add(crate::metrics::names::CACHE_PROBE_HITS, 1);
+            }
             Self::check_identity(&hit.0, spec, machine);
             return Ok(hit.clone());
         }
+        if T::ENABLED {
+            t.counter_add(crate::metrics::names::CACHE_PROBE_MISSES, 1);
+        }
+        let build_start = t.now_ns();
         let img = build(spec, machine)?;
+        if T::ENABLED {
+            t.counter_add(
+                crate::metrics::names::CACHE_BUILD_NS,
+                t.now_ns().saturating_sub(build_start),
+            );
+        }
         if verify_images_enabled() {
+            let verify_start = t.now_ns();
             let report = vliw_analyze::analyze_image(&img, vliw_analyze::AnalyzeOptions::default());
+            if T::ENABLED {
+                t.counter_add(
+                    crate::metrics::names::CACHE_VERIFY_NS,
+                    t.now_ns().saturating_sub(verify_start),
+                );
+            }
             if report.errors() > 0 {
                 return Err(SimError::InvalidImage {
                     benchmark: spec.name.to_string(),
@@ -228,6 +301,43 @@ where
         .build()
         .expect("simulation thread pool");
     pool.install(|| jobs.par_iter().map(&worker).collect())
+}
+
+/// [`run_jobs`] with per-cell telemetry: each job's wall time is observed
+/// into the `vliw_cell_wall_ns` histogram and its completion reported via
+/// [`Telemetry::cell_done`] (which drives the progress heartbeat and the
+/// live cache hit-rate probe). With [`vliw_telemetry::NullTelemetry`] every
+/// emission compiles away and this is exactly [`run_jobs`].
+pub fn run_jobs_metered<J, R, F, T>(
+    jobs: Vec<J>,
+    worker: F,
+    parallelism: usize,
+    t: &T,
+    cache: &ImageCache,
+) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+    T: Telemetry,
+{
+    if !T::ENABLED {
+        return run_jobs(jobs, worker, parallelism);
+    }
+    run_jobs(
+        jobs,
+        |job| {
+            let start = t.now_ns();
+            let out = worker(job);
+            t.observe(
+                crate::metrics::names::CELL_WALL_NS,
+                t.now_ns().saturating_sub(start),
+            );
+            t.cell_done(cache.requests(), cache.len() as u64);
+            out
+        },
+        parallelism,
+    )
 }
 
 /// Run the full scheme × mix cross product in parallel, sharing one

@@ -1,11 +1,86 @@
 //! Run statistics: IPC, waste decomposition, stall attribution.
 
+use crate::events::QueueStats;
 use std::sync::Arc;
 use vliw_core::MergeStats;
 use vliw_fleet::FleetStats;
 use vliw_mem::CacheStats;
 use vliw_trace::StallBreakdown;
 use vliw_traffic::TrafficStats;
+
+/// Inclusive upper bounds of [`EngineStats::idle_span_hist`]'s buckets
+/// (cycles); an eighth `+Inf` bucket follows. Powers of four: idle spans
+/// range from single branch bubbles to whole cache-miss services.
+pub const IDLE_SPAN_BOUNDS: [u64; 7] = [1, 4, 16, 64, 256, 1024, 4096];
+
+/// Simulation-engine health counters: OS event-queue traffic and the
+/// all-stalled ("idle") span structure of the run.
+///
+/// Every field is a function of the simulated schedule only — identical
+/// across worker counts *and* across
+/// [`crate::CoreModel::EventDriven`]/[`crate::CoreModel::CycleAccurate`]
+/// (idle spans are counted from the same `no-op-issued` condition that
+/// feeds `vertical_waste_cycles`, which the differential suite proves
+/// bit-identical) — so the telemetry registry exports them in its
+/// deterministic class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// OS event-queue schedules (timeslice expiries, open-system arrivals).
+    pub queue_pushes: u64,
+    /// OS event-queue pops.
+    pub queue_pops: u64,
+    /// OS event-queue depth high-water mark.
+    pub queue_depth_max: u64,
+    /// Maximal runs of consecutive cycles in which nothing issued (the
+    /// spans the event-driven core skips in one hop).
+    pub idle_spans: u64,
+    /// Total cycles inside those spans (== `vertical_waste_cycles`).
+    pub idle_span_cycles: u64,
+    /// Length of the longest idle span.
+    pub idle_span_max: u64,
+    /// Span-length histogram over [`IDLE_SPAN_BOUNDS`] plus a final
+    /// `+Inf` bucket.
+    pub idle_span_hist: [u64; 8],
+}
+
+impl EngineStats {
+    /// Record one completed idle span of `len` cycles.
+    pub(crate) fn record_idle_span(&mut self, len: u64) {
+        if len == 0 {
+            return;
+        }
+        self.idle_spans += 1;
+        self.idle_span_cycles += len;
+        self.idle_span_max = self.idle_span_max.max(len);
+        let b = IDLE_SPAN_BOUNDS
+            .iter()
+            .position(|&hi| len <= hi)
+            .unwrap_or(IDLE_SPAN_BOUNDS.len());
+        self.idle_span_hist[b] += 1;
+    }
+
+    /// Fold the OS event-queue counters in.
+    pub(crate) fn absorb_queue(&mut self, q: QueueStats) {
+        self.queue_pushes += q.pushes;
+        self.queue_pops += q.pops;
+        self.queue_depth_max = self.queue_depth_max.max(q.depth_max);
+    }
+
+    /// Merge another engine's counters (fleet lanes into the fleet total):
+    /// sums for traffic/span counts, maxima for high-water marks,
+    /// elementwise for the histogram.
+    pub(crate) fn absorb(&mut self, other: &EngineStats) {
+        self.queue_pushes += other.queue_pushes;
+        self.queue_pops += other.queue_pops;
+        self.queue_depth_max = self.queue_depth_max.max(other.queue_depth_max);
+        self.idle_spans += other.idle_spans;
+        self.idle_span_cycles += other.idle_span_cycles;
+        self.idle_span_max = self.idle_span_max.max(other.idle_span_max);
+        for (h, o) in self.idle_span_hist.iter_mut().zip(&other.idle_span_hist) {
+            *h += o;
+        }
+    }
+}
 
 /// Per-software-thread results.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +159,23 @@ pub struct RunStats {
     /// fleet order. `None` for every single-machine run, so non-fleet
     /// serialization is byte-identical to the pre-fleet code.
     pub fleet: Option<FleetStats>,
+    /// Engine health: OS event-queue traffic and idle-span structure.
+    /// Deterministic across worker counts and core models.
+    pub engine: EngineStats,
+    /// Image-cache gets this cell is *logically* responsible for that hit
+    /// an already-built image. Attributed statically in row-major grid
+    /// order by the plan layer (execution order never changes it); zero
+    /// for runs started outside a plan. Exported only when the telemetry
+    /// axis is explicit.
+    pub cache_hits: u64,
+    /// Image-cache gets this cell is logically responsible for that had
+    /// to build (first request of a `(benchmark, machine)` key in the
+    /// grid). Counterpart of [`RunStats::cache_hits`].
+    pub cache_misses: u64,
+    /// Trace events dropped by a bounded (ring) sink during this run; 0
+    /// for untraced runs and unbounded sinks. Previously only visible on
+    /// the `Trace` itself.
+    pub trace_dropped: u64,
 }
 
 impl RunStats {
@@ -175,7 +267,37 @@ mod tests {
             stall_breakdown: StallBreakdown::default(),
             traffic: TrafficStats::default(),
             fleet: None,
+            engine: EngineStats::default(),
+            cache_hits: 0,
+            cache_misses: 0,
+            trace_dropped: 0,
         }
+    }
+
+    #[test]
+    fn engine_stats_span_recording_and_merge() {
+        let mut e = EngineStats::default();
+        e.record_idle_span(0); // no span
+        e.record_idle_span(1); // bucket le=1
+        e.record_idle_span(5); // bucket le=16
+        e.record_idle_span(10_000); // +Inf bucket
+        assert_eq!(e.idle_spans, 3);
+        assert_eq!(e.idle_span_cycles, 10_006);
+        assert_eq!(e.idle_span_max, 10_000);
+        assert_eq!(e.idle_span_hist, [1, 0, 1, 0, 0, 0, 0, 1]);
+
+        let mut other = EngineStats::default();
+        other.record_idle_span(2);
+        other.absorb_queue(QueueStats {
+            pushes: 4,
+            pops: 3,
+            depth_max: 2,
+        });
+        e.absorb(&other);
+        assert_eq!(e.idle_spans, 4);
+        assert_eq!(e.idle_span_hist[1], 1, "le=4 bucket came from `other`");
+        assert_eq!((e.queue_pushes, e.queue_pops, e.queue_depth_max), (4, 3, 2));
+        assert_eq!(e.idle_span_max, 10_000, "absorb keeps the larger max");
     }
 
     #[test]

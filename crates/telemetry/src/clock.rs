@@ -1,0 +1,97 @@
+//! Wall-time sources: a monotonic clock for real runs, a hand-cranked one
+//! for tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond clock. All harness timings are *relative*
+/// (durations between two `now_ns` reads), so the origin is arbitrary;
+/// only monotonicity matters.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since this clock's origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// Real wall time: nanoseconds since the clock was constructed.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // Saturating: a u64 of nanoseconds covers ~584 years of sweep.
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A clock that only moves when told to — deterministic timings for tests
+/// (histogram bucketing, progress-line rendering, report snapshots).
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at `start_ns`.
+    pub fn new(start_ns: u64) -> Self {
+        Self {
+            now: AtomicU64::new(start_ns),
+        }
+    }
+
+    /// Advance the clock by `delta_ns`.
+    pub fn advance(&self, delta_ns: u64) {
+        self.now.fetch_add(delta_ns, Ordering::SeqCst);
+    }
+
+    /// Jump the clock to an absolute `now_ns` reading.
+    pub fn set(&self, now_ns: u64) {
+        self.now.store(now_ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_moves_only_when_cranked() {
+        let c = ManualClock::new(100);
+        assert_eq!(c.now_ns(), 100);
+        assert_eq!(c.now_ns(), 100);
+        c.advance(50);
+        assert_eq!(c.now_ns(), 150);
+        c.set(1_000);
+        assert_eq!(c.now_ns(), 1_000);
+    }
+
+    #[test]
+    fn monotonic_clock_does_not_go_backwards() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,49 @@
+//! # vliw-telemetry — harness self-observation for the vliw-tms stack
+//!
+//! The simulator can trace a *simulated machine* cycle-by-cycle
+//! (`vliw-trace`); this crate instruments the *harness that runs it*: how
+//! long each sweep cell took, how the image cache behaved, how deep the OS
+//! event queue grew, how busy each fleet lane was, and how far along a
+//! long grid is. It is dependency-free (std only) so every other crate can
+//! take it without dragging anything in.
+//!
+//! Two design rules, both enforced by construction:
+//!
+//! * **Deterministic and timing metrics never mix.** Every metric carries a
+//!   [`Class`]: [`Class::Deterministic`] values are pure functions of the
+//!   sweep grid (identical across worker counts, core models and machines
+//!   — CI byte-diffs them), while [`Class::Timing`] values are wall-clock
+//!   measurements that differ run to run. [`SweepReport::to_json`] /
+//!   [`SweepReport::to_prom`] emit the timing subset only when asked, so
+//!   the default export is byte-stable.
+//! * **Zero cost when off.** Emission sites are generic over the
+//!   [`Telemetry`] trait, mirroring `vliw-trace`'s `TraceSink`:
+//!   [`NullTelemetry`] has `ENABLED = false` as an associated *const*, so
+//!   every `if T::ENABLED { ... }` guard monomorphizes away and the
+//!   untelemetered build compiles to the pre-instrumentation code.
+//!
+//! Wall time comes from a [`Clock`] object, not from `Instant::now()`
+//! sprinkled through the code: real runs use [`MonotonicClock`], tests use
+//! [`ManualClock`] and get reproducible timings (and a testable progress
+//! heartbeat) for free.
+//!
+//! The concrete collector is [`Registry`]: named counters, gauges and
+//! fixed-bucket histograms held in **registration order**, so a schema
+//! registered up front yields byte-stable exports no matter which worker
+//! thread emitted first. [`Registry::report`] snapshots it into a
+//! [`SweepReport`]; [`Registry::enable_progress`] turns on a throttled
+//! stderr heartbeat (`cells done/total, cells/s, eta, cache hit-rate`)
+//! that never touches stdout, so piped `--json`/`--csv` output stays
+//! clean.
+
+#![deny(missing_docs)]
+
+mod clock;
+mod progress;
+mod registry;
+mod report;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use progress::progress_line;
+pub use registry::{Class, NullTelemetry, Registry, Telemetry};
+pub use report::{MetricValue, ReportEntry, SweepReport};

@@ -1,0 +1,83 @@
+//! The sweep progress heartbeat: state tracked by the registry and the
+//! pure line renderer (testable with a manual clock).
+
+/// Mutable progress state held inside the registry's lock.
+#[derive(Debug, Default)]
+pub(crate) struct ProgressState {
+    /// Whether `cell_done` repaints stderr.
+    pub enabled: bool,
+    /// Cells announced via `cells_planned` (accumulates across plans).
+    pub total: u64,
+    /// Cells completed so far.
+    pub done: u64,
+    /// Clock reading at the first `cells_planned`.
+    pub started_ns: u64,
+    /// Clock reading of the last repaint (throttling).
+    pub last_emit_ns: u64,
+    /// Live image-cache probe: total requests seen so far.
+    pub cache_requests: u64,
+    /// Live image-cache probe: distinct images built so far.
+    pub cache_unique: u64,
+}
+
+/// Render one progress heartbeat line. Pure — given the same numbers it
+/// returns the same bytes, so tests drive it through a
+/// [`crate::ManualClock`]-backed registry and assert exact output.
+///
+/// `cache_requests`/`cache_unique` come from the live image-cache probe;
+/// hit-rate is `1 - unique/requests` (every request beyond the first for
+/// an image is a hit). With no requests yet the cache column is `-`.
+pub fn progress_line(
+    done: u64,
+    total: u64,
+    elapsed_ns: u64,
+    cache_requests: u64,
+    cache_unique: u64,
+) -> String {
+    let pct = if total > 0 {
+        done as f64 * 100.0 / total as f64
+    } else {
+        0.0
+    };
+    let secs = elapsed_ns as f64 / 1e9;
+    let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+    let eta = if done > 0 && rate > 0.0 && total >= done {
+        format!("{:.1}s", (total - done) as f64 / rate)
+    } else {
+        "-".to_string()
+    };
+    let hit_rate = if cache_requests > 0 {
+        format!(
+            "{:.1}%",
+            (cache_requests.saturating_sub(cache_unique)) as f64 * 100.0 / cache_requests as f64
+        )
+    } else {
+        "-".to_string()
+    };
+    format!(
+        "cells {done}/{total} ({pct:.1}%) | {rate:.2} cells/s | eta {eta} | cache hit-rate {hit_rate}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progress_line_is_deterministic() {
+        // 3 of 12 cells in 2 s → 1.5 cells/s, 6 s to go; 10 requests over
+        // 4 distinct images → 60% hit-rate.
+        assert_eq!(
+            progress_line(3, 12, 2_000_000_000, 10, 4),
+            "cells 3/12 (25.0%) | 1.50 cells/s | eta 6.0s | cache hit-rate 60.0%"
+        );
+    }
+
+    #[test]
+    fn progress_line_degrades_gracefully_before_data() {
+        assert_eq!(
+            progress_line(0, 8, 0, 0, 0),
+            "cells 0/8 (0.0%) | 0.00 cells/s | eta - | cache hit-rate -"
+        );
+    }
+}

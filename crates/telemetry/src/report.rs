@@ -1,0 +1,226 @@
+//! [`SweepReport`]: a snapshot of the registry with byte-stable JSON and
+//! Prometheus-style text renderings.
+
+use crate::registry::Class;
+use std::fmt::Write as _;
+
+/// Snapshot value of one metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A monotonically increasing sum.
+    Counter(u64),
+    /// A high-water mark.
+    Gauge(u64),
+    /// Fixed-bucket histogram: `bounds` are inclusive upper bucket bounds
+    /// (an implicit `+Inf` bucket follows), `counts` has
+    /// `bounds.len() + 1` per-bucket (non-cumulative) entries, `sum` and
+    /// `count` aggregate the raw observations.
+    Histogram {
+        /// Inclusive upper bucket bounds, ascending.
+        bounds: Vec<u64>,
+        /// Per-bucket observation counts (`bounds.len() + 1` entries; the
+        /// last is the `+Inf` overflow bucket).
+        counts: Vec<u64>,
+        /// Sum of all observed values.
+        sum: u64,
+        /// Number of observations.
+        count: u64,
+    },
+}
+
+impl MetricValue {
+    fn type_label(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram { .. } => "histogram",
+        }
+    }
+}
+
+/// One metric in a [`SweepReport`], in registration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportEntry {
+    /// Registered metric name (e.g. `vliw_sim_cycles_total`).
+    pub name: &'static str,
+    /// One-line human description (the Prometheus `# HELP` text).
+    pub help: &'static str,
+    /// Determinism class; `Timing` entries are emitted only on request.
+    pub class: Class,
+    /// The snapshot value.
+    pub value: MetricValue,
+}
+
+/// A point-in-time snapshot of every registered metric, in registration
+/// order. Render with [`SweepReport::to_json`] or
+/// [`SweepReport::to_prom`]; with `with_timings = false` only the
+/// [`Class::Deterministic`] subset is emitted, and that rendering is
+/// byte-identical across worker counts and core models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepReport {
+    /// The snapshot entries, in registration order.
+    pub entries: Vec<ReportEntry>,
+}
+
+impl SweepReport {
+    /// The entries this rendering would include.
+    fn visible(&self, with_timings: bool) -> impl Iterator<Item = &ReportEntry> {
+        self.entries
+            .iter()
+            .filter(move |e| with_timings || e.class == Class::Deterministic)
+    }
+
+    /// Byte-stable JSON rendering: one `{"metrics":[...]}` object, metrics
+    /// in registration order, no whitespace, no floats.
+    pub fn to_json(&self, with_timings: bool) -> String {
+        let mut s = String::from("{\"metrics\":[");
+        for (i, e) in self.visible(with_timings).enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"help\":\"{}\",\"class\":\"{}\",\"type\":\"{}\"",
+                e.name,
+                e.help,
+                e.class.label(),
+                e.value.type_label()
+            );
+            match &e.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    let _ = write!(s, ",\"value\":{v}}}");
+                }
+                MetricValue::Histogram {
+                    bounds,
+                    counts,
+                    sum,
+                    count,
+                } => {
+                    let join = |xs: &[u64]| {
+                        xs.iter()
+                            .map(|x| x.to_string())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    };
+                    let _ = write!(
+                        s,
+                        ",\"bounds\":[{}],\"counts\":[{}],\"sum\":{sum},\"count\":{count}}}",
+                        join(bounds),
+                        join(counts)
+                    );
+                }
+            }
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Prometheus text-exposition rendering: `# HELP` / `# TYPE` preamble
+    /// per metric, `name value` samples, histograms as cumulative
+    /// `_bucket{le="..."}` series plus `_sum` / `_count`.
+    pub fn to_prom(&self, with_timings: bool) -> String {
+        let mut s = String::new();
+        for e in self.visible(with_timings) {
+            let _ = writeln!(s, "# HELP {} {}", e.name, e.help);
+            let _ = writeln!(s, "# TYPE {} {}", e.name, e.value.type_label());
+            match &e.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    let _ = writeln!(s, "{} {v}", e.name);
+                }
+                MetricValue::Histogram {
+                    bounds,
+                    counts,
+                    sum,
+                    count,
+                } => {
+                    let mut cum = 0u64;
+                    for (hi, c) in bounds.iter().zip(counts) {
+                        cum += c;
+                        let _ = writeln!(s, "{}_bucket{{le=\"{hi}\"}} {cum}", e.name);
+                    }
+                    let _ = writeln!(s, "{}_bucket{{le=\"+Inf\"}} {count}", e.name);
+                    let _ = writeln!(s, "{}_sum {sum}", e.name);
+                    let _ = writeln!(s, "{}_count {count}", e.name);
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SweepReport {
+        SweepReport {
+            entries: vec![
+                ReportEntry {
+                    name: "cells_total",
+                    help: "grid size",
+                    class: Class::Deterministic,
+                    value: MetricValue::Counter(12),
+                },
+                ReportEntry {
+                    name: "depth_max",
+                    help: "queue high-water",
+                    class: Class::Deterministic,
+                    value: MetricValue::Gauge(3),
+                },
+                ReportEntry {
+                    name: "cell_wall_ns",
+                    help: "per-cell wall time",
+                    class: Class::Timing,
+                    value: MetricValue::Histogram {
+                        bounds: vec![10, 100],
+                        counts: vec![1, 2, 1],
+                        sum: 250,
+                        count: 4,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_hides_timings_by_default() {
+        let r = report();
+        assert_eq!(
+            r.to_json(false),
+            "{\"metrics\":[\
+             {\"name\":\"cells_total\",\"help\":\"grid size\",\"class\":\"deterministic\",\
+             \"type\":\"counter\",\"value\":12},\
+             {\"name\":\"depth_max\",\"help\":\"queue high-water\",\"class\":\"deterministic\",\
+             \"type\":\"gauge\",\"value\":3}]}"
+        );
+        assert!(r.to_json(true).contains("\"cell_wall_ns\""));
+    }
+
+    #[test]
+    fn prom_renders_cumulative_buckets() {
+        let r = report();
+        let text = r.to_prom(true);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.contains(&"# TYPE cell_wall_ns histogram"));
+        assert!(lines.contains(&"cell_wall_ns_bucket{le=\"10\"} 1"));
+        assert!(lines.contains(&"cell_wall_ns_bucket{le=\"100\"} 3"));
+        assert!(lines.contains(&"cell_wall_ns_bucket{le=\"+Inf\"} 4"));
+        assert!(lines.contains(&"cell_wall_ns_sum 250"));
+        assert!(lines.contains(&"cell_wall_ns_count 4"));
+        // Deterministic rendering omits the histogram entirely.
+        assert!(!r.to_prom(false).contains("cell_wall_ns"));
+    }
+
+    #[test]
+    fn every_prom_line_is_help_type_or_sample() {
+        for line in report().to_prom(true).lines() {
+            let ok = line.starts_with("# HELP ") || line.starts_with("# TYPE ") || {
+                let mut parts = line.rsplitn(2, ' ');
+                let value = parts.next().unwrap_or("");
+                let name = parts.next().unwrap_or("");
+                !name.is_empty() && value.parse::<u64>().is_ok()
+            };
+            assert!(ok, "unparseable exposition line: {line:?}");
+        }
+    }
+}

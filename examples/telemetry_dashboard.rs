@@ -1,0 +1,131 @@
+//! Telemetry dashboard: the fleet exhibit with the harness watching
+//! itself run.
+//!
+//! Every other example prints the *paper's* numbers; this one prints the
+//! *harness's* numbers. It executes the fleet sweep with a live
+//! [`Registry`] plugged into the plan runner and then renders an ASCII
+//! dashboard from the registry's deterministic metrics: sweep progress,
+//! image-cache economics, event-queue and idle-span health, and the
+//! fleet lane-utilization histogram with conservation receipts
+//! (hits + misses == requests, busy + idle == makespan × lanes).
+//! Everything shown here is in the `Deterministic` class, so the numbers
+//! are reproducible bytes — the same dashboard every run, any worker
+//! count, either core model.
+//!
+//! ```text
+//! cargo run --release --example telemetry_dashboard
+//! ```
+//!
+//! Paper exhibit: the `fleet` exhibit of the `paper` harness, observed
+//! through the telemetry layer (`paper --metrics/--progress`) — harness
+//! observability, not a figure of the paper itself.
+
+use vliw_tms::sim::metrics::names;
+use vliw_tms::sim::plan::Session;
+use vliw_tms::sim::telemetry::{MetricValue, Registry};
+use vliw_tms::sim::{experiments, metrics};
+
+/// Fetch a counter that the schema always registers.
+fn counter(reg: &Registry, name: &str) -> u64 {
+    reg.counter_value(name).expect("registered by the schema")
+}
+
+fn gauge(reg: &Registry, name: &str) -> u64 {
+    reg.gauge_value(name).expect("registered by the schema")
+}
+
+fn percent(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 * 100.0 / whole as f64
+    }
+}
+
+fn main() {
+    // The fleet exhibit at 1/200 scale, metered by a live registry.
+    let reg = Registry::new();
+    let set = experiments::fleet_plan(200).run_metered(&Session::new(), &reg);
+
+    println!("harness telemetry dashboard — fleet exhibit, scale 1/200");
+    println!("(deterministic metrics only: identical bytes on any worker count)\n");
+
+    // -- sweep ------------------------------------------------------------
+    let total = counter(&reg, names::CELLS_TOTAL);
+    let done = counter(&reg, names::CELLS_COMPLETED);
+    println!(
+        "sweep      : {done}/{total} cells completed, {} result rows",
+        set.len()
+    );
+    println!(
+        "simulated  : {} cycles, {} instrs, {} context switches",
+        counter(&reg, names::SIM_CYCLES),
+        counter(&reg, names::SIM_INSTRS),
+        counter(&reg, names::SIM_CONTEXT_SWITCHES),
+    );
+
+    // -- image cache ------------------------------------------------------
+    let req = counter(&reg, names::CACHE_REQUESTS);
+    let hits = counter(&reg, names::CACHE_HITS);
+    let misses = counter(&reg, names::CACHE_MISSES);
+    println!(
+        "image cache: {req} requests = {hits} hits + {misses} misses ({:.1}% hit rate)",
+        percent(hits, req)
+    );
+    assert_eq!(hits + misses, req, "cache conservation");
+
+    // -- engine health ----------------------------------------------------
+    println!(
+        "event queue: {} pushes, {} pops, max depth {}",
+        counter(&reg, names::QUEUE_PUSHES),
+        counter(&reg, names::QUEUE_POPS),
+        gauge(&reg, names::QUEUE_DEPTH_MAX),
+    );
+    println!(
+        "idle spans : {} spans covering {} cycles, longest {}",
+        counter(&reg, names::IDLE_SPANS),
+        counter(&reg, names::IDLE_SPAN_CYCLES),
+        gauge(&reg, names::IDLE_SPAN_MAX),
+    );
+
+    // -- fleet utilization ------------------------------------------------
+    let lanes = counter(&reg, names::FLEET_LANES);
+    let busy = counter(&reg, names::FLEET_BUSY);
+    let idle = counter(&reg, names::FLEET_IDLE);
+    let makespan = counter(&reg, names::FLEET_MAKESPAN_LANE_CYCLES);
+    println!(
+        "fleet lanes: {lanes} lanes, {busy} busy + {idle} idle = {makespan} lane-cycles \
+         ({:.1}% utilized)",
+        percent(busy, makespan)
+    );
+    assert_eq!(busy + idle, makespan, "lane-cycle conservation");
+
+    // Per-lane busy-fraction distribution, straight off the registry's
+    // histogram buckets.
+    let report = reg.report();
+    let entry = report
+        .entries
+        .iter()
+        .find(|e| e.name == names::FLEET_LANE_BUSY_PERMILLE)
+        .expect("registered by the schema");
+    let MetricValue::Histogram { counts, count, .. } = &entry.value else {
+        panic!("lane busy permille is a histogram");
+    };
+    println!("\nlane busy-fraction distribution ({count} lanes):");
+    let bounds = metrics::LANE_BUSY_PERMILLE_BOUNDS;
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    for (i, &n) in counts.iter().enumerate() {
+        let label = if i == 0 {
+            format!("<= {:>4}", bounds[0])
+        } else if i < bounds.len() {
+            format!("{:>4} - {:>4}", bounds[i - 1] + 1, bounds[i])
+        } else {
+            format!("{:>4} - 1000", bounds[bounds.len() - 1] + 1)
+        };
+        let bar = "#".repeat((n * 40 / peak) as usize);
+        println!("  {label:>12} permille | {n:>3} | {bar}");
+    }
+
+    println!("\nexport the same numbers machine-readably with:");
+    println!("  paper --filter fleet --metrics fleet.prom --metrics-format prom");
+}

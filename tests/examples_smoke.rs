@@ -75,6 +75,50 @@ fn trace_timeline_example_renders_non_empty_timelines() {
 }
 
 #[test]
+fn telemetry_dashboard_example_renders_and_conserves() {
+    // Same discovery dance as the trace_timeline test above: run the
+    // built example and assert the dashboard's load-bearing lines. The
+    // example itself asserts the conservation laws (cache hits + misses
+    // == requests, busy + idle == makespan), so a success exit is the
+    // real check; the output asserts keep the rendering honest.
+    let exe = std::env::current_exe().expect("test binary path");
+    let examples_dir = exe
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("target profile dir")
+        .join("examples");
+    let bin = examples_dir.join(format!(
+        "telemetry_dashboard{}",
+        std::env::consts::EXE_SUFFIX
+    ));
+    if !bin.exists() {
+        eprintln!("skipping: {} not built in this invocation", bin.display());
+        return;
+    }
+    let out = std::process::Command::new(&bin)
+        .output()
+        .expect("telemetry_dashboard runs");
+    assert!(out.status.success(), "example failed: {out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    assert!(
+        stdout.contains("cells completed"),
+        "no sweep line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("hit rate"),
+        "no cache economics line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("lane busy-fraction distribution"),
+        "no utilization histogram:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("permille |"),
+        "no histogram rows:\n{stdout}"
+    );
+}
+
+#[test]
 fn every_example_declares_its_paper_exhibit() {
     // Each example's doc header must say which paper figure/table it
     // corresponds to (ISSUE: examples are living documentation of the

@@ -470,17 +470,17 @@ fn csv_rows_shaped_emits_forced_axis_columns() {
     assert!(!default_set.to_csv().contains("paper-4x4"));
     // ...but shaped to the union it carries the default geometry, and the
     // row matches the corresponding shared header.
-    let shaped = default_set.csv_rows_shaped(Some("t"), false, true, false, false);
+    let shaped = default_set.csv_rows_shaped(Some("t"), false, true, false, false, false);
     assert!(shaped.starts_with("t,1S,idct,paper-4x4,real,"), "{shaped}");
     assert_eq!(
-        ResultSet::csv_header_for(false, true, false, false),
+        ResultSet::csv_header_for(false, true, false, false, false),
         ResultSet::CSV_HEADER_MACHINE
     );
-    let both = default_set.csv_rows_shaped(None, true, true, false, false);
+    let both = default_set.csv_rows_shaped(None, true, true, false, false, false);
     assert!(both.starts_with("1S,idct,paper-random,paper-4x4,real,"));
     // Forcing the traffic column on a closed set carries the closed
     // default plus all-zero open-system metrics.
-    let with_traffic = default_set.csv_rows_shaped(None, false, false, false, true);
+    let with_traffic = default_set.csv_rows_shaped(None, false, false, false, true, false);
     assert!(
         with_traffic.starts_with("1S,idct,closed,real,"),
         "{with_traffic}"
@@ -490,7 +490,7 @@ fn csv_rows_shaped_emits_forced_axis_columns() {
         "{with_traffic}"
     );
     assert_eq!(
-        ResultSet::csv_header_for(false, false, false, true),
+        ResultSet::csv_header_for(false, false, false, true, false),
         ResultSet::CSV_HEADER_TRAFFIC
     );
 }
@@ -504,7 +504,7 @@ fn csv_rows_shaped_refuses_to_drop_a_swept_axis() {
         .machines([MachineSpec::Paper4x4, MachineSpec::Narrow8x2])
         .scale(100_000)
         .run(&Session::with_parallelism(1));
-    let _ = set.csv_rows_shaped(None, false, false, false, false);
+    let _ = set.csv_rows_shaped(None, false, false, false, false, false);
 }
 
 /// The per-thread breakdown helper exposes `RunStats::threads` keyed by
@@ -764,9 +764,9 @@ fn fleet_axis_stays_out_of_default_bytes() {
     // Shaped to a forced fleet union, the cell carries its single machine
     // as a singleton fleet (a machine spec is a valid fleet spelling) and
     // all-degenerate fleet metrics.
-    let shaped = set.csv_rows_shaped(None, false, false, true, false);
+    let shaped = set.csv_rows_shaped(None, false, false, true, false, false);
     assert!(shaped.starts_with("1S,idct,paper-4x4,real,"), "{shaped}");
-    let n_commas_header = ResultSet::csv_header_for(false, false, true, false)
+    let n_commas_header = ResultSet::csv_header_for(false, false, true, false, false)
         .matches(',')
         .count();
     assert_eq!(
@@ -774,4 +774,130 @@ fn fleet_axis_stays_out_of_default_bytes() {
         n_commas_header,
         "shaped row matches the forced-fleet header: {shaped}"
     );
+}
+
+/// The deterministic metrics export is byte-identical across worker
+/// counts and across both core models (the tentpole's determinism
+/// contract): same grid → same `--metrics` bytes, always. Timings are
+/// excluded by `with_timings = false`, which is exactly what the CLI
+/// emits by default.
+#[test]
+fn metrics_export_is_byte_identical_across_workers_and_core_models() {
+    use vliw_tms::sim::telemetry::Registry;
+    use vliw_tms::sim::CoreModel;
+    let export = |par: usize, model: CoreModel| {
+        let reg = Registry::new();
+        let set = test_plan()
+            .core_model(model)
+            .run_metered(&Session::with_parallelism(par), &reg);
+        assert_eq!(set.len(), 3 * 2 * 2);
+        let report = reg.report();
+        (report.to_prom(false), report.to_json(false))
+    };
+    let (prom1, json1) = export(1, CoreModel::EventDriven);
+    for par in [2usize, 4] {
+        let (prom, json) = export(par, CoreModel::EventDriven);
+        assert_eq!(prom1, prom, "prom bytes across {par} workers");
+        assert_eq!(json1, json, "json bytes across {par} workers");
+    }
+    let (prom_ca, json_ca) = export(2, CoreModel::CycleAccurate);
+    assert_eq!(prom1, prom_ca, "prom bytes across core models");
+    assert_eq!(json1, json_ca, "json bytes across core models");
+}
+
+/// The registry's conservation laws hold on a metered fleet sweep —
+/// cells recorded == grid size, cache hits + misses == requests, fleet
+/// busy + idle lane-cycles == makespan × lanes — and metering is
+/// observation only: the metered results serialize to the same default
+/// bytes as the unmetered run (modulo the gated telemetry columns, which
+/// are checked separately below).
+#[test]
+fn metered_run_conserves_and_matches_unmetered_results() {
+    use vliw_tms::sim::metrics::names;
+    use vliw_tms::sim::plan::FleetSpec;
+    use vliw_tms::sim::telemetry::{NullTelemetry, Registry};
+    let fleet: FleetSpec = "paper-4x4*2".parse().unwrap();
+    let plan = || {
+        Plan::new()
+            .schemes(["1S", "2SC3"])
+            .workload("LLHH")
+            .fleet(fleet.clone())
+            .arrival("poisson:0.001".parse().unwrap())
+            .scale(50_000)
+    };
+    let reg = Registry::new();
+    let metered = plan().run_metered(&Session::with_parallelism(2), &reg);
+    let c = |name: &str| reg.counter_value(name).expect("schema metric");
+
+    assert_eq!(c(names::CELLS_TOTAL), metered.len() as u64);
+    assert_eq!(c(names::CELLS_COMPLETED), metered.len() as u64);
+    assert_eq!(
+        c(names::CACHE_HITS) + c(names::CACHE_MISSES),
+        c(names::CACHE_REQUESTS),
+        "cache conservation"
+    );
+    assert!(c(names::CACHE_REQUESTS) > 0, "the sweep compiles something");
+    assert_eq!(
+        c(names::FLEET_BUSY) + c(names::FLEET_IDLE),
+        c(names::FLEET_MAKESPAN_LANE_CYCLES),
+        "lane-cycle conservation"
+    );
+    let sim_cycles: u64 = metered.results().iter().map(|r| r.stats.cycles).sum();
+    assert_eq!(c(names::SIM_CYCLES), sim_cycles, "harvest sums the grid");
+
+    // Null-metered and unmetered runs are the same code path — identical
+    // results, identical bytes.
+    let base = plan().run(&Session::with_parallelism(2));
+    let null = plan().run_metered(&Session::with_parallelism(2), &NullTelemetry);
+    assert_eq!(base.to_json(), null.to_json());
+    assert_eq!(base.to_csv(), null.to_csv());
+    // A live registry never perturbs the simulated numbers either.
+    for ((ka, a), (kb, b)) in base.iter().zip(metered.iter()) {
+        assert_eq!(format!("{ka:?}"), format!("{kb:?}"));
+        assert_eq!(format!("{:?}", a.stats), format!("{:?}", b.stats));
+    }
+}
+
+/// The per-cell telemetry columns (`cache_hits`, `cache_misses`,
+/// `trace_dropped`) appear only on metered runs: default exports keep
+/// the historical byte shape, a metered set appends them after the fleet
+/// metric block, and the shaped-CSV escape hatch can force or drop them.
+#[test]
+fn telemetry_columns_gate_on_metered_runs() {
+    use vliw_tms::sim::telemetry::Registry;
+    let plan = || Plan::new().scheme("1S").workload("idct").scale(100_000);
+    let base = plan().run(&Session::with_parallelism(1));
+    assert!(!base.telemetry_axis_is_explicit());
+    assert!(!base.csv_header().contains("cache_hits"), "default CSV");
+    assert!(!base.to_json().contains("cache_hits"), "default JSON");
+
+    let reg = Registry::new();
+    let metered = plan().run_metered(&Session::with_parallelism(1), &reg);
+    assert!(metered.telemetry_axis_is_explicit());
+    let header = metered.csv_header();
+    assert!(
+        header.ends_with(",cache_hits,cache_misses,trace_dropped"),
+        "{header}"
+    );
+    let json = metered.to_json();
+    assert!(
+        json.contains("\"cache_hits\":") && json.contains("\"trace_dropped\":"),
+        "{json}"
+    );
+    // First cell on a fresh session: every image build is a miss.
+    let row = metered.to_csv().lines().nth(1).unwrap().to_string();
+    assert!(row.ends_with(",0,1,0"), "1 miss, 0 hits, 0 drops: {row}");
+    // Combined exports use the union shape: a non-metered set can be
+    // *forced into* the telemetry columns (always-on attribution fills
+    // them), while a metered set refuses to silently drop them.
+    let forced = base.csv_rows_shaped(None, false, false, false, false, true);
+    assert!(forced.trim_end().ends_with(",0,1,0"), "{forced}");
+    let n_commas_header = ResultSet::csv_header_for(false, false, false, false, true)
+        .matches(',')
+        .count();
+    assert_eq!(forced.trim_end().matches(',').count(), n_commas_header);
+    assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        metered.csv_rows_shaped(None, false, false, false, false, false)
+    }))
+    .is_err());
 }
